@@ -1,0 +1,49 @@
+// Fig. 11: scalability with cluster size.
+//
+// Paper: on CIFAR-10 with 20/30/40 workers, (left) SpecSync-Adaptive's
+// speedup over Original in runtime-to-target grows with cluster size, and
+// (right) so does its loss improvement at a fixed time budget.
+#include <iostream>
+
+#include "benchmarks/bench_util.h"
+
+using namespace specsync;
+
+int main() {
+  using namespace specsync::bench;
+  PrintHeader(
+      "Fig. 11 — scalability with cluster size",
+      "speedup over Original and fixed-budget loss improvement both grow "
+      "with the worker count (20/30/40 in the paper)");
+
+  const Workload workload = MakeCifar10Workload(1);
+  const SimTime horizon = SimTime::FromSeconds(2100.0);
+  const SimTime budget = SimTime::FromSeconds(1400.0);  // fixed-cost scenario
+  const Duration fallback = horizon - SimTime::Zero();
+
+  Table table({"workers", "ASP_time(s)", "Spec_time(s)", "speedup",
+               "ASP_loss@budget", "Spec_loss@budget", "loss_improvement"});
+  for (std::size_t workers : {10u, 20u, 30u}) {
+    ExperimentConfig config;
+    config.cluster = ClusterSpec::Homogeneous(workers);
+    config.max_time = horizon;
+    config.stop_on_convergence = false;
+    config.scheme = SchemeSpec::Original();
+    const auto asp = RunSeeds(workload, config, SeedSweep{{7, 8}});
+    config.scheme = SchemeSpec::Adaptive();
+    const auto spec = RunSeeds(workload, config, SeedSweep{{7, 8}});
+
+    const double asp_time =
+        MeanTimeToTarget(asp, workload.loss_target, fallback);
+    const double spec_time =
+        MeanTimeToTarget(spec, workload.loss_target, fallback);
+    const double asp_loss = MeanLossAt(asp, budget);
+    const double spec_loss = MeanLossAt(spec, budget);
+    table.AddRowValues(workers, asp_time, spec_time,
+                       spec_time > 0 ? asp_time / spec_time : 0.0, asp_loss,
+                       spec_loss,
+                       asp_loss > 0 ? (asp_loss - spec_loss) / asp_loss : 0.0);
+  }
+  table.PrintPretty(std::cout);
+  return 0;
+}

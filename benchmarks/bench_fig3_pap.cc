@@ -1,0 +1,60 @@
+// Fig. 3: distribution of pushes-after-a-pull (PAP) per 1-second interval.
+//
+// Paper: CIFAR-10 on 40 ASP workers, ~14 s iterations; each 1 s interval
+// after a pull receives a roughly uniform number of pushes from others, with
+// wide whiskers; the median count within the first two seconds exceeds 6.
+#include <iostream>
+
+#include "benchmarks/bench_util.h"
+#include "trace/pap_analysis.h"
+
+using namespace specsync;
+
+namespace {
+
+void PapPanel(const Workload& workload, std::size_t num_intervals,
+              double interval_seconds, SimTime horizon) {
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Homogeneous(40);
+  config.scheme = SchemeSpec::Original();  // ASP, as in the paper's study
+  config.max_time = horizon;
+  config.stop_on_convergence = false;
+  config.seed = 17;
+  const ExperimentResult run = RunExperiment(workload, config);
+
+  PapConfig pap_config;
+  pap_config.interval = Duration::Seconds(interval_seconds);
+  pap_config.num_intervals = num_intervals;
+  const PapResult pap = AnalyzePap(run.sim.trace, pap_config);
+
+  std::cout << "\n--- " << workload.name << " (iteration ~"
+            << workload.iteration_time.seconds() << "s, " << 40
+            << " workers, ASP) ---\n";
+  Table table({"interval", "p5", "p25", "median", "p75", "p95", "mean"});
+  for (std::size_t k = 0; k < num_intervals; ++k) {
+    const BoxSummary& box = pap.per_interval[k];
+    std::ostringstream label;
+    label << k * interval_seconds << "-" << (k + 1) * interval_seconds << "s";
+    table.AddRowValues(label.str(), box.p5, box.p25, box.p50, box.p75, box.p95,
+                       pap.mean_per_interval[k]);
+  }
+  table.PrintPretty(std::cout);
+  std::cout << "median PAP within first two intervals: "
+            << pap.median_first_two
+            << "  (paper, CIFAR-10: > 6 of 39 possible)\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 3 — PAP distribution per interval after a pull",
+      "approximately uniform arrivals with wide dispersion; median > 6 "
+      "within 2 s of a 14 s CIFAR-10 iteration (40 workers)");
+
+  PapPanel(MakeCifar10Workload(1), /*num_intervals=*/14,
+           /*interval_seconds=*/1.0, SimTime::FromSeconds(700.0));
+  PapPanel(MakeMfWorkload(1), /*num_intervals=*/12, /*interval_seconds=*/0.25,
+           SimTime::FromSeconds(240.0));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Fig. 5: learning curves under naive waiting with different fixed delays.
+//
+// Paper: on CIFAR-10, delaying every pull by 1 s improves over stock ASP;
+// 3 s yields little benefit; 5 s does more harm than good. MF similar.
+#include <iostream>
+
+#include "benchmarks/bench_util.h"
+
+using namespace specsync;
+
+namespace {
+
+void Panel(const Workload& workload, const std::vector<double>& delays,
+           SimTime horizon, std::size_t checkpoints) {
+  std::cout << "\n--- " << workload.name << " (20 workers) ---\n";
+  std::vector<std::vector<ExperimentResult>> runs;
+  std::vector<std::string> labels;
+  for (double delay : delays) {
+    ExperimentConfig config;
+    config.cluster = ClusterSpec::Homogeneous(20);
+    config.scheme = delay == 0.0
+                        ? SchemeSpec::Original()
+                        : SchemeSpec::NaiveWaiting(Duration::Seconds(delay));
+    config.max_time = horizon;
+    config.stop_on_convergence = false;
+    runs.push_back(bench::RunSeeds(workload, config, bench::SeedSweep{}));
+    labels.push_back(delay == 0.0 ? "ASP(0s)"
+                                  : "wait " + Table::Format(delay) + "s");
+  }
+  std::vector<std::string> headers{"time(s)"};
+  headers.insert(headers.end(), labels.begin(), labels.end());
+  Table table(std::move(headers));
+  for (std::size_t i = 1; i <= checkpoints; ++i) {
+    const SimTime t = SimTime::FromSeconds(
+        horizon.seconds() * static_cast<double>(i) /
+        static_cast<double>(checkpoints));
+    std::vector<std::string> row{Table::Format(t.seconds())};
+    for (const auto& schemes : runs) {
+      row.push_back(Table::Format(bench::MeanLossAt(schemes, t)));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.PrintPretty(std::cout);
+
+  // Push throughput shows the duty-cycle cost of waiting.
+  std::cout << "mean pushes per run:";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    RunningStats pushes;
+    for (const auto& run : runs[i]) {
+      pushes.Add(static_cast<double>(run.sim.total_pushes));
+    }
+    std::cout << "  " << labels[i] << "=" << pushes.mean();
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 5 — naive waiting with fixed pull delays",
+      "1 s delay helps, 3 s ~ breaks even, 5 s hurts (CIFAR-10, 14 s "
+      "iterations); the right delay is workload-dependent");
+
+  Panel(MakeCifar10Workload(1), {0.0, 1.0, 3.0, 5.0},
+        SimTime::FromSeconds(1400.0), 7);
+  Panel(MakeMfWorkload(1), {0.0, 0.2, 0.7, 1.2}, SimTime::FromSeconds(360.0),
+        6);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Fig. 8: effectiveness of SpecSync — loss-over-time and runtime to
+// convergence for the three workloads under Original (ASP),
+// SpecSync-Cherrypick, and SpecSync-Adaptive.
+//
+// Paper: speedups up to 2.97x (MF), 2.25x (CIFAR-10), 3x (ImageNet); the
+// adaptive tuner comes close to the cherry-picked hyperparameters.
+#include <iostream>
+
+#include "benchmarks/bench_util.h"
+
+using namespace specsync;
+
+namespace {
+
+struct PanelSpec {
+  Workload workload;
+  std::size_t num_workers;
+  SimTime horizon;
+  bench::SeedSweep sweep;
+};
+
+void Panel(const PanelSpec& spec) {
+  const Workload& workload = spec.workload;
+  std::cout << "\n--- " << workload.name << " (" << spec.num_workers
+            << " workers, target loss " << workload.loss_target << ") ---\n";
+
+  struct Entry {
+    std::string label;
+    SchemeSpec scheme;
+  };
+  const std::vector<Entry> entries = {
+      {"Original", SchemeSpec::Original()},
+      {"Cherrypick", SchemeSpec::Cherrypick(bench::CherryParams(workload))},
+      {"Adaptive", SchemeSpec::Adaptive()},
+  };
+
+  std::vector<std::vector<ExperimentResult>> runs;
+  for (const Entry& entry : entries) {
+    ExperimentConfig config;
+    config.cluster = ClusterSpec::Homogeneous(spec.num_workers);
+    config.scheme = entry.scheme;
+    config.max_time = spec.horizon;
+    config.stop_on_convergence = false;  // full curves
+    runs.push_back(bench::RunSeeds(workload, config, spec.sweep));
+  }
+
+  Table curve({"time(s)", "Original", "Cherrypick", "Adaptive"});
+  constexpr int kCheckpoints = 8;
+  for (int i = 1; i <= kCheckpoints; ++i) {
+    const SimTime t =
+        SimTime::FromSeconds(spec.horizon.seconds() * i / kCheckpoints);
+    curve.AddRowValues(t.seconds(), bench::MeanLossAt(runs[0], t),
+                       bench::MeanLossAt(runs[1], t),
+                       bench::MeanLossAt(runs[2], t));
+  }
+  curve.PrintPretty(std::cout);
+
+  Table summary({"scheme", "runtime_to_target(s)", "converged_frac",
+                 "mean_staleness", "speedup_vs_original"});
+  const double base_time = bench::MeanTimeToTarget(
+      runs[0], workload.loss_target, spec.horizon - SimTime::Zero());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const double t = bench::MeanTimeToTarget(runs[i], workload.loss_target,
+                                             spec.horizon - SimTime::Zero());
+    summary.AddRowValues(entries[i].label, t,
+                         bench::ConvergedFraction(runs[i], workload.loss_target),
+                         bench::MeanStaleness(runs[i]),
+                         t > 0.0 ? base_time / t : 0.0);
+  }
+  summary.PrintPretty(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Fig. 8 — SpecSync effectiveness (loss vs time, runtime to target)",
+      "up to 2.97x (MF) / 2.25x (CIFAR-10) / 3x (ImageNet) speedup over "
+      "MXNet ASP; Adaptive ~ Cherrypick");
+
+  Panel({MakeMfWorkload(1), 40, SimTime::FromSeconds(1200.0),
+         bench::SeedSweep{{7, 8, 9}}});
+  Panel({MakeCifar10Workload(1), 20, SimTime::FromSeconds(2400.0),
+         bench::SeedSweep{{7, 8}}});
+  Panel({MakeImageNetWorkload(1, /*scale=*/0.6), 24,
+         SimTime::FromSeconds(6300.0), bench::SeedSweep{{7}}});
+  return 0;
+}

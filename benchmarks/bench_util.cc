@@ -1,0 +1,65 @@
+#include "benchmarks/bench_util.h"
+
+namespace specsync::bench {
+
+double MeanLossAt(const std::vector<ExperimentResult>& runs, SimTime time) {
+  RunningStats stats;
+  for (const ExperimentResult& run : runs) {
+    if (auto loss = LossAtTime(run.sim.trace, time)) stats.Add(*loss);
+  }
+  return stats.mean();
+}
+
+double MeanTimeToTarget(const std::vector<ExperimentResult>& runs,
+                        double target, Duration fallback) {
+  RunningStats stats;
+  for (const ExperimentResult& run : runs) {
+    if (auto t = TimeToTarget(run.sim.trace, target)) {
+      stats.Add(t->seconds());
+    } else {
+      stats.Add(fallback.seconds());
+    }
+  }
+  return stats.mean();
+}
+
+double ConvergedFraction(const std::vector<ExperimentResult>& runs,
+                         double target) {
+  if (runs.empty()) return 0.0;
+  std::size_t converged = 0;
+  for (const ExperimentResult& run : runs) {
+    if (TimeToTarget(run.sim.trace, target).has_value()) ++converged;
+  }
+  return static_cast<double>(converged) / static_cast<double>(runs.size());
+}
+
+double MeanStaleness(const std::vector<ExperimentResult>& runs) {
+  RunningStats stats;
+  for (const ExperimentResult& run : runs) {
+    for (const PushEvent& push : run.sim.trace.pushes()) {
+      stats.Add(static_cast<double>(push.missed_updates));
+    }
+  }
+  return stats.mean();
+}
+
+std::vector<ExperimentResult> RunSeeds(const Workload& workload,
+                                       ExperimentConfig config,
+                                       const SeedSweep& sweep) {
+  std::vector<ExperimentResult> runs;
+  runs.reserve(sweep.seeds.size());
+  for (std::uint64_t seed : sweep.seeds) {
+    config.seed = seed;
+    runs.push_back(RunExperiment(workload, config));
+  }
+  return runs;
+}
+
+void PrintHeader(const std::string& figure, const std::string& paper_claim) {
+  std::cout << "==================================================\n"
+            << figure << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "==================================================\n";
+}
+
+}  // namespace specsync::bench

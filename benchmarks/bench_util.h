@@ -1,0 +1,58 @@
+// Shared helpers for the figure/table regenerators.
+//
+// Every bench prints (a) the paper's claim for the figure it regenerates and
+// (b) the measured rows/series, so EXPERIMENTS.md can be assembled directly
+// from bench output. Constants are sized so the full bench suite runs in a
+// few minutes on one core; raise kSeeds / horizons for tighter error bars.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+
+namespace specsync::bench {
+
+// The fixed SpecSync-Cherrypick operating point used across benches: a window
+// wide enough to catch delivery bursts (0.35 iterations) with a threshold a
+// bit below the uniform-arrival expectation for that window.
+inline SpeculationParams CherryParams(const Workload& workload) {
+  SpeculationParams params;
+  params.abort_time = workload.iteration_time * 0.35;
+  params.abort_rate = 0.22;
+  return params;
+}
+
+struct SeedSweep {
+  std::vector<std::uint64_t> seeds{7, 8, 9};
+};
+
+// Mean loss at `time` across runs (runs lacking a sample by then are skipped).
+double MeanLossAt(const std::vector<ExperimentResult>& runs, SimTime time);
+
+// Mean time-to-target across runs; unconverged runs are counted at the
+// horizon `fallback` (conservative, keeps means defined).
+double MeanTimeToTarget(const std::vector<ExperimentResult>& runs,
+                        double target, Duration fallback);
+
+// Fraction of runs that reached the target.
+double ConvergedFraction(const std::vector<ExperimentResult>& runs,
+                         double target);
+
+// Mean staleness (missed updates per push) across runs.
+double MeanStaleness(const std::vector<ExperimentResult>& runs);
+
+// Runs one (workload, scheme) over the sweep's seeds.
+std::vector<ExperimentResult> RunSeeds(const Workload& workload,
+                                       ExperimentConfig config,
+                                       const SeedSweep& sweep);
+
+// Prints the standard bench header.
+void PrintHeader(const std::string& figure, const std::string& paper_claim);
+
+}  // namespace specsync::bench

@@ -1,0 +1,92 @@
+// Compares all synchronization schemes the paper discusses — BSP, ASP,
+// SSP, naive waiting, SpecSync-Cherrypick, SpecSync-Adaptive — on one
+// workload, printing loss-vs-time series side by side (paper Sec. II-C
+// and Fig. 8).
+//
+// Usage: scheme_comparison [workload] [num_workers] [max_sim_seconds]
+//   workload: mf | cifar10 | imagenet   (default mf)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+
+using namespace specsync;
+
+namespace {
+
+Workload PickWorkload(const std::string& name) {
+  if (name == "cifar10") return MakeCifar10Workload(1);
+  if (name == "imagenet") return MakeImageNetWorkload(1);
+  return MakeMfWorkload(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "mf";
+  const std::size_t num_workers =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+  const double max_seconds = argc > 3 ? std::atof(argv[3]) : 4000.0;
+
+  const Workload workload = PickWorkload(workload_name);
+  std::cout << "workload=" << workload.name << " workers=" << num_workers
+            << " sim_horizon=" << max_seconds << "s\n\n";
+
+  struct Entry {
+    std::string label;
+    SchemeSpec scheme;
+  };
+  SpeculationParams cherry;
+  cherry.abort_time = workload.iteration_time * 0.15;
+  cherry.abort_rate = 0.25;
+  const std::vector<Entry> entries = {
+      {"BSP", SchemeSpec::Bsp()},
+      {"SSP(s=3)", SchemeSpec::Ssp(3)},
+      {"ASP (Original)", SchemeSpec::Original()},
+      {"Naive-1s", SchemeSpec::NaiveWaiting(Duration::Seconds(1.0))},
+      {"SpecSync-Cherrypick", SchemeSpec::Cherrypick(cherry)},
+      {"SpecSync-Adaptive", SchemeSpec::Adaptive()},
+  };
+
+  std::vector<ExperimentResult> results;
+  for (const Entry& entry : entries) {
+    ExperimentConfig config;
+    config.cluster = ClusterSpec::Homogeneous(num_workers);
+    config.scheme = entry.scheme;
+    config.max_time = SimTime::FromSeconds(max_seconds);
+    config.stop_on_convergence = false;  // full curves
+    config.seed = 42;
+    results.push_back(RunExperiment(workload, config));
+  }
+
+  // Loss curves at 10 checkpoints.
+  Table curve({"time(s)", entries[0].label, entries[1].label, entries[2].label,
+               entries[3].label, entries[4].label, entries[5].label});
+  for (int i = 1; i <= 10; ++i) {
+    const SimTime t = SimTime::FromSeconds(max_seconds * i / 10.0);
+    std::vector<std::string> row{Table::Format(t.seconds())};
+    for (const ExperimentResult& r : results) {
+      auto loss = LossAtTime(r.sim.trace, t);
+      row.push_back(loss ? Table::Format(*loss) : "-");
+    }
+    curve.AddRow(std::move(row));
+  }
+  curve.PrintPretty(std::cout);
+
+  Table summary({"scheme", "time_to_target(s)", "final_loss", "pushes",
+                 "aborts", "resyncs_issued"});
+  for (const ExperimentResult& r : results) {
+    auto ttt = TimeToTarget(r.sim.trace, workload.loss_target);
+    summary.AddRowValues(r.scheme_name,
+                         ttt ? Table::Format(ttt->seconds()) : "-",
+                         r.final_loss, r.sim.total_pushes, r.sim.total_aborts,
+                         r.sim.scheduler_stats.resyncs_issued);
+  }
+  std::cout << "\n(target loss = " << workload.loss_target << ")\n";
+  summary.PrintPretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Staleness playground: how the learning rate turns parameter staleness from
+// harmless into harmful (the regime the paper operates in — Sec. II-C).
+//
+// Sweeps the learning rate on one workload and prints early loss curves for
+// BSP (fresh gradients) vs ASP (stale gradients) vs SpecSync-Adaptive. At low
+// rates all three match; past a threshold, ASP degrades and SpecSync recovers
+// most of the gap at a fraction of BSP's synchronization cost.
+//
+// Usage: staleness_study [workload] [workers] [horizon_s] [eta1 eta2 ...]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+#include "harness/workload.h"
+
+using namespace specsync;
+
+namespace {
+
+Workload PickWorkload(const std::string& name) {
+  if (name == "cifar10") return MakeCifar10Workload(1);
+  if (name == "convex") return MakeConvexWorkload(1);
+  if (name == "imagenet") return MakeImageNetWorkload(1);
+  return MakeMfWorkload(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workload_name = argc > 1 ? argv[1] : "mf";
+  const std::size_t num_workers =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 16;
+  const double horizon = argc > 3 ? std::atof(argv[3]) : 600.0;
+  std::vector<double> etas;
+  for (int i = 4; i < argc; ++i) etas.push_back(std::atof(argv[i]));
+  if (etas.empty()) etas = {0.5, 1.0, 2.0};
+
+  Workload workload = PickWorkload(workload_name);
+
+  for (double eta : etas) {
+    workload.schedule = std::make_shared<ConstantSchedule>(eta);
+    std::cout << "\n=== " << workload.name << ", eta=" << eta
+              << ", workers=" << num_workers << " ===\n";
+
+    SpeculationParams big_window;
+    big_window.abort_time = workload.iteration_time * 0.35;
+    big_window.abort_rate = 0.22;
+    std::vector<std::pair<std::string, SchemeSpec>> entries = {
+        {"BSP", SchemeSpec::Bsp()},
+        {"ASP", SchemeSpec::Original()},
+        {"SpecSync", SchemeSpec::Adaptive()},
+        {"Cherry", SchemeSpec::Cherrypick(big_window)},
+    };
+    std::vector<ExperimentResult> results;
+    for (auto& [label, scheme] : entries) {
+      ExperimentConfig config;
+      config.cluster = ClusterSpec::Homogeneous(num_workers);
+      config.scheme = scheme;
+      config.max_time = SimTime::FromSeconds(horizon);
+      config.stop_on_convergence = false;
+      config.seed = 42;
+      results.push_back(RunExperiment(workload, config));
+    }
+    // Mean staleness (pushes applied between a worker's pull and its own
+    // push) per scheme — the quantity SpecSync exists to reduce.
+    auto mean_staleness = [](const ExperimentResult& r) {
+      double total = 0.0;
+      for (const PushEvent& e : r.sim.trace.pushes()) {
+        total += static_cast<double>(e.missed_updates);
+      }
+      return r.sim.trace.pushes().empty()
+                 ? 0.0
+                 : total / static_cast<double>(r.sim.trace.pushes().size());
+    };
+    std::cout << "mean staleness: BSP=" << mean_staleness(results[0])
+              << " ASP=" << mean_staleness(results[1])
+              << " SpecSync=" << mean_staleness(results[2])
+              << " Cherry=" << mean_staleness(results[3])
+              << " (cherry aborts=" << results[3].sim.total_aborts << ")"
+              << "  (aborts=" << results[2].sim.total_aborts << "/"
+              << results[2].sim.total_pushes << " pushes; tuned abort_time="
+              << results[2].sim.final_params.abort_time << " abort_rate="
+              << results[2].sim.final_params.abort_rate << ")\n";
+
+    Table table({"time(s)", "BSP", "ASP", "SpecSync", "Cherry", "ASP_pushes",
+                 "Spec_aborts"});
+    for (int i = 1; i <= 12; ++i) {
+      const SimTime t = SimTime::FromSeconds(horizon * i / 12.0);
+      auto fmt = [&](const ExperimentResult& r) {
+        auto loss = LossAtTime(r.sim.trace, t);
+        return loss ? Table::Format(*loss) : std::string("-");
+      };
+      table.AddRow({Table::Format(t.seconds()), fmt(results[0]),
+                    fmt(results[1]), fmt(results[2]), fmt(results[3]),
+                    Table::Format(static_cast<int>(results[1].sim.total_pushes)),
+                    Table::Format(static_cast<int>(results[2].sim.total_aborts))});
+    }
+    table.PrintPretty(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Live-protocol demo: the SpecSync scheduler running against real threads.
+//
+// Unlike the simulator (virtual time), this spins up actual worker threads
+// and a scheduler thread exchanging notify / re-sync messages through
+// mailboxes; aborts interrupt genuinely in-flight gradient computation at
+// batch-chunk boundaries. Useful to convince yourself the protocol is not a
+// simulation artifact.
+//
+// Run: ./build/examples/threaded_runtime_demo
+#include <iostream>
+
+#include "common/table.h"
+#include "data/synthetic.h"
+#include "models/softmax_regression.h"
+#include "runtime/runtime_cluster.h"
+
+using namespace specsync;
+
+namespace {
+
+std::shared_ptr<const Model> MakeModel() {
+  Rng rng(21);
+  ClassificationSpec spec;
+  spec.num_examples = 1200;
+  spec.feature_dim = 32;
+  spec.num_classes = 5;
+  auto data = std::make_shared<ClassificationDataset>(
+      GenerateClassification(spec, rng));
+  return std::make_shared<SoftmaxRegressionModel>(std::move(data),
+                                                  SoftmaxRegressionConfig{});
+}
+
+RuntimeResult Run(bool speculation, std::shared_ptr<const Model> model) {
+  RuntimeConfig config;
+  config.num_workers = 4;
+  config.iterations_per_worker = 40;
+  config.batch_size = 32;
+  config.compute_chunks = 8;
+  // Stretch iterations to ~2.5ms so speculation windows are meaningful.
+  config.chunk_delay = std::chrono::microseconds(300);
+  if (speculation) {
+    config.fixed_params.abort_time = Duration::Milliseconds(1.0);
+    config.fixed_params.abort_rate = 0.25;  // 1 push from others
+  }
+  RuntimeCluster cluster(std::move(model),
+                         std::make_shared<ConstantSchedule>(0.2), config);
+  return cluster.Run();
+}
+
+}  // namespace
+
+int main() {
+  auto model = MakeModel();
+  std::cout << "Training softmax regression on 4 real worker threads, "
+            << "40 iterations each...\n\n";
+
+  const RuntimeResult plain = Run(/*speculation=*/false, model);
+  const RuntimeResult spec = Run(/*speculation=*/true, model);
+
+  Table table({"mode", "pushes", "aborts", "resyncs", "checks", "final_loss",
+               "wall_ms"});
+  table.AddRowValues("ASP (no speculation)", plain.total_pushes,
+                     plain.total_aborts,
+                     plain.scheduler_stats.resyncs_issued,
+                     plain.scheduler_stats.checks_performed, plain.final_loss,
+                     static_cast<long long>(plain.elapsed.count()));
+  table.AddRowValues("SpecSync (1ms window)", spec.total_pushes,
+                     spec.total_aborts, spec.scheduler_stats.resyncs_issued,
+                     spec.scheduler_stats.checks_performed, spec.final_loss,
+                     static_cast<long long>(spec.elapsed.count()));
+  table.PrintPretty(std::cout);
+
+  std::cout << "\nEvery abort above interrupted an actual in-flight gradient\n"
+               "computation between batch chunks, re-pulled the parameters,\n"
+               "and restarted — the abort-and-refresh path of Algorithm 2\n"
+               "under true concurrency.\n";
+  return 0;
+}

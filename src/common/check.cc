@@ -1,0 +1,17 @@
+#include "common/check.h"
+
+#include <sstream>
+
+namespace specsync::internal {
+
+void FailCheck(std::string_view file, int line, std::string_view condition,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "CHECK failed at " << file << ":" << line << ": " << condition;
+  if (!message.empty()) {
+    out << " — " << message;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace specsync::internal

@@ -1,0 +1,73 @@
+// Lightweight precondition / invariant checking.
+//
+// Following the C++ Core Guidelines (I.6, E.12) we express contract violations
+// as exceptions carrying a formatted message; callers that cannot recover let
+// them propagate to main().
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace specsync {
+
+// Error thrown when a SPECSYNC_CHECK-style contract is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+// Error thrown for runtime failures that are not programming errors
+// (bad configuration, exhausted resources, protocol violations from remote
+// peers, ...).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] void FailCheck(std::string_view file, int line,
+                            std::string_view condition,
+                            const std::string& message);
+
+// Accumulates a streamed message for the CHECK macros.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line), condition_(condition) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    FailCheck(file_, line_, condition_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* condition_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace specsync
+
+// Always-on contract check; streams an optional message:
+//   SPECSYNC_CHECK(n > 0) << "need at least one worker, got " << n;
+#define SPECSYNC_CHECK(condition)                                    \
+  if (condition) {                                                   \
+  } else                                                             \
+    ::specsync::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define SPECSYNC_CHECK_EQ(a, b) SPECSYNC_CHECK((a) == (b))
+#define SPECSYNC_CHECK_NE(a, b) SPECSYNC_CHECK((a) != (b))
+#define SPECSYNC_CHECK_LT(a, b) SPECSYNC_CHECK((a) < (b))
+#define SPECSYNC_CHECK_LE(a, b) SPECSYNC_CHECK((a) <= (b))
+#define SPECSYNC_CHECK_GT(a, b) SPECSYNC_CHECK((a) > (b))
+#define SPECSYNC_CHECK_GE(a, b) SPECSYNC_CHECK((a) >= (b))

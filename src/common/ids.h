@@ -1,0 +1,27 @@
+// Identifier types shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace specsync {
+
+// Index of a worker node in [0, m).
+using WorkerId = std::uint32_t;
+
+// Index of a parameter-server shard.
+using ServerId = std::uint32_t;
+
+// Monotone per-worker iteration counter (a worker's t-th push finishes its
+// t-th iteration; paper Sec. II-B).
+using IterationId = std::uint64_t;
+
+// Global epoch counter: epoch e ends once every worker has pushed at least
+// once since e began.
+using EpochId = std::uint64_t;
+
+// Parameter key (one key identifies one shard-resident parameter block).
+using ParamKey = std::uint64_t;
+
+inline constexpr WorkerId kInvalidWorker = static_cast<WorkerId>(-1);
+
+}  // namespace specsync

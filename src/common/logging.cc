@@ -1,0 +1,60 @@
+#include "common/logging.h"
+
+#include <iostream>
+
+namespace specsync {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Get() {
+  static Logger* instance = new Logger();  // never destroyed; avoids
+                                           // shutdown-order issues
+  return *instance;
+}
+
+Logger::Logger() = default;
+
+void Logger::set_min_level(LogLevel level) {
+  std::scoped_lock lock(mutex_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::scoped_lock lock(mutex_);
+  return min_level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::scoped_lock lock(mutex_);
+  sink_ = std::move(sink);
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  Sink sink;
+  {
+    std::scoped_lock lock(mutex_);
+    if (level < min_level_) return;
+    sink = sink_;
+  }
+  if (sink) {
+    sink(level, message);
+  } else {
+    std::ostringstream line;
+    line << "[" << LogLevelName(level) << "] " << message << "\n";
+    std::cerr << line.str();  // single << keeps the line atomic enough
+  }
+}
+
+}  // namespace specsync

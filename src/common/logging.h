@@ -1,0 +1,64 @@
+// Minimal leveled logger.
+//
+// The library logs sparingly (scheduler decisions, epoch boundaries) and only
+// through this interface, so tests can silence or capture output. Not designed
+// for cross-thread message ordering guarantees beyond line atomicity.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace specsync {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+// Global logging configuration. Thread-safe.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Get();
+
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  // Replaces the sink; pass nullptr to restore the default (stderr) sink.
+  void set_sink(Sink sink);
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+
+  mutable std::mutex mutex_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  Sink sink_;
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Write(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace specsync
+
+#define SPECSYNC_LOG(level) \
+  ::specsync::internal::LogMessage(::specsync::LogLevel::level)

@@ -1,0 +1,33 @@
+#include "common/rng.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace specsync {
+
+std::vector<std::size_t> Rng::SampleIndices(std::size_t n, std::size_t k) {
+  SPECSYNC_CHECK_LE(k, n);
+  if (k == 0) return {};
+  // For small k relative to n, rejection sampling; otherwise partial shuffle.
+  if (k * 4 <= n) {
+    std::unordered_set<std::size_t> chosen;
+    chosen.reserve(k * 2);
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      std::size_t candidate = Index(n);
+      if (chosen.insert(candidate).second) out.push_back(candidate);
+    }
+    return out;
+  }
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), 0u);
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + Index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace specsync

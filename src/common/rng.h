@@ -1,0 +1,87 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library draws from an Rng that was seeded
+// explicitly, so any experiment regenerates bit-identically for a fixed seed.
+// Rng::Fork() derives independent child streams (e.g. one per worker) that
+// stay decoupled regardless of how many numbers each consumes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace specsync {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Derives an independent child stream; successive calls produce distinct
+  // streams. Deterministic in (parent seed, fork index).
+  Rng Fork() {
+    // SplitMix64 on (seed, fork counter) gives well-separated child seeds.
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ULL * (++forks_);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return Rng(z ^ (z >> 31));
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    SPECSYNC_CHECK_LE(lo, hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    SPECSYNC_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n).
+  std::size_t Index(std::size_t n) {
+    SPECSYNC_CHECK_GT(n, 0u);
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_));
+  }
+
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  double Exponential(double rate) {
+    SPECSYNC_CHECK_GT(rate, 0.0);
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Log-normal with the given mean/stddev *of the underlying normal*.
+  double LogNormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(std::clamp(p, 0.0, 1.0))(engine_);
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  // A random sample of k distinct indices from [0, n) (k <= n).
+  std::vector<std::size_t> SampleIndices(std::size_t n, std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+  std::uint64_t forks_ = 0;
+};
+
+}  // namespace specsync

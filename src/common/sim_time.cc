@@ -1,0 +1,13 @@
+#include "common/sim_time.h"
+
+namespace specsync {
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.seconds() << "s";
+}
+
+std::ostream& operator<<(std::ostream& os, SimTime t) {
+  return os << "t=" << t.seconds() << "s";
+}
+
+}  // namespace specsync

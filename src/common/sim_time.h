@@ -1,0 +1,112 @@
+// Strongly typed simulated time.
+//
+// The whole system — the discrete-event simulator, the SpecSync scheduler and
+// its tuner, the traces — measures time in simulated seconds. A strong type
+// prevents accidental mixing of times, durations, rates, and counts, while
+// still compiling down to a single double.
+#pragma once
+
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace specsync {
+
+// A span of simulated time, in seconds. May be negative in intermediate
+// arithmetic (e.g. time differences), but most APIs require non-negative.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr static Duration Seconds(double s) { return Duration(s); }
+  constexpr static Duration Milliseconds(double ms) {
+    return Duration(ms / 1e3);
+  }
+  constexpr static Duration Microseconds(double us) {
+    return Duration(us / 1e6);
+  }
+  constexpr static Duration Zero() { return Duration(0.0); }
+  constexpr static Duration Infinite() {
+    return Duration(std::numeric_limits<double>::infinity());
+  }
+
+  constexpr double seconds() const { return seconds_; }
+  constexpr double milliseconds() const { return seconds_ * 1e3; }
+  constexpr bool is_finite() const {
+    return seconds_ < std::numeric_limits<double>::infinity() &&
+           seconds_ > -std::numeric_limits<double>::infinity();
+  }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration other) const {
+    return Duration(seconds_ + other.seconds_);
+  }
+  constexpr Duration operator-(Duration other) const {
+    return Duration(seconds_ - other.seconds_);
+  }
+  constexpr Duration operator*(double factor) const {
+    return Duration(seconds_ * factor);
+  }
+  constexpr Duration operator/(double divisor) const {
+    return Duration(seconds_ / divisor);
+  }
+  constexpr double operator/(Duration other) const {
+    return seconds_ / other.seconds_;
+  }
+  constexpr Duration operator-() const { return Duration(-seconds_); }
+  Duration& operator+=(Duration other) {
+    seconds_ += other.seconds_;
+    return *this;
+  }
+  Duration& operator-=(Duration other) {
+    seconds_ -= other.seconds_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Duration(double s) : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+constexpr Duration operator*(double factor, Duration d) { return d * factor; }
+
+// An absolute point on the simulated clock, in seconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr static SimTime FromSeconds(double s) { return SimTime(s); }
+  constexpr static SimTime Zero() { return SimTime(0.0); }
+  constexpr static SimTime Infinite() {
+    return SimTime(std::numeric_limits<double>::infinity());
+  }
+
+  constexpr double seconds() const { return seconds_; }
+  constexpr bool is_finite() const {
+    return seconds_ < std::numeric_limits<double>::infinity();
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(seconds_ + d.seconds());
+  }
+  constexpr SimTime operator-(Duration d) const {
+    return SimTime(seconds_ - d.seconds());
+  }
+  constexpr Duration operator-(SimTime other) const {
+    return Duration::Seconds(seconds_ - other.seconds_);
+  }
+  SimTime& operator+=(Duration d) {
+    seconds_ += d.seconds();
+    return *this;
+  }
+
+ private:
+  constexpr explicit SimTime(double s) : seconds_(s) {}
+  double seconds_ = 0.0;
+};
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+std::ostream& operator<<(std::ostream& os, SimTime t);
+
+}  // namespace specsync

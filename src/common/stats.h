@@ -1,0 +1,79 @@
+// Descriptive statistics used by the trace analyses and the benchmark
+// harness: running moments, quantiles, the five-number box-plot summary the
+// paper uses in Fig. 3, and fixed-width histograms.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+namespace specsync {
+
+// Online mean / variance (Welford). Cheap to copy.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Linear-interpolation quantile of a sample (q in [0,1]).
+// The sample is copied and sorted; use Quantiles() for several at once.
+double Quantile(std::vector<double> sample, double q);
+std::vector<double> Quantiles(std::vector<double> sample,
+                              const std::vector<double>& qs);
+
+// Five-number summary matching the paper's box plots:
+// whiskers at p5/p95, box at p25/p50/p75.
+struct BoxSummary {
+  double p5 = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  std::size_t count = 0;
+
+  static BoxSummary FromSample(std::vector<double> sample);
+};
+
+std::ostream& operator<<(std::ostream& os, const BoxSummary& box);
+
+// Fixed-width histogram over [lo, hi); values outside are clamped into the
+// first/last bucket so no observation is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const;
+  std::size_t total() const { return total_; }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+  // Fraction of observations in the bucket (0 if empty histogram).
+  double fraction(std::size_t bucket) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace specsync

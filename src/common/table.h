@@ -1,0 +1,51 @@
+// Tabular output for the benchmark harness.
+//
+// Every figure/table regenerator prints (a) a human-readable aligned table and
+// (b) machine-readable CSV, so results can be eyeballed and plotted.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace specsync {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds a row; the row must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats arithmetic values with Format().
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    AddRow({Format(values)...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  // Aligned, boxed, human-readable rendering.
+  void PrintPretty(std::ostream& os) const;
+  // RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void PrintCsv(std::ostream& os) const;
+
+  static std::string Format(const std::string& s) { return s; }
+  static std::string Format(const char* s) { return s; }
+  static std::string Format(double v);
+  static std::string Format(int v) { return std::to_string(v); }
+  static std::string Format(long v) { return std::to_string(v); }
+  static std::string Format(long long v) { return std::to_string(v); }
+  static std::string Format(unsigned v) { return std::to_string(v); }
+  static std::string Format(unsigned long v) { return std::to_string(v); }
+  static std::string Format(unsigned long long v) { return std::to_string(v); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace specsync

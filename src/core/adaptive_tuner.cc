@@ -1,0 +1,119 @@
+#include "core/adaptive_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace specsync {
+
+AdaptiveTuner::AdaptiveTuner(AdaptiveTunerConfig config) : config_(config) {
+  SPECSYNC_CHECK_GT(config_.max_delta_spans, 0.0);
+}
+
+Duration MeanSpan(const TuningInputs& inputs) {
+  SPECSYNC_CHECK(!inputs.iteration_span.empty());
+  Duration total = Duration::Zero();
+  for (Duration span : inputs.iteration_span) {
+    SPECSYNC_CHECK_GT(span.seconds(), 0.0) << "iteration span must be positive";
+    total += span;
+  }
+  return total / static_cast<double>(inputs.iteration_span.size());
+}
+
+double AdaptiveTuner::EstimateImprovement(const TuningInputs& inputs,
+                                          Duration delta, double loss_weight) {
+  const double m = static_cast<double>(inputs.num_workers);
+  double improvement = 0.0;
+  for (WorkerId i = 0; i < inputs.num_workers; ++i) {
+    if (!inputs.last_pull[i].has_value()) continue;  // no pull observed
+    const SimTime pull = *inputs.last_pull[i];
+    // Gain: pushes by others in (pull, pull + delta].
+    std::size_t uncovered = 0;
+    for (const auto& [time, worker] : inputs.pushes) {
+      if (worker == i) continue;
+      if (time > pull && time <= pull + delta) ++uncovered;
+      if (time > pull + delta) break;  // pushes are time-ordered
+    }
+    // Loss: expected missed peers under uniform pull arrivals (Eq. 6).
+    const double loss =
+        loss_weight * (delta / inputs.iteration_span[i]) * (m - 1.0);
+    improvement += static_cast<double>(uncovered) - loss;
+  }
+  return improvement;
+}
+
+std::vector<Duration> AdaptiveTuner::CandidateDeltas(
+    const TuningInputs& inputs, Duration max_delta,
+    std::size_t max_candidates) {
+  std::vector<double> diffs;
+  const auto& pushes = inputs.pushes;
+  diffs.reserve(pushes.size() * (pushes.size() - 1) / 2 + 1);
+  for (std::size_t a = 0; a < pushes.size(); ++a) {
+    for (std::size_t b = a + 1; b < pushes.size(); ++b) {
+      const double d = (pushes[b].first - pushes[a].first).seconds();
+      if (d > 0.0 && d <= max_delta.seconds()) diffs.push_back(d);
+    }
+  }
+  std::sort(diffs.begin(), diffs.end());
+  diffs.erase(std::unique(diffs.begin(), diffs.end()), diffs.end());
+  if (max_candidates != 0 && diffs.size() > max_candidates) {
+    // Keep an evenly strided subset — preserves the range of the candidate
+    // set while bounding tuning cost.
+    std::vector<double> strided;
+    strided.reserve(max_candidates);
+    const double stride = static_cast<double>(diffs.size()) /
+                          static_cast<double>(max_candidates);
+    for (std::size_t i = 0; i < max_candidates; ++i) {
+      strided.push_back(diffs[static_cast<std::size_t>(
+          static_cast<double>(i) * stride)]);
+    }
+    diffs = std::move(strided);
+  }
+  std::vector<Duration> out;
+  out.reserve(diffs.size());
+  for (double d : diffs) out.push_back(Duration::Seconds(d));
+  return out;
+}
+
+SpeculationParams AdaptiveTuner::OnEpochEnd(const TuningInputs& inputs) {
+  if (inputs.num_workers < 2) return {};  // speculation is meaningless solo
+  SPECSYNC_CHECK_EQ(inputs.last_pull.size(), inputs.num_workers);
+  SPECSYNC_CHECK_EQ(inputs.iteration_span.size(), inputs.num_workers);
+
+  if (inputs.pushes.size() < 2) return {};  // nothing to enumerate
+
+  const Duration mean_span = MeanSpan(inputs);
+  const Duration max_delta = mean_span * config_.max_delta_spans;
+  const std::vector<Duration> candidates =
+      CandidateDeltas(inputs, max_delta, config_.max_candidates);
+  if (candidates.empty()) return {};
+
+  Duration best_delta = Duration::Zero();
+  double best_value = 0.0;  // Δ=0 yields F̃=0; only positive improvements win
+  for (Duration delta : candidates) {
+    const double value = EstimateImprovement(inputs, delta, config_.loss_weight);
+    if (value > best_value) {
+      best_value = value;
+      best_delta = delta;
+    }
+  }
+  if (best_delta == Duration::Zero()) return {};  // speculation not worth it
+
+  SpeculationParams params;
+  params.abort_time = best_delta;
+  const double m = static_cast<double>(inputs.num_workers);
+  // Algorithm 1 line 7: ABORT_RATE <- Δ(m-1)/(T·m).
+  params.abort_rate = best_delta / mean_span * (m - 1.0) / m;
+  if (config_.per_worker_rate) {
+    params.per_worker_rate.resize(inputs.num_workers);
+    for (WorkerId i = 0; i < inputs.num_workers; ++i) {
+      // Γ_i = l̃_i(Δ*)/m (Sec. IV-B).
+      params.per_worker_rate[i] =
+          best_delta / inputs.iteration_span[i] * (m - 1.0) / m;
+    }
+  }
+  return params;
+}
+
+}  // namespace specsync

@@ -1,0 +1,68 @@
+// SpecSync-Adaptive hyperparameter tuning (paper Sec. IV-B, Algorithm 1).
+//
+// At each epoch boundary the tuner replays the finished epoch's push history:
+//  - gain estimate  ũ_i(Δ) = pushes by others in (last_pull_i, last_pull_i+Δ]
+//    (Eq. 5: "refer back to the previous epoch"),
+//  - loss estimate  l̃_i(Δ) = (m-1)·Δ/T_i, assuming uniform pull arrivals
+//    (Eq. 6),
+//  - objective      F̃(Δ)  = Σ_i [ũ_i(Δ) − l̃_i(Δ)] (Eq. 7).
+// ũ_i is a step function of Δ and l̃_i is linear, so F̃ is maximized where a
+// speculation window right-aligns with some push: it suffices to enumerate the
+// O(m²) pairwise push-time differences as candidate Δ and take the best
+// (Algorithm 1, overall O(m³)).
+//
+// ABORT_RATE is then set so a restart is triggered only when the observed
+// gain covers the estimated loss: Γ = Δ*(m−1)/(T·m) with T the mean iteration
+// span (Algorithm 1 line 7), or per-worker Γ_i = l̃_i(Δ*)/m when
+// per_worker_rate is enabled.
+#pragma once
+
+#include "core/speculation.h"
+
+namespace specsync {
+
+struct AdaptiveTunerConfig {
+  // Upper bound on candidate Δ (guards against pathological epochs where a
+  // huge pairwise difference would stall workers); expressed as a multiple of
+  // the mean iteration span. The paper's cherry-pick search uses half the
+  // batch time as its upper bound — we default to a full span for headroom.
+  double max_delta_spans = 1.0;
+  // Emit per-worker thresholds Γ_i instead of the pooled Algorithm-1 rate.
+  bool per_worker_rate = false;
+  // Cap on candidate Δ values actually evaluated (keeps retuning cheap when
+  // an epoch saw an unusually large number of pushes). 0 = unlimited.
+  std::size_t max_candidates = 4096;
+  // Weight on the freshness-loss term of Eq. 7. 1.0 is the paper's objective.
+  // Under uniform arrivals gain and loss cancel to first order, so the
+  // argmax is noise-driven and lands on tiny Δ; a weight < 1 biases the
+  // tuner toward windows wide enough to catch real bursts (see the
+  // bench_ablation_tuner study).
+  double loss_weight = 1.0;
+};
+
+class AdaptiveTuner final : public SpeculationPolicy {
+ public:
+  explicit AdaptiveTuner(AdaptiveTunerConfig config = {});
+
+  std::string name() const override { return "adaptive"; }
+  SpeculationParams OnEpochEnd(const TuningInputs& inputs) override;
+
+  // Eq. 7 for a specific Δ — exposed for tests and the ablation bench.
+  // `loss_weight` scales the l̃ term (1.0 = the paper's objective).
+  static double EstimateImprovement(const TuningInputs& inputs, Duration delta,
+                                    double loss_weight = 1.0);
+
+  // The candidate set Algorithm 1 enumerates (positive pairwise differences,
+  // deduplicated, capped at max_delta). Exposed for tests/ablation.
+  static std::vector<Duration> CandidateDeltas(const TuningInputs& inputs,
+                                               Duration max_delta,
+                                               std::size_t max_candidates);
+
+ private:
+  AdaptiveTunerConfig config_;
+};
+
+// Mean of the per-worker iteration spans.
+Duration MeanSpan(const TuningInputs& inputs);
+
+}  // namespace specsync

@@ -1,0 +1,19 @@
+// Naive waiting (paper Sec. III-B).
+//
+// The strawman SpecSync improves upon: every pull request is simply deferred
+// by a fixed delay so the worker's snapshot includes pushes made during the
+// wait. Beneficial for small delays, harmful past the sweet spot (Fig. 5) —
+// which is exactly what motivates speculation. Modeled as a worker-side knob:
+// the worker sleeps `delay` between finishing an iteration and pulling.
+#pragma once
+
+#include "common/sim_time.h"
+
+namespace specsync {
+
+struct NaiveWaitingConfig {
+  Duration delay = Duration::Zero();
+  bool enabled() const { return delay > Duration::Zero(); }
+};
+
+}  // namespace specsync

@@ -1,0 +1,109 @@
+#include "core/push_history.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace specsync {
+
+PushHistory::PushHistory(std::size_t num_workers)
+    : num_workers_(num_workers), pulls_(num_workers) {
+  SPECSYNC_CHECK_GT(num_workers, 0u);
+}
+
+void PushHistory::RecordPush(WorkerId worker, IterationId iteration,
+                             SimTime time) {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  SPECSYNC_CHECK(pushes_.empty() || pushes_.back().time <= time)
+      << "pushes must be recorded in time order";
+  pushes_.push_back(PushRecord{time, worker, iteration});
+}
+
+void PushHistory::RecordPull(WorkerId worker, SimTime time) {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  SPECSYNC_CHECK(pulls_[worker].empty() || pulls_[worker].back() <= time)
+      << "pulls must be recorded in time order";
+  pulls_[worker].push_back(time);
+}
+
+namespace {
+
+// Iterator to the first push with time > t.
+auto FirstAfter(const std::vector<PushRecord>& pushes, SimTime t) {
+  return std::upper_bound(
+      pushes.begin(), pushes.end(), t,
+      [](SimTime time, const PushRecord& rec) { return time < rec.time; });
+}
+
+}  // namespace
+
+std::size_t PushHistory::CountPushesInWindow(SimTime begin, SimTime end,
+                                             WorkerId exclude) const {
+  std::size_t count = 0;
+  for (auto it = FirstAfter(pushes_, begin); it != pushes_.end(); ++it) {
+    if (it->time > end) break;
+    if (it->worker != exclude) ++count;
+  }
+  return count;
+}
+
+std::vector<PushRecord> PushHistory::PushesInWindow(SimTime begin,
+                                                    SimTime end) const {
+  std::vector<PushRecord> out;
+  for (auto it = FirstAfter(pushes_, begin); it != pushes_.end(); ++it) {
+    if (it->time > end) break;
+    out.push_back(*it);
+  }
+  return out;
+}
+
+std::optional<SimTime> PushHistory::LastPullBefore(WorkerId worker,
+                                                   SimTime time) const {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  const auto& pulls = pulls_[worker];
+  auto it = std::upper_bound(pulls.begin(), pulls.end(), time);
+  if (it == pulls.begin()) return std::nullopt;
+  return *std::prev(it);
+}
+
+std::optional<SimTime> PushHistory::LastPull(WorkerId worker) const {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  if (pulls_[worker].empty()) return std::nullopt;
+  return pulls_[worker].back();
+}
+
+std::optional<Duration> PushHistory::MeanIterationSpan(WorkerId worker,
+                                                       SimTime begin,
+                                                       SimTime end) const {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  SimTime prev = SimTime::Infinite();
+  bool have_prev = false;
+  Duration total = Duration::Zero();
+  std::size_t gaps = 0;
+  for (const PushRecord& rec : pushes_) {
+    if (rec.worker != worker) continue;
+    if (rec.time <= begin || rec.time > end) continue;
+    if (have_prev) {
+      total += rec.time - prev;
+      ++gaps;
+    }
+    prev = rec.time;
+    have_prev = true;
+  }
+  if (gaps == 0) return std::nullopt;
+  return total / static_cast<double>(gaps);
+}
+
+void PushHistory::Trim(SimTime now, Duration horizon) {
+  const SimTime cutoff = now - horizon;
+  auto first_kept = std::partition_point(
+      pushes_.begin(), pushes_.end(),
+      [cutoff](const PushRecord& rec) { return rec.time < cutoff; });
+  pushes_.erase(pushes_.begin(), first_kept);
+  for (auto& pulls : pulls_) {
+    auto kept = std::lower_bound(pulls.begin(), pulls.end(), cutoff);
+    pulls.erase(pulls.begin(), kept);
+  }
+}
+
+}  // namespace specsync

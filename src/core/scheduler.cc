@@ -1,0 +1,136 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace specsync {
+
+SpecSyncScheduler::SpecSyncScheduler(SchedulerConfig config,
+                                     std::unique_ptr<SpeculationPolicy> policy)
+    : config_(std::move(config)),
+      policy_(std::move(policy)),
+      params_(config_.initial_params),
+      history_(config_.num_workers),
+      pushes_this_epoch_(config_.num_workers, 0),
+      spans_(config_.num_workers, config_.default_span),
+      last_push_time_(config_.num_workers, SimTime::Zero()),
+      has_pushed_(config_.num_workers, false),
+      pending_(config_.num_workers) {
+  SPECSYNC_CHECK_GT(config_.num_workers, 0u);
+  SPECSYNC_CHECK(policy_ != nullptr);
+  SPECSYNC_CHECK(config_.span_ewma_alpha > 0.0 &&
+                 config_.span_ewma_alpha <= 1.0);
+  SPECSYNC_CHECK_GT(config_.default_span.seconds(), 0.0);
+}
+
+std::optional<SpecSyncScheduler::CheckRequest> SpecSyncScheduler::HandleNotify(
+    WorkerId worker, IterationId iteration, SimTime now) {
+  SPECSYNC_CHECK_LT(worker, config_.num_workers);
+  ++stats_.notifies_received;
+  history_.RecordPush(worker, iteration, now);
+
+  // Update the iteration-span estimate from the gap between this worker's
+  // consecutive pushes.
+  if (has_pushed_[worker]) {
+    const Duration gap = now - last_push_time_[worker];
+    if (gap > Duration::Zero()) {
+      const double alpha = config_.span_ewma_alpha;
+      spans_[worker] = spans_[worker] * (1.0 - alpha) + gap * alpha;
+    }
+  }
+  has_pushed_[worker] = true;
+  last_push_time_[worker] = now;
+  ++pushes_this_epoch_[worker];
+
+  MaybeFinishEpoch(now);
+
+  if (!params_.enabled()) {
+    pending_[worker].active = false;
+    return std::nullopt;
+  }
+  // Kick off the speculation window for this worker's *next* iteration
+  // (which it starts immediately after this push, per ASP).
+  PendingCheck& check = pending_[worker];
+  check.token = next_token_++;
+  check.window_begin = now;
+  check.active = true;
+  return CheckRequest{check.token, params_.abort_time};
+}
+
+void SpecSyncScheduler::HandlePull(WorkerId worker, SimTime now) {
+  SPECSYNC_CHECK_LT(worker, config_.num_workers);
+  history_.RecordPull(worker, now);
+}
+
+bool SpecSyncScheduler::HandleCheckTimer(WorkerId worker, std::uint64_t token,
+                                         SimTime now) {
+  SPECSYNC_CHECK_LT(worker, config_.num_workers);
+  PendingCheck& check = pending_[worker];
+  if (!check.active || check.token != token) {
+    // The worker has since pushed again (window superseded) or speculation
+    // was disabled — "too late" (Sec. IV-A).
+    ++stats_.stale_checks_skipped;
+    return false;
+  }
+  check.active = false;
+  ++stats_.checks_performed;
+
+  // Count pushes from others within the speculation window (Algorithm 2,
+  // CheckResync). `now` is window_begin + ABORT_TIME under exact timers; we
+  // count up to `now` so drivers with jittery timers still see a full window.
+  const std::size_t count =
+      history_.CountPushesInWindow(check.window_begin, now, worker);
+  const double threshold =
+      static_cast<double>(config_.num_workers) * params_.RateFor(worker);
+  if (static_cast<double>(count) >= threshold) {
+    ++stats_.resyncs_issued;
+    return true;
+  }
+  return false;
+}
+
+void SpecSyncScheduler::MaybeFinishEpoch(SimTime now) {
+  const bool all_pushed =
+      std::all_of(pushes_this_epoch_.begin(), pushes_this_epoch_.end(),
+                  [](std::uint64_t c) { return c > 0; });
+  if (!all_pushed) return;
+
+  TuningInputs inputs = BuildTuningInputs(now);
+  params_ = policy_->OnEpochEnd(inputs);
+  ++stats_.retunes;
+  SPECSYNC_LOG(kDebug) << "epoch " << epoch_ << " finished at " << now
+                       << "; retuned abort_time=" << params_.abort_time
+                       << " abort_rate=" << params_.abort_rate;
+
+  ++epoch_;
+  epoch_begin_ = now;
+  std::fill(pushes_this_epoch_.begin(), pushes_this_epoch_.end(), 0u);
+
+  // Bound ledger growth: keep a generous multiple of the slowest worker.
+  const Duration max_span =
+      *std::max_element(spans_.begin(), spans_.end());
+  history_.Trim(now, max_span * config_.history_horizon_spans);
+}
+
+TuningInputs SpecSyncScheduler::BuildTuningInputs(SimTime epoch_end) const {
+  TuningInputs inputs;
+  inputs.num_workers = config_.num_workers;
+  inputs.finished_epoch = epoch_;
+  inputs.epoch_begin = epoch_begin_;
+  inputs.epoch_end = epoch_end;
+  for (const PushRecord& rec :
+       history_.PushesInWindow(epoch_begin_, epoch_end)) {
+    inputs.pushes.emplace_back(rec.time, rec.worker);
+  }
+  inputs.last_pull.resize(config_.num_workers);
+  for (WorkerId w = 0; w < config_.num_workers; ++w) {
+    inputs.last_pull[w] = history_.LastPullBefore(w, epoch_end);
+  }
+  inputs.iteration_span = spans_;
+  return inputs;
+}
+
+}  // namespace specsync

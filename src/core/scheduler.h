@@ -1,0 +1,106 @@
+// The centralized SpecSync scheduler (paper Sec. V, Algorithm 2).
+//
+// Engine-agnostic: the scheduler holds no timers and sends no messages. The
+// driver (discrete-event simulator actor or threaded runtime node) feeds it
+// notify/pull events with timestamps and asks it two questions:
+//   HandleNotify  -> "schedule a speculation check this far in the future"
+//   HandleCheckTimer -> "should this worker re-synchronize now?"
+// so the identical protocol logic runs under virtual and real time.
+//
+// The scheduler also owns epoch bookkeeping: an epoch ends once every worker
+// has pushed at least once since it began (paper Sec. II-B), at which point
+// the SpeculationPolicy retunes ABORT_TIME / ABORT_RATE from the finished
+// epoch's push history.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/push_history.h"
+#include "core/speculation.h"
+
+namespace specsync {
+
+struct SchedulerConfig {
+  std::size_t num_workers = 0;
+  // Parameters in force before the first epoch finishes (no history yet).
+  SpeculationParams initial_params;
+  // EWMA smoothing for per-worker iteration-span estimates across epochs
+  // (1.0 = use only the latest epoch's measurement).
+  double span_ewma_alpha = 0.5;
+  // Fallback iteration span until a worker has two pushes.
+  Duration default_span = Duration::Seconds(1.0);
+  // History retention multiple (in units of the longest span estimate).
+  double history_horizon_spans = 50.0;
+};
+
+struct SchedulerStats {
+  std::uint64_t notifies_received = 0;
+  std::uint64_t checks_performed = 0;
+  std::uint64_t resyncs_issued = 0;
+  std::uint64_t stale_checks_skipped = 0;
+  std::uint64_t retunes = 0;
+};
+
+class SpecSyncScheduler {
+ public:
+  SpecSyncScheduler(SchedulerConfig config,
+                    std::unique_ptr<SpeculationPolicy> policy);
+
+  // A speculation check the driver must schedule `delay` after `now`.
+  struct CheckRequest {
+    std::uint64_t token = 0;
+    Duration delay = Duration::Zero();
+  };
+
+  // Worker finished an iteration and pushed (Algorithm 2 HandleNotification).
+  // Returns a check request when speculation is currently enabled.
+  std::optional<CheckRequest> HandleNotify(WorkerId worker,
+                                           IterationId iteration, SimTime now);
+
+  // Worker pulled fresh parameters at `now` (start of an iteration). The
+  // tuner replays these pull times when estimating ũ_i(Δ).
+  void HandlePull(WorkerId worker, SimTime now);
+
+  // A previously requested check timer fired (Algorithm 2 CheckResync).
+  // Returns true when the worker should abort and re-synchronize.
+  bool HandleCheckTimer(WorkerId worker, std::uint64_t token, SimTime now);
+
+  const SpeculationParams& params() const { return params_; }
+  EpochId epoch() const { return epoch_; }
+  const SchedulerStats& stats() const { return stats_; }
+  const PushHistory& history() const { return history_; }
+  std::size_t num_workers() const { return config_.num_workers; }
+  // Per-worker smoothed iteration spans (tests / diagnostics).
+  const std::vector<Duration>& iteration_spans() const { return spans_; }
+
+ private:
+  void MaybeFinishEpoch(SimTime now);
+  TuningInputs BuildTuningInputs(SimTime epoch_end) const;
+
+  SchedulerConfig config_;
+  std::unique_ptr<SpeculationPolicy> policy_;
+  SpeculationParams params_;
+  PushHistory history_;
+  SchedulerStats stats_;
+
+  EpochId epoch_ = 0;
+  SimTime epoch_begin_ = SimTime::Zero();
+  std::vector<std::uint64_t> pushes_this_epoch_;
+  std::vector<Duration> spans_;          // smoothed T_i
+  std::vector<SimTime> last_push_time_;  // per worker
+  std::vector<bool> has_pushed_;         // per worker, ever
+
+  // Speculation-window state per worker.
+  struct PendingCheck {
+    std::uint64_t token = 0;
+    SimTime window_begin;
+    bool active = false;
+  };
+  std::vector<PendingCheck> pending_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace specsync

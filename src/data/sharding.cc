@@ -1,0 +1,34 @@
+#include "data/sharding.h"
+
+#include "common/check.h"
+
+namespace specsync {
+
+std::vector<std::vector<std::size_t>> ShardIndices(std::size_t n,
+                                                   std::size_t num_shards) {
+  SPECSYNC_CHECK_GT(num_shards, 0u);
+  std::vector<std::vector<std::size_t>> shards(num_shards);
+  for (auto& shard : shards) shard.reserve(n / num_shards + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards[i % num_shards].push_back(i);
+  }
+  return shards;
+}
+
+BatchSampler::BatchSampler(std::vector<std::size_t> shard,
+                           std::size_t batch_size, Rng rng)
+    : shard_(std::move(shard)), batch_size_(batch_size), rng_(std::move(rng)) {
+  SPECSYNC_CHECK(!shard_.empty()) << "worker shard must not be empty";
+  SPECSYNC_CHECK_GT(batch_size_, 0u);
+}
+
+std::vector<std::size_t> BatchSampler::NextBatch() {
+  std::vector<std::size_t> batch;
+  batch.reserve(batch_size_);
+  for (std::size_t i = 0; i < batch_size_; ++i) {
+    batch.push_back(shard_[rng_.Index(shard_.size())]);
+  }
+  return batch;
+}
+
+}  // namespace specsync

@@ -1,0 +1,74 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "tensor/vector.h"
+
+namespace specsync {
+
+ClassificationDataset GenerateClassification(const ClassificationSpec& spec,
+                                             Rng& rng) {
+  SPECSYNC_CHECK_GT(spec.num_classes, 1u);
+  SPECSYNC_CHECK_GT(spec.feature_dim, 0u);
+  ClassificationDataset dataset(spec.feature_dim, spec.num_classes);
+
+  // Features are normalized so E||x||^2 ~= 1 (the role image preprocessing
+  // plays): centroid radius and per-dimension noise both scale with
+  // 1/sqrt(d), which keeps the Bayes error independent of feature_dim and the
+  // loss curvature O(1).
+  const double dim_scale =
+      1.0 / std::sqrt(static_cast<double>(spec.feature_dim));
+
+  // Class centroids: random directions scaled to `class_separation`.
+  std::vector<std::vector<double>> centroids(spec.num_classes);
+  for (auto& centroid : centroids) {
+    centroid.resize(spec.feature_dim);
+    for (double& v : centroid) v = rng.Normal(0.0, 1.0);
+    const double norm = Norm2(centroid);
+    if (norm > 0.0) {
+      Scale(spec.class_separation * dim_scale / norm, centroid);
+    }
+  }
+
+  const double noise = spec.noise_stddev * dim_scale;
+  for (std::size_t i = 0; i < spec.num_examples; ++i) {
+    Example example;
+    example.label = static_cast<std::uint32_t>(i % spec.num_classes);
+    example.features = centroids[example.label];
+    for (double& v : example.features) {
+      v += rng.Normal(0.0, noise);
+    }
+    dataset.Add(std::move(example));
+  }
+  return dataset;
+}
+
+RatingsDataset GenerateRatings(const RatingsSpec& spec, Rng& rng) {
+  SPECSYNC_CHECK_GT(spec.true_rank, 0u);
+  RatingsDataset dataset(spec.num_users, spec.num_items);
+
+  // Entry scale rank^(-1/4) makes ratings ~ N(0, 1): per-entry variance
+  // 1/sqrt(rank), product variance 1/rank, summed over rank terms -> 1.
+  const double factor_scale =
+      std::pow(static_cast<double>(spec.true_rank), -0.25);
+  std::vector<double> user_factors(spec.num_users * spec.true_rank);
+  std::vector<double> item_factors(spec.num_items * spec.true_rank);
+  for (double& v : user_factors) v = rng.Normal(0.0, factor_scale);
+  for (double& v : item_factors) v = rng.Normal(0.0, factor_scale);
+
+  for (std::size_t i = 0; i < spec.num_ratings; ++i) {
+    Rating rating;
+    rating.user = static_cast<std::uint32_t>(rng.Index(spec.num_users));
+    rating.item = static_cast<std::uint32_t>(rng.Index(spec.num_items));
+    double dot = 0.0;
+    for (std::size_t k = 0; k < spec.true_rank; ++k) {
+      dot += user_factors[rating.user * spec.true_rank + k] *
+             item_factors[rating.item * spec.true_rank + k];
+    }
+    rating.value = dot + rng.Normal(0.0, spec.noise_stddev);
+    dataset.Add(rating);
+  }
+  return dataset;
+}
+
+}  // namespace specsync

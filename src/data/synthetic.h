@@ -1,0 +1,44 @@
+// Synthetic dataset generators standing in for the paper's datasets.
+//
+// Substitution rationale (DESIGN.md Sec. 2): convergence-vs-staleness dynamics
+// depend on the optimization landscape, not on the pixels. A Gaussian-mixture
+// multiclass problem trained by an MLP exhibits the same qualitative SGD
+// behaviour (non-convex, noisy gradients, sensitivity to stale parameters) as
+// image classification; a low-rank-plus-noise rating matrix is the textbook
+// generative model behind MovieLens-style matrix factorization.
+#pragma once
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace specsync {
+
+struct ClassificationSpec {
+  std::size_t num_examples = 10000;
+  std::size_t feature_dim = 64;
+  std::size_t num_classes = 10;
+  // Distance scale between class centroids; smaller = harder problem.
+  double class_separation = 2.0;
+  // Within-class noise standard deviation.
+  double noise_stddev = 1.0;
+};
+
+// Draws class centroids uniformly on a sphere of radius `class_separation`
+// and samples isotropic Gaussian examples around them.
+ClassificationDataset GenerateClassification(const ClassificationSpec& spec,
+                                             Rng& rng);
+
+struct RatingsSpec {
+  std::size_t num_users = 1000;
+  std::size_t num_items = 500;
+  std::size_t num_ratings = 100000;
+  // Rank of the ground-truth latent factors.
+  std::size_t true_rank = 8;
+  double noise_stddev = 0.1;
+};
+
+// Samples ground-truth user/item factors ~ N(0, 1/sqrt(rank)) and observes
+// num_ratings uniformly random (user, item) cells with Gaussian noise.
+RatingsDataset GenerateRatings(const RatingsSpec& spec, Rng& rng);
+
+}  // namespace specsync

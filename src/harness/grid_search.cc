@@ -1,0 +1,63 @@
+#include "harness/grid_search.h"
+
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace specsync {
+
+GridSearchResult CherrypickSearch(const Workload& workload,
+                                  const ClusterSpec& cluster,
+                                  const GridSearchConfig& config) {
+  SPECSYNC_CHECK(!config.time_fractions.empty());
+  SPECSYNC_CHECK(!config.rates.empty());
+
+  GridSearchResult result;
+  double best_time = std::numeric_limits<double>::infinity();
+  double best_loss = std::numeric_limits<double>::infinity();
+  bool best_converged = false;
+
+  for (double fraction : config.time_fractions) {
+    for (double rate : config.rates) {
+      SpeculationParams params;
+      params.abort_time = workload.iteration_time * fraction;
+      params.abort_rate = rate;
+
+      ExperimentConfig trial;
+      trial.cluster = cluster;
+      trial.scheme = SchemeSpec::Cherrypick(params);
+      trial.max_time = config.trial_max_time;
+      trial.max_pushes = config.trial_max_pushes;
+      trial.seed = config.seed;
+      ExperimentResult run = RunExperiment(workload, trial);
+
+      GridTrial logged;
+      logged.params = params;
+      logged.time_to_target = run.time_to_target;
+      logged.final_loss = run.final_loss;
+      result.trials.push_back(logged);
+      result.total_simulated_time += run.sim.end_time - SimTime::Zero();
+
+      const bool converged = run.time_to_target.has_value();
+      const double t = converged ? run.time_to_target->seconds()
+                                 : std::numeric_limits<double>::infinity();
+      const bool better =
+          (converged && (!best_converged || t < best_time)) ||
+          (!converged && !best_converged && run.final_loss < best_loss);
+      if (better) {
+        best_time = t;
+        best_loss = run.final_loss;
+        best_converged = converged;
+        result.best = params;
+      }
+    }
+  }
+  SPECSYNC_LOG(kInfo) << "cherrypick(" << workload.name
+                      << "): abort_time=" << result.best.abort_time
+                      << " abort_rate=" << result.best.abort_rate
+                      << " over " << result.trials.size() << " trials";
+  return result;
+}
+
+}  // namespace specsync

@@ -1,0 +1,57 @@
+// Workload registry — the paper's Table I, scaled to laptop size.
+//
+// Each workload bundles a model over synthetic data, a learning-rate
+// schedule, the simulated per-iteration compute time (Table I's measured
+// iteration spans: MF 3 s, CIFAR-10 14 s, ImageNet 70 s), and a convergence
+// loss target. The scale factor shrinks datasets/models uniformly so the
+// relative proportions between workloads are preserved.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/sim_time.h"
+#include "models/model.h"
+#include "optim/lr_schedule.h"
+
+namespace specsync {
+
+struct Workload {
+  std::string name;
+  std::shared_ptr<const Model> model;
+  std::shared_ptr<const LearningRateSchedule> schedule;
+  std::size_t batch_size = 32;
+  // Mean compute span of one iteration (Table I's "iteration time").
+  Duration iteration_time = Duration::Seconds(1.0);
+  // Convergence target for runtime-to-convergence experiments.
+  double loss_target = 0.0;
+  // Server-side elementwise gradient clip (0 = off).
+  double sgd_clip = 0.0;
+  std::size_t eval_subsample = 2000;
+  Duration eval_interval = Duration::Seconds(5.0);
+
+  // Paper metadata (Table I rows, for bench_table1_workloads).
+  std::string paper_num_params;
+  std::string paper_dataset;
+  std::string paper_dataset_size;
+  std::string paper_iteration_time;
+};
+
+// Matrix factorization on a synthetic MovieLens-like ratings matrix.
+Workload MakeMfWorkload(std::uint64_t seed, double scale = 1.0);
+
+// MLP on a 10-class Gaussian mixture — the CIFAR-10 / ResNet-110 proxy.
+Workload MakeCifar10Workload(std::uint64_t seed, double scale = 1.0);
+
+// Larger MLP on a 50-class Gaussian mixture — the ImageNet / ResNet-18 proxy.
+Workload MakeImageNetWorkload(std::uint64_t seed, double scale = 1.0);
+
+// Convex softmax-regression workload on the CIFAR-proxy data: not part of
+// Table I, but invaluable for calibration/tests — its optimum is unique, so
+// scheme differences are pure synchronization effects, not landscape noise.
+Workload MakeConvexWorkload(std::uint64_t seed, double scale = 1.0);
+
+// All three Table I workloads, in order.
+std::vector<Workload> MakeAllWorkloads(std::uint64_t seed, double scale = 1.0);
+
+}  // namespace specsync

@@ -1,0 +1,45 @@
+// Ordinary least-squares linear regression.
+//
+// Convex with a unique optimum — used as ground truth in tests: every
+// synchronization scheme, however stale, must converge to the same loss, and
+// deviations isolate bugs in the PS/scheduler rather than in the model.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "models/model.h"
+
+namespace specsync {
+
+// Reuses ClassificationDataset storage with real-valued "labels" packed into
+// targets supplied separately.
+class LinearRegressionModel final : public Model {
+ public:
+  // targets[i] is the regression target of data->example(i).
+  LinearRegressionModel(std::shared_ptr<const ClassificationDataset> data,
+                        std::vector<double> targets,
+                        double regularization = 0.0);
+
+  std::string name() const override { return "linear_regression"; }
+  std::size_t param_dim() const override {
+    return data_->feature_dim() + 1;  // weights + bias
+  }
+  std::size_t dataset_size() const override { return data_->size(); }
+  void InitParams(std::span<double> params, Rng& rng) const override;
+  double LossAndGradient(std::span<const double> params,
+                         std::span<const std::size_t> batch,
+                         Gradient& grad) const override;
+  double Loss(std::span<const double> params,
+              std::span<const std::size_t> batch) const override;
+
+ private:
+  double PredictOne(std::span<const double> params,
+                    const Example& example) const;
+
+  std::shared_ptr<const ClassificationDataset> data_;
+  std::vector<double> targets_;
+  double regularization_;
+};
+
+}  // namespace specsync

@@ -1,0 +1,99 @@
+#include "models/matrix_factorization.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace specsync {
+
+MatrixFactorizationModel::MatrixFactorizationModel(
+    std::shared_ptr<const RatingsDataset> data,
+    MatrixFactorizationConfig config)
+    : data_(std::move(data)), config_(config) {
+  SPECSYNC_CHECK(data_ != nullptr);
+  SPECSYNC_CHECK_GT(config_.rank, 0u);
+  SPECSYNC_CHECK_GE(config_.regularization, 0.0);
+}
+
+std::size_t MatrixFactorizationModel::param_dim() const {
+  return (data_->num_users() + data_->num_items()) * config_.rank;
+}
+
+std::size_t MatrixFactorizationModel::user_offset(std::size_t user) const {
+  SPECSYNC_CHECK_LT(user, data_->num_users());
+  return user * config_.rank;
+}
+
+std::size_t MatrixFactorizationModel::item_offset(std::size_t item) const {
+  SPECSYNC_CHECK_LT(item, data_->num_items());
+  return (data_->num_users() + item) * config_.rank;
+}
+
+void MatrixFactorizationModel::InitParams(std::span<double> params,
+                                          Rng& rng) const {
+  SPECSYNC_CHECK_EQ(params.size(), param_dim());
+  for (double& v : params) {
+    v = rng.Uniform(-config_.init_scale, config_.init_scale);
+  }
+}
+
+double MatrixFactorizationModel::LossAndGradient(
+    std::span<const double> params, std::span<const std::size_t> batch,
+    Gradient& grad) const {
+  SPECSYNC_CHECK_EQ(params.size(), param_dim());
+  SPECSYNC_CHECK(!batch.empty());
+  grad = Gradient::Sparse();
+  grad.sparse().Reserve(batch.size() * 2 * config_.rank);
+
+  const double inv_batch = 1.0 / static_cast<double>(batch.size());
+  const double grad_scale = config_.sum_gradient ? 1.0 : inv_batch;
+  const std::size_t r = config_.rank;
+  double loss = 0.0;
+  for (std::size_t idx : batch) {
+    const Rating& rating = data_->rating(idx);
+    const std::size_t uo = user_offset(rating.user);
+    const std::size_t io = item_offset(rating.item);
+    double dot = 0.0;
+    for (std::size_t k = 0; k < r; ++k) dot += params[uo + k] * params[io + k];
+    const double err = dot - rating.value;
+    double reg_term = 0.0;
+    for (std::size_t k = 0; k < r; ++k) {
+      const double uk = params[uo + k];
+      const double vk = params[io + k];
+      reg_term += uk * uk + vk * vk;
+      // d/dU_uk: err * V_ik + reg * U_uk ; d/dV_ik: err * U_uk + reg * V_ik.
+      grad.sparse().Add(uo + k,
+                        grad_scale * (err * vk + config_.regularization * uk));
+      grad.sparse().Add(io + k,
+                        grad_scale * (err * uk + config_.regularization * vk));
+    }
+    loss += 0.5 * err * err + 0.5 * config_.regularization * reg_term;
+  }
+  grad.sparse().Coalesce();
+  return loss * inv_batch;
+}
+
+double MatrixFactorizationModel::Loss(std::span<const double> params,
+                                      std::span<const std::size_t> batch) const {
+  SPECSYNC_CHECK_EQ(params.size(), param_dim());
+  SPECSYNC_CHECK(!batch.empty());
+  const std::size_t r = config_.rank;
+  double loss = 0.0;
+  for (std::size_t idx : batch) {
+    const Rating& rating = data_->rating(idx);
+    const std::size_t uo = user_offset(rating.user);
+    const std::size_t io = item_offset(rating.item);
+    double dot = 0.0;
+    double reg_term = 0.0;
+    for (std::size_t k = 0; k < r; ++k) {
+      dot += params[uo + k] * params[io + k];
+      reg_term += params[uo + k] * params[uo + k] +
+                  params[io + k] * params[io + k];
+    }
+    const double err = dot - rating.value;
+    loss += 0.5 * err * err + 0.5 * config_.regularization * reg_term;
+  }
+  return loss / static_cast<double>(batch.size());
+}
+
+}  // namespace specsync

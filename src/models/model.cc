@@ -1,0 +1,44 @@
+#include "models/model.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace specsync {
+
+void Gradient::AddTo(double alpha, std::span<double> dest) const {
+  if (is_sparse_) {
+    sparse_.ScatterAdd(alpha, dest);
+  } else {
+    Axpy(alpha, dense_, dest);
+  }
+}
+
+void Gradient::Clear() {
+  if (is_sparse_) {
+    sparse_.Clear();
+  } else {
+    Zero(dense_);
+  }
+}
+
+double Model::FullLoss(std::span<const double> params,
+                       std::size_t max_examples) const {
+  const std::size_t n = dataset_size();
+  SPECSYNC_CHECK_GT(n, 0u);
+  std::size_t use = (max_examples == 0) ? n : std::min(n, max_examples);
+  std::vector<std::size_t> indices(use);
+  if (use == n) {
+    std::iota(indices.begin(), indices.end(), 0u);
+  } else {
+    // Deterministic strided subsample so successive evaluations are
+    // comparable across time.
+    const double stride = static_cast<double>(n) / static_cast<double>(use);
+    for (std::size_t i = 0; i < use; ++i) {
+      indices[i] = static_cast<std::size_t>(static_cast<double>(i) * stride);
+    }
+  }
+  return Loss(params, indices);
+}
+
+}  // namespace specsync

@@ -1,0 +1,48 @@
+// Multinomial logistic (softmax) regression.
+//
+// Parameters: [ W (num_classes x feature_dim) | b (num_classes) ] flattened.
+// Convex; used both as a fast workload and as ground truth in tests (its
+// optimum is unique, so every synchronization scheme must converge to the
+// same loss).
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.h"
+#include "models/model.h"
+
+namespace specsync {
+
+struct SoftmaxRegressionConfig {
+  double regularization = 1e-4;
+  double init_scale = 0.01;
+};
+
+class SoftmaxRegressionModel final : public Model {
+ public:
+  SoftmaxRegressionModel(std::shared_ptr<const ClassificationDataset> data,
+                         SoftmaxRegressionConfig config);
+
+  std::string name() const override { return "softmax_regression"; }
+  std::size_t param_dim() const override;
+  std::size_t dataset_size() const override { return data_->size(); }
+  void InitParams(std::span<double> params, Rng& rng) const override;
+  double LossAndGradient(std::span<const double> params,
+                         std::span<const std::size_t> batch,
+                         Gradient& grad) const override;
+  double Loss(std::span<const double> params,
+              std::span<const std::size_t> batch) const override;
+
+  // Classification accuracy over the full dataset.
+  double Accuracy(std::span<const double> params) const;
+
+ private:
+  // Computes class probabilities for one example into `probs`.
+  void Predict(std::span<const double> params, const Example& example,
+               std::span<double> probs) const;
+
+  std::shared_ptr<const ClassificationDataset> data_;
+  SoftmaxRegressionConfig config_;
+};
+
+}  // namespace specsync

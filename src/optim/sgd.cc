@@ -1,0 +1,41 @@
+#include "optim/sgd.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace specsync {
+
+SgdApplier::SgdApplier(std::shared_ptr<const LearningRateSchedule> schedule,
+                       SgdConfig config)
+    : schedule_(std::move(schedule)), config_(config) {
+  SPECSYNC_CHECK(schedule_ != nullptr);
+  SPECSYNC_CHECK_GE(config_.clip, 0.0);
+}
+
+void SgdApplier::Apply(const Gradient& grad, EpochId epoch,
+                       std::span<double> params) const {
+  const double eta = schedule_->Rate(epoch);
+  if (config_.clip == 0.0) {
+    grad.AddTo(-eta, params);
+    return;
+  }
+  // Clip elementwise without mutating the caller's gradient.
+  if (grad.is_sparse()) {
+    const auto indices = grad.sparse().indices();
+    const auto values = grad.sparse().values();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      SPECSYNC_CHECK_LT(indices[i], params.size());
+      const double v = std::clamp(values[i], -config_.clip, config_.clip);
+      params[indices[i]] -= eta * v;
+    }
+  } else {
+    const auto& g = grad.dense();
+    SPECSYNC_CHECK_EQ(g.size(), params.size());
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      params[i] -= eta * std::clamp(g[i], -config_.clip, config_.clip);
+    }
+  }
+}
+
+}  // namespace specsync

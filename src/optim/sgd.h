@@ -1,0 +1,40 @@
+// SGD update application.
+//
+// The parameter server applies pushed gradients with w <- w - eta * g
+// (paper Eq. (2)). The applier lives server-side: workers push raw gradients
+// and the server scales by the epoch's learning rate, exactly as MXNet's
+// KVStore updater does. Optional gradient clipping guards the non-convex
+// workloads against rare blow-ups under extreme staleness.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "models/model.h"
+#include "optim/lr_schedule.h"
+
+namespace specsync {
+
+struct SgdConfig {
+  // Elementwise clip bound applied to the gradient before the update;
+  // 0 disables clipping.
+  double clip = 0.0;
+};
+
+class SgdApplier {
+ public:
+  SgdApplier(std::shared_ptr<const LearningRateSchedule> schedule,
+             SgdConfig config = {});
+
+  // params -= Rate(epoch) * grad.
+  void Apply(const Gradient& grad, EpochId epoch,
+             std::span<double> params) const;
+
+  double Rate(EpochId epoch) const { return schedule_->Rate(epoch); }
+
+ private:
+  std::shared_ptr<const LearningRateSchedule> schedule_;
+  SgdConfig config_;
+};
+
+}  // namespace specsync

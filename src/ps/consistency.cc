@@ -1,0 +1,53 @@
+#include "ps/consistency.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace specsync {
+
+SspController::SspController(std::size_t num_workers, std::uint64_t staleness)
+    : ConsistencyController(num_workers),
+      staleness_(staleness),
+      completed_(num_workers, 0) {
+  SPECSYNC_CHECK_GT(num_workers, 0u);
+}
+
+std::string SspController::name() const {
+  return "SSP(s=" + std::to_string(staleness_) + ")";
+}
+
+std::uint64_t SspController::MinProgress() const {
+  return *std::min_element(completed_.begin(), completed_.end());
+}
+
+bool SspController::MayStart(WorkerId worker,
+                             IterationId next_iteration) const {
+  SPECSYNC_CHECK_LT(worker, completed_.size());
+  // Worker wants to *start* iteration `next_iteration` (0-based). Under a
+  // staleness bound s it may run at most s iterations ahead of the slowest
+  // worker: allowed iff next_iteration <= MinProgress() + s.
+  return next_iteration <= MinProgress() + staleness_;
+}
+
+void SspController::OnPush(WorkerId worker, IterationId iteration) {
+  SPECSYNC_CHECK_LT(worker, completed_.size());
+  // Iterations complete in order per worker.
+  SPECSYNC_CHECK_EQ(completed_[worker], iteration)
+      << "worker " << worker << " pushed iteration " << iteration
+      << " but has completed " << completed_[worker];
+  completed_[worker] = iteration + 1;
+}
+
+std::unique_ptr<ConsistencyController> MakeAsp(std::size_t num_workers) {
+  return std::make_unique<AspController>(num_workers);
+}
+std::unique_ptr<ConsistencyController> MakeBsp(std::size_t num_workers) {
+  return std::make_unique<BspController>(num_workers);
+}
+std::unique_ptr<ConsistencyController> MakeSsp(std::size_t num_workers,
+                                               std::uint64_t staleness) {
+  return std::make_unique<SspController>(num_workers, staleness);
+}
+
+}  // namespace specsync

@@ -1,0 +1,82 @@
+// Consistency controllers: ASP, BSP, SSP (paper Sec. II-C).
+//
+// A controller decides when a worker may *start* its next iteration, given
+// everyone's progress. SpecSync layers on top of any of these (the paper
+// implements it over ASP and notes it composes with SSP) — the controller
+// gates iteration starts while SpecSync decides mid-iteration restarts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace specsync {
+
+class ConsistencyController {
+ public:
+  virtual ~ConsistencyController() = default;
+
+  virtual std::string name() const = 0;
+
+  // May `worker` start its iteration number `next_iteration` (0-based) now?
+  virtual bool MayStart(WorkerId worker, IterationId next_iteration) const = 0;
+
+  // Records that `worker` finished (pushed) its iteration `iteration`.
+  virtual void OnPush(WorkerId worker, IterationId iteration) = 0;
+
+  std::size_t num_workers() const { return num_workers_; }
+
+ protected:
+  explicit ConsistencyController(std::size_t num_workers)
+      : num_workers_(num_workers) {}
+
+  std::size_t num_workers_;
+};
+
+// Asynchronous Parallel: a worker may always proceed.
+class AspController final : public ConsistencyController {
+ public:
+  explicit AspController(std::size_t num_workers)
+      : ConsistencyController(num_workers) {}
+  std::string name() const override { return "ASP"; }
+  bool MayStart(WorkerId, IterationId) const override { return true; }
+  void OnPush(WorkerId, IterationId) override {}
+};
+
+// Stale Synchronous Parallel with staleness bound s: worker may start
+// iteration t iff every worker has finished iteration t - s - ... i.e. the
+// slowest worker's completed count >= t - s.
+class SspController : public ConsistencyController {
+ public:
+  SspController(std::size_t num_workers, std::uint64_t staleness);
+  std::string name() const override;
+  bool MayStart(WorkerId worker, IterationId next_iteration) const override;
+  void OnPush(WorkerId worker, IterationId iteration) override;
+
+  std::uint64_t staleness() const { return staleness_; }
+  // Completed iteration count of the slowest worker.
+  std::uint64_t MinProgress() const;
+
+ private:
+  std::uint64_t staleness_;
+  std::vector<std::uint64_t> completed_;
+};
+
+// Bulk Synchronous Parallel == SSP with staleness 0: nobody starts iteration
+// t+1 until everyone pushed iteration t.
+class BspController final : public SspController {
+ public:
+  explicit BspController(std::size_t num_workers)
+      : SspController(num_workers, 0) {}
+  std::string name() const override { return "BSP"; }
+};
+
+std::unique_ptr<ConsistencyController> MakeAsp(std::size_t num_workers);
+std::unique_ptr<ConsistencyController> MakeBsp(std::size_t num_workers);
+std::unique_ptr<ConsistencyController> MakeSsp(std::size_t num_workers,
+                                               std::uint64_t staleness);
+
+}  // namespace specsync

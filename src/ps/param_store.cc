@@ -1,0 +1,85 @@
+#include "ps/param_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace specsync {
+
+ParameterServer::ParameterServer(std::size_t dim, std::size_t num_shards,
+                                 std::shared_ptr<const SgdApplier> applier)
+    : dim_(dim), applier_(std::move(applier)), params_(dim, 0.0) {
+  SPECSYNC_CHECK_GT(dim, 0u);
+  SPECSYNC_CHECK_GT(num_shards, 0u);
+  SPECSYNC_CHECK_LE(num_shards, dim);
+  SPECSYNC_CHECK(applier_ != nullptr);
+  const std::size_t base = dim / num_shards;
+  const std::size_t extra = dim % num_shards;
+  std::size_t offset = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ShardInfo info;
+    info.offset = offset;
+    info.length = base + (s < extra ? 1 : 0);
+    shards_.push_back(info);
+    offset += info.length;
+  }
+  SPECSYNC_CHECK_EQ(offset, dim);
+}
+
+void ParameterServer::Initialize(const Model& model, Rng& rng) {
+  SPECSYNC_CHECK_EQ(model.param_dim(), dim_);
+  std::scoped_lock lock(mutex_);
+  model.InitParams(params_, rng);
+}
+
+void ParameterServer::SetParams(DenseVector params) {
+  SPECSYNC_CHECK_EQ(params.size(), dim_);
+  std::scoped_lock lock(mutex_);
+  params_ = std::move(params);
+}
+
+PullResult ParameterServer::Pull() const {
+  std::scoped_lock lock(mutex_);
+  return PullResult{params_, version_};
+}
+
+std::size_t ParameterServer::ShardOf(std::size_t index) const {
+  SPECSYNC_CHECK_LT(index, dim_);
+  // Shards are near-equal; binary search over offsets.
+  auto it = std::upper_bound(
+      shards_.begin(), shards_.end(), index,
+      [](std::size_t idx, const ShardInfo& s) { return idx < s.offset; });
+  return static_cast<std::size_t>(std::distance(shards_.begin(), it)) - 1;
+}
+
+std::uint64_t ParameterServer::Push(const Gradient& grad, EpochId epoch) {
+  std::scoped_lock lock(mutex_);
+  applier_->Apply(grad, epoch, params_);
+  ++version_;
+  if (grad.is_sparse()) {
+    // Bump only the shards this sparse push touched.
+    std::vector<bool> touched(shards_.size(), false);
+    for (std::uint64_t index : grad.sparse().indices()) {
+      touched[ShardOf(static_cast<std::size_t>(index))] = true;
+    }
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (touched[s]) ++shards_[s].version;
+    }
+  } else {
+    for (auto& shard : shards_) ++shard.version;
+  }
+  return version_;
+}
+
+std::uint64_t ParameterServer::version() const {
+  std::scoped_lock lock(mutex_);
+  return version_;
+}
+
+ShardInfo ParameterServer::shard(std::size_t s) const {
+  SPECSYNC_CHECK_LT(s, shards_.size());
+  std::scoped_lock lock(mutex_);
+  return shards_[s];
+}
+
+}  // namespace specsync

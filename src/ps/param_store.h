@@ -1,0 +1,77 @@
+// Sharded, versioned parameter store — the server side of the PS architecture
+// (paper Fig. 1).
+//
+// The canonical model parameters live here as one flat vector partitioned
+// into contiguous shards (each shard standing for one server process). Workers
+// Pull() snapshots and Push() gradients; the store applies pushes through an
+// SgdApplier exactly like MXNet's KVStore server-side updater. Every push
+// bumps a global version — the freshness bookkeeping that SpecSync reasons
+// about. Thread-safe: the threaded runtime shares one store across nodes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "models/model.h"
+#include "optim/sgd.h"
+
+namespace specsync {
+
+struct PullResult {
+  DenseVector params;
+  // Number of pushes applied before this snapshot was taken.
+  std::uint64_t version = 0;
+};
+
+struct ShardInfo {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::uint64_t version = 0;  // pushes that touched this shard
+};
+
+class ParameterServer {
+ public:
+  // Splits `dim` parameters into `num_shards` near-equal contiguous shards.
+  ParameterServer(std::size_t dim, std::size_t num_shards,
+                  std::shared_ptr<const SgdApplier> applier);
+
+  // Writes the model's initialization into the store (version stays 0).
+  void Initialize(const Model& model, Rng& rng);
+  // Directly sets the parameters (tests, warm starts).
+  void SetParams(DenseVector params);
+
+  // Snapshot of the full parameter vector plus its version.
+  PullResult Pull() const;
+
+  // Applies one worker's gradient with the learning rate of `epoch`;
+  // returns the new global version. Sparse gradients touch only the shards
+  // their indices fall into.
+  std::uint64_t Push(const Gradient& grad, EpochId epoch);
+
+  std::uint64_t version() const;
+  std::size_t dim() const { return dim_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  ShardInfo shard(std::size_t s) const;
+
+  // Bytes a full pull moves over the wire (8 bytes per parameter).
+  std::size_t pull_bytes() const { return dim_ * sizeof(double); }
+
+  // Copy of current parameters for evaluation (same as Pull().params).
+  DenseVector Snapshot() const { return Pull().params; }
+
+ private:
+  std::size_t ShardOf(std::size_t index) const;
+
+  const std::size_t dim_;
+  std::shared_ptr<const SgdApplier> applier_;
+  mutable std::mutex mutex_;
+  DenseVector params_;
+  std::vector<ShardInfo> shards_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace specsync

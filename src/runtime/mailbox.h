@@ -1,0 +1,91 @@
+// Bounded-blocking mailbox for inter-thread message passing.
+//
+// Per the Core Guidelines' concurrency advice (CP.mess), runtime nodes never
+// share mutable state directly: workers, the scheduler, and the driver
+// exchange owned messages through mailboxes. Close() releases all blocked
+// receivers — the shutdown path needs no sentinel messages.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace specsync {
+
+template <typename T>
+class Mailbox {
+ public:
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  // Enqueues a message; returns false if the mailbox is closed.
+  bool Send(T message) {
+    {
+      std::scoped_lock lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    available_.notify_one();
+    return true;
+  }
+
+  // Blocks until a message arrives or the mailbox closes; nullopt on close
+  // with an empty queue (messages sent before Close() are still delivered).
+  std::optional<T> Receive() {
+    std::unique_lock lock(mutex_);
+    available_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    return TakeLocked();
+  }
+
+  // As Receive(), but also returns nullopt once `deadline` passes.
+  template <typename Clock, typename Dur>
+  std::optional<T> ReceiveUntil(std::chrono::time_point<Clock, Dur> deadline) {
+    std::unique_lock lock(mutex_);
+    available_.wait_until(lock, deadline,
+                          [this] { return closed_ || !queue_.empty(); });
+    return TakeLocked();
+  }
+
+  // Non-blocking receive.
+  std::optional<T> TryReceive() {
+    std::scoped_lock lock(mutex_);
+    return TakeLocked();
+  }
+
+  void Close() {
+    {
+      std::scoped_lock lock(mutex_);
+      closed_ = true;
+    }
+    available_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  // Requires mutex_ held.
+  std::optional<T> TakeLocked() {
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace specsync

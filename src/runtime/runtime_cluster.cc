@@ -1,0 +1,291 @@
+#include "runtime/runtime_cluster.h"
+
+#include <algorithm>
+#include <queue>
+#include <thread>
+#include <variant>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/adaptive_tuner.h"
+#include "data/sharding.h"
+#include "runtime/mailbox.h"
+
+namespace specsync {
+
+namespace {
+
+// Messages workers send to the scheduler thread.
+struct NotifyMsg {
+  WorkerId worker;
+  IterationId iteration;
+};
+struct PullMsg {
+  WorkerId worker;
+};
+using SchedulerMsg = std::variant<NotifyMsg, PullMsg>;
+
+// Maps wall time onto the SimTime axis the scheduler expects.
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  SimTime Now() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return SimTime::FromSeconds(
+        std::chrono::duration<double>(elapsed).count());
+  }
+
+  std::chrono::steady_clock::time_point ToTimePoint(SimTime t) const {
+    return start_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(t.seconds()));
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Merges per-chunk gradients (each a mean over its chunk) into their average.
+Gradient MergeChunks(std::vector<Gradient> chunks) {
+  SPECSYNC_CHECK(!chunks.empty());
+  const double weight = 1.0 / static_cast<double>(chunks.size());
+  if (!chunks.front().is_sparse()) {
+    Gradient merged = Gradient::Dense(chunks.front().dense().size());
+    for (const Gradient& chunk : chunks) {
+      Axpy(weight, chunk.dense(), merged.dense());
+    }
+    return merged;
+  }
+  Gradient merged = Gradient::Sparse();
+  for (Gradient& chunk : chunks) {
+    chunk.sparse().ScaleValues(weight);
+    const auto indices = chunk.sparse().indices();
+    const auto values = chunk.sparse().values();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      merged.sparse().Add(indices[i], values[i]);
+    }
+  }
+  merged.sparse().Coalesce();
+  return merged;
+}
+
+}  // namespace
+
+struct RuntimeCluster::Impl {
+  std::shared_ptr<const Model> model;
+  std::shared_ptr<const LearningRateSchedule> schedule;
+  RuntimeConfig config;
+
+  std::unique_ptr<ParameterServer> server;
+  WallClock clock;
+  Mailbox<SchedulerMsg> scheduler_mailbox;
+
+  // Worker -> iteration index the scheduler wants aborted (-1 = none).
+  std::vector<std::atomic<std::int64_t>> abort_target;
+  std::vector<std::atomic<std::uint64_t>> completed;
+  std::atomic<std::uint64_t> total_aborts{0};
+
+  // Scheduler state (owned by the scheduler thread after Run() starts).
+  std::unique_ptr<SpecSyncScheduler> scheduler;
+  SchedulerStats final_stats;
+
+  Impl(std::shared_ptr<const Model> model_in,
+       std::shared_ptr<const LearningRateSchedule> schedule_in,
+       RuntimeConfig config_in)
+      : model(std::move(model_in)),
+        schedule(std::move(schedule_in)),
+        config(std::move(config_in)),
+        abort_target(config.num_workers),
+        completed(config.num_workers) {
+    SPECSYNC_CHECK(model != nullptr);
+    SPECSYNC_CHECK(schedule != nullptr);
+    SPECSYNC_CHECK_GT(config.num_workers, 0u);
+    SPECSYNC_CHECK_GT(config.compute_chunks, 0u);
+    SPECSYNC_CHECK_LE(config.compute_chunks, config.batch_size);
+    for (auto& a : abort_target) a.store(-1, std::memory_order_relaxed);
+    for (auto& c : completed) c.store(0, std::memory_order_relaxed);
+
+    auto applier =
+        std::make_shared<SgdApplier>(schedule, SgdConfig{config.sgd_clip});
+    server = std::make_unique<ParameterServer>(
+        model->param_dim(), config.num_servers, std::move(applier));
+    Rng init_rng(config.seed);
+    server->Initialize(*model, init_rng);
+
+    const bool speculation_on = config.adaptive || config.fixed_params.enabled();
+    if (speculation_on) {
+      SchedulerConfig sched_config;
+      sched_config.num_workers = config.num_workers;
+      sched_config.initial_params = config.fixed_params;
+      sched_config.default_span = Duration::Milliseconds(10.0);
+      std::unique_ptr<SpeculationPolicy> policy;
+      if (config.adaptive) {
+        policy = std::make_unique<AdaptiveTuner>();
+      } else {
+        policy = std::make_unique<FixedSpeculationPolicy>(config.fixed_params);
+      }
+      scheduler = std::make_unique<SpecSyncScheduler>(sched_config,
+                                                      std::move(policy));
+    }
+  }
+
+  EpochId GlobalEpoch() const {
+    std::uint64_t min_completed = completed[0].load(std::memory_order_relaxed);
+    for (const auto& c : completed) {
+      min_completed =
+          std::min(min_completed, c.load(std::memory_order_relaxed));
+    }
+    return min_completed;
+  }
+
+  // --- scheduler thread -----------------------------------------------------
+
+  void SchedulerLoop() {
+    struct Timer {
+      SimTime deadline;
+      WorkerId worker;
+      std::uint64_t token;
+      IterationId iteration;
+      bool operator>(const Timer& other) const {
+        return deadline > other.deadline;
+      }
+    };
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers;
+
+    for (;;) {
+      // Fire due timers first.
+      while (!timers.empty() && timers.top().deadline <= clock.Now()) {
+        const Timer timer = timers.top();
+        timers.pop();
+        if (scheduler->HandleCheckTimer(timer.worker, timer.token,
+                                        clock.Now())) {
+          // "Send" the re-sync: target the iteration after the notify.
+          abort_target[timer.worker].store(
+              static_cast<std::int64_t>(timer.iteration + 1),
+              std::memory_order_release);
+        }
+      }
+      std::optional<SchedulerMsg> msg;
+      if (timers.empty()) {
+        msg = scheduler_mailbox.Receive();
+      } else {
+        msg = scheduler_mailbox.ReceiveUntil(
+            clock.ToTimePoint(timers.top().deadline));
+        if (!msg.has_value() && !scheduler_mailbox.closed()) continue;
+      }
+      if (!msg.has_value()) {
+        if (scheduler_mailbox.closed()) break;
+        continue;
+      }
+      if (const auto* pull = std::get_if<PullMsg>(&*msg)) {
+        scheduler->HandlePull(pull->worker, clock.Now());
+        continue;
+      }
+      const auto& notify = std::get<NotifyMsg>(*msg);
+      auto request = scheduler->HandleNotify(notify.worker, notify.iteration,
+                                             clock.Now());
+      if (request.has_value()) {
+        timers.push(Timer{clock.Now() + request->delay, notify.worker,
+                          request->token, notify.iteration});
+      }
+    }
+    final_stats = scheduler->stats();
+  }
+
+  // --- worker threads --------------------------------------------------------
+
+  void WorkerLoop(WorkerId w, std::vector<std::size_t> shard) {
+    Rng rng(config.seed * 7919 + w + 1);
+    BatchSampler sampler(std::move(shard), config.batch_size, rng.Fork());
+    const std::size_t chunk_size =
+        std::max<std::size_t>(1, config.batch_size / config.compute_chunks);
+
+    for (IterationId iteration = 0; iteration < config.iterations_per_worker;
+         ++iteration) {
+      bool pushed = false;
+      while (!pushed) {
+        PullResult snapshot = server->Pull();
+        if (scheduler) scheduler_mailbox.Send(SchedulerMsg{PullMsg{w}});
+
+        const std::vector<std::size_t> batch = sampler.NextBatch();
+        std::vector<Gradient> chunks;
+        bool aborted = false;
+        for (std::size_t begin = 0; begin < batch.size();
+             begin += chunk_size) {
+          const std::size_t end = std::min(begin + chunk_size, batch.size());
+          std::span<const std::size_t> chunk(batch.data() + begin,
+                                             end - begin);
+          Gradient grad;
+          model->LossAndGradient(snapshot.params, chunk, grad);
+          chunks.push_back(std::move(grad));
+          if (config.chunk_delay.count() > 0) {
+            std::this_thread::sleep_for(config.chunk_delay);
+          }
+          // Honor a re-sync aimed at this iteration (abort-and-refresh).
+          std::int64_t expected = static_cast<std::int64_t>(iteration);
+          if (abort_target[w].compare_exchange_strong(
+                  expected, -1, std::memory_order_acq_rel)) {
+            aborted = true;
+            total_aborts.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+        }
+        if (aborted) continue;  // re-pull fresher parameters and start over
+
+        const Gradient merged = MergeChunks(std::move(chunks));
+        server->Push(merged, GlobalEpoch());
+        completed[w].fetch_add(1, std::memory_order_relaxed);
+        if (scheduler) {
+          scheduler_mailbox.Send(SchedulerMsg{NotifyMsg{w, iteration}});
+        }
+        pushed = true;
+      }
+    }
+  }
+
+  RuntimeResult Run() {
+    const auto start = std::chrono::steady_clock::now();
+    auto shards = ShardIndices(model->dataset_size(), config.num_workers);
+
+    std::jthread scheduler_thread;
+    if (scheduler) {
+      scheduler_thread = std::jthread([this] { SchedulerLoop(); });
+    }
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(config.num_workers);
+      for (WorkerId w = 0; w < config.num_workers; ++w) {
+        workers.emplace_back(
+            [this, w, shard = std::move(shards[w])]() mutable {
+              WorkerLoop(w, std::move(shard));
+            });
+      }
+    }  // join workers
+    scheduler_mailbox.Close();
+    if (scheduler_thread.joinable()) scheduler_thread.join();
+
+    RuntimeResult result;
+    result.final_weights = server->Snapshot();
+    result.final_loss = model->FullLoss(result.final_weights, 2000);
+    result.total_pushes = server->version();
+    result.total_aborts = total_aborts.load(std::memory_order_relaxed);
+    result.scheduler_stats = final_stats;
+    result.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    return result;
+  }
+};
+
+RuntimeCluster::RuntimeCluster(
+    std::shared_ptr<const Model> model,
+    std::shared_ptr<const LearningRateSchedule> schedule, RuntimeConfig config)
+    : impl_(std::make_unique<Impl>(std::move(model), std::move(schedule),
+                                   std::move(config))) {}
+
+RuntimeCluster::~RuntimeCluster() = default;
+
+RuntimeResult RuntimeCluster::Run() { return impl_->Run(); }
+
+}  // namespace specsync

@@ -1,0 +1,70 @@
+// Threaded in-process cluster: the SpecSync protocol under real concurrency.
+//
+// The discrete-event simulator (src/sim) drives the experiments; this runtime
+// exists to demonstrate the identical scheduler logic working in a real
+// system: worker threads genuinely compute gradients, a scheduler thread
+// handles notify messages and arms wall-clock speculation timers, and aborts
+// interrupt in-flight computation between batch chunks. Time is wall time
+// mapped onto SimTime, so SpecSyncScheduler is reused verbatim.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "core/speculation.h"
+#include "models/model.h"
+#include "optim/lr_schedule.h"
+#include "ps/param_store.h"
+
+namespace specsync {
+
+struct RuntimeConfig {
+  std::size_t num_workers = 4;
+  std::size_t iterations_per_worker = 20;
+  std::size_t batch_size = 32;
+  // The mini-batch is split into this many chunks; abort requests are honored
+  // at chunk boundaries (an in-flight chunk always completes).
+  std::size_t compute_chunks = 4;
+  // Optional artificial per-chunk delay to stretch iterations so speculation
+  // windows are meaningful on small machines.
+  std::chrono::microseconds chunk_delay{0};
+  // Speculation setup: fixed parameters (enabled() == false disables
+  // speculation entirely) or adaptive tuning.
+  bool adaptive = false;
+  SpeculationParams fixed_params;
+  std::size_t num_servers = 4;
+  double sgd_clip = 0.0;
+  std::uint64_t seed = 123;
+};
+
+struct RuntimeResult {
+  double final_loss = 0.0;
+  std::uint64_t total_pushes = 0;
+  std::uint64_t total_aborts = 0;
+  SchedulerStats scheduler_stats;
+  std::chrono::milliseconds elapsed{0};
+  DenseVector final_weights;
+};
+
+class RuntimeCluster {
+ public:
+  RuntimeCluster(std::shared_ptr<const Model> model,
+                 std::shared_ptr<const LearningRateSchedule> schedule,
+                 RuntimeConfig config);
+  ~RuntimeCluster();
+
+  RuntimeCluster(const RuntimeCluster&) = delete;
+  RuntimeCluster& operator=(const RuntimeCluster&) = delete;
+
+  // Runs the full training to completion (blocking).
+  RuntimeResult Run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace specsync

@@ -1,0 +1,404 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace specsync {
+
+std::string SchemeSpec::DisplayName() const {
+  std::ostringstream out;
+  switch (base) {
+    case BaseScheme::kAsp:
+      out << "ASP";
+      break;
+    case BaseScheme::kBsp:
+      out << "BSP";
+      break;
+    case BaseScheme::kSsp:
+      out << "SSP(s=" << ssp_staleness << ")";
+      break;
+  }
+  if (naive.enabled()) {
+    out << "+NaiveWait(" << naive.delay.seconds() << "s)";
+  }
+  switch (speculation) {
+    case SpeculationMode::kNone:
+      break;
+    case SpeculationMode::kFixed:
+      out << "+SpecSync-Cherrypick";
+      break;
+    case SpeculationMode::kAdaptive:
+      out << "+SpecSync-Adaptive";
+      break;
+  }
+  return out.str();
+}
+
+namespace {
+
+std::unique_ptr<ConsistencyController> MakeController(const SchemeSpec& scheme,
+                                                      std::size_t m) {
+  switch (scheme.base) {
+    case BaseScheme::kAsp:
+      return MakeAsp(m);
+    case BaseScheme::kBsp:
+      return MakeBsp(m);
+    case BaseScheme::kSsp:
+      return MakeSsp(m, scheme.ssp_staleness);
+  }
+  SPECSYNC_CHECK(false) << "unknown base scheme";
+  return nullptr;
+}
+
+std::unique_ptr<SpeculationPolicy> MakePolicy(const SchemeSpec& scheme) {
+  switch (scheme.speculation) {
+    case SpeculationMode::kNone:
+      return std::make_unique<DisabledSpeculationPolicy>();
+    case SpeculationMode::kFixed:
+      return std::make_unique<FixedSpeculationPolicy>(scheme.fixed_params);
+    case SpeculationMode::kAdaptive:
+      return std::make_unique<AdaptiveTuner>(scheme.adaptive);
+  }
+  SPECSYNC_CHECK(false) << "unknown speculation mode";
+  return nullptr;
+}
+
+}  // namespace
+
+struct ClusterSim::Impl {
+  // --- immutable setup -----------------------------------------------------
+  std::shared_ptr<const Model> model;
+  std::shared_ptr<const LearningRateSchedule> schedule;
+  std::unique_ptr<SpeedModel> speed;
+  ClusterSimConfig config;
+
+  // --- live components -----------------------------------------------------
+  Simulator sim;
+  Rng rng;
+  NetworkModel network;
+  StallSchedule stalls;
+  std::unique_ptr<ParameterServer> server;
+  std::unique_ptr<ConsistencyController> controller;
+  std::unique_ptr<SpecSyncScheduler> scheduler;  // null when speculation off
+  TrainingTrace trace;
+  TransferAccountant transfers;
+
+  struct WorkerState {
+    std::unique_ptr<BatchSampler> sampler;
+    Rng rng;  // worker-private stream (compute jitter, batches share sampler's)
+    IterationId completed = 0;     // pushes so far
+    DenseVector snapshot;          // parameters pulled for current iteration
+    std::uint64_t snapshot_version = 0;
+    bool computing = false;
+    bool blocked = false;          // gated by BSP/SSP
+    SimTime compute_start = SimTime::Zero();
+    std::uint64_t compute_generation = 0;  // invalidates stale finish events
+
+    WorkerState(std::unique_ptr<BatchSampler> s, Rng r)
+        : sampler(std::move(s)), rng(std::move(r)) {}
+  };
+  std::vector<WorkerState> workers;
+
+  // --- convergence tracking ------------------------------------------------
+  std::size_t below_target_streak = 0;
+  std::optional<SimTime> convergence_time;
+  std::optional<std::uint64_t> convergence_pushes;
+  SimTime streak_start = SimTime::Zero();
+  std::uint64_t streak_start_pushes = 0;
+  bool stopped = false;
+
+  Impl(std::shared_ptr<const Model> model_in,
+       std::shared_ptr<const LearningRateSchedule> schedule_in,
+       std::unique_ptr<SpeedModel> speed_in, ClusterSimConfig config_in)
+      : model(std::move(model_in)),
+        schedule(std::move(schedule_in)),
+        speed(std::move(speed_in)),
+        config(std::move(config_in)),
+        rng(config.seed),
+        network(config.network),
+        stalls(config.stalls, Rng(config.seed ^ 0x57A11u)),
+        trace(config.num_workers) {
+    SPECSYNC_CHECK(model != nullptr);
+    SPECSYNC_CHECK(schedule != nullptr);
+    SPECSYNC_CHECK(speed != nullptr);
+    SPECSYNC_CHECK_GT(config.num_workers, 0u);
+    SPECSYNC_CHECK_GT(config.batch_size, 0u);
+
+    auto applier = std::make_shared<SgdApplier>(schedule,
+                                                SgdConfig{config.sgd_clip});
+    server = std::make_unique<ParameterServer>(
+        model->param_dim(), config.num_servers, std::move(applier));
+    Rng init_rng = rng.Fork();
+    server->Initialize(*model, init_rng);
+
+    controller = MakeController(config.scheme, config.num_workers);
+    if (config.scheme.speculation != SpeculationMode::kNone) {
+      SchedulerConfig sched_config;
+      sched_config.num_workers = config.num_workers;
+      // Cherrypick values take effect from the very first iteration; the
+      // adaptive tuner needs one epoch of history first.
+      if (config.scheme.speculation == SpeculationMode::kFixed) {
+        sched_config.initial_params = config.scheme.fixed_params;
+      }
+      sched_config.default_span = speed->MeanComputeTime(0);
+      scheduler = std::make_unique<SpecSyncScheduler>(
+          sched_config, MakePolicy(config.scheme));
+    }
+
+    auto shards = ShardIndices(model->dataset_size(), config.num_workers);
+    workers.reserve(config.num_workers);
+    for (WorkerId w = 0; w < config.num_workers; ++w) {
+      workers.emplace_back(
+          std::make_unique<BatchSampler>(std::move(shards[w]),
+                                         config.batch_size, rng.Fork()),
+          rng.Fork());
+    }
+  }
+
+  // Global epoch for the learning-rate schedule: completed iterations of the
+  // slowest worker (paper Sec. II-B's epoch definition).
+  EpochId GlobalEpoch() const {
+    IterationId min_completed = workers[0].completed;
+    for (const WorkerState& w : workers) {
+      min_completed = std::min(min_completed, w.completed);
+    }
+    return min_completed;
+  }
+
+  std::uint64_t TotalPushes() const { return trace.total_pushes(); }
+
+  // --- worker lifecycle ----------------------------------------------------
+
+  void TryBeginIteration(WorkerId w) {
+    if (stopped) return;
+    WorkerState& worker = workers[w];
+    if (!controller->MayStart(w, worker.completed)) {
+      worker.blocked = true;
+      return;
+    }
+    worker.blocked = false;
+    if (config.scheme.naive.enabled()) {
+      sim.ScheduleAfter(config.scheme.naive.delay,
+                        [this, w] { BeginPull(w); });
+    } else {
+      BeginPull(w);
+    }
+  }
+
+  void BeginPull(WorkerId w) {
+    if (stopped) return;
+    const Duration delay =
+        network.TransferTime(server->pull_bytes(), workers[w].rng);
+    // A stalled server cannot serve the pull; the response is batched with
+    // everything else the stall delayed.
+    const SimTime arrival = stalls.Defer(sim.now() + delay);
+    sim.ScheduleAt(arrival, [this, w] { OnPullComplete(w); });
+  }
+
+  void OnPullComplete(WorkerId w) {
+    if (stopped) return;
+    WorkerState& worker = workers[w];
+    PullResult pulled = server->Pull();
+    worker.snapshot = std::move(pulled.params);
+    worker.snapshot_version = pulled.version;
+    transfers.Charge(TransferCategory::kPullParams, server->pull_bytes(),
+                     sim.now());
+    trace.RecordPull(w, sim.now(), pulled.version);
+    if (scheduler) scheduler->HandlePull(w, sim.now());
+    StartCompute(w);
+  }
+
+  void StartCompute(WorkerId w) {
+    WorkerState& worker = workers[w];
+    worker.computing = true;
+    worker.compute_start = sim.now();
+    const std::uint64_t generation = ++worker.compute_generation;
+    const Duration span = speed->ComputeTime(w, sim.now(), worker.rng);
+    sim.ScheduleAfter(span, [this, w, generation] {
+      if (stopped) return;
+      if (workers[w].compute_generation != generation) return;  // aborted
+      OnComputeDone(w);
+    });
+  }
+
+  void OnComputeDone(WorkerId w) {
+    WorkerState& worker = workers[w];
+    worker.computing = false;
+    // The gradient is evaluated on the snapshot pulled at iteration start —
+    // any pushes applied since then are invisible to it (the staleness the
+    // paper studies).
+    auto grad = std::make_shared<Gradient>();
+    const std::vector<std::size_t> batch = worker.sampler->NextBatch();
+    model->LossAndGradient(worker.snapshot, batch, *grad);
+    const Duration delay =
+        network.TransferTime(grad->wire_bytes(), worker.rng);
+    const SimTime arrival = stalls.Defer(sim.now() + delay);
+    sim.ScheduleAt(arrival, [this, w, grad] { OnPushArrive(w, *grad); });
+  }
+
+  void OnPushArrive(WorkerId w, const Gradient& grad) {
+    if (stopped) return;
+    WorkerState& worker = workers[w];
+    const std::uint64_t version = server->Push(grad, GlobalEpoch());
+    const std::uint64_t missed = version - 1 - worker.snapshot_version;
+    transfers.Charge(TransferCategory::kPushGrads, grad.wire_bytes(),
+                     sim.now());
+    const IterationId iteration = worker.completed;
+    trace.RecordPush(w, sim.now(), iteration, version, missed);
+    controller->OnPush(w, iteration);
+    worker.completed = iteration + 1;
+
+    if (config.max_pushes != 0 && TotalPushes() >= config.max_pushes) {
+      stopped = true;
+      sim.RequestStop();
+      return;
+    }
+
+    if (scheduler) {
+      const Duration delay =
+          network.TransferTime(kControlMessageBytes, worker.rng);
+      sim.ScheduleAfter(delay,
+                        [this, w, iteration] { OnNotifyArrive(w, iteration); });
+    }
+
+    ReleaseBlockedWorkers();
+    TryBeginIteration(w);
+  }
+
+  // --- SpecSync protocol (Algorithm 2 driver) ------------------------------
+
+  void OnNotifyArrive(WorkerId w, IterationId iteration) {
+    if (stopped) return;
+    transfers.Charge(TransferCategory::kNotify, kControlMessageBytes,
+                     sim.now());
+    auto request = scheduler->HandleNotify(w, iteration, sim.now());
+    if (!request.has_value()) return;
+    const std::uint64_t token = request->token;
+    sim.ScheduleAfter(request->delay, [this, w, token, iteration] {
+      OnCheckTimer(w, token, iteration);
+    });
+  }
+
+  void OnCheckTimer(WorkerId w, std::uint64_t token, IterationId iteration) {
+    if (stopped) return;
+    if (!scheduler->HandleCheckTimer(w, token, sim.now())) return;
+    const Duration delay =
+        network.TransferTime(kControlMessageBytes, workers[w].rng);
+    sim.ScheduleAfter(delay,
+                      [this, w, iteration] { OnReSyncArrive(w, iteration); });
+  }
+
+  void OnReSyncArrive(WorkerId w, IterationId notified_iteration) {
+    if (stopped) return;
+    transfers.Charge(TransferCategory::kReSync, kControlMessageBytes,
+                     sim.now());
+    WorkerState& worker = workers[w];
+    // The notify was sent when `notified_iteration` finished; the speculation
+    // window covers iteration notified_iteration + 1. Abort only if the
+    // worker is still computing that iteration ("if that is not too late
+    // yet", Sec. IV-A). If it is mid-pull, the snapshot will be fresh anyway.
+    if (worker.completed != notified_iteration + 1 || !worker.computing) {
+      return;
+    }
+    const Duration wasted = sim.now() - worker.compute_start;
+    trace.RecordAbort(w, sim.now(), wasted);
+    ++worker.compute_generation;  // cancels the in-flight finish event
+    worker.computing = false;
+    BeginPull(w);  // re-synchronize: fresh pull, then restart computation
+  }
+
+  void ReleaseBlockedWorkers() {
+    for (WorkerId w = 0; w < config.num_workers; ++w) {
+      if (!workers[w].blocked) continue;
+      if (controller->MayStart(w, workers[w].completed)) {
+        workers[w].blocked = false;
+        // Defer to a fresh event to keep the release order FIFO and avoid
+        // deep recursion through OnPushArrive.
+        sim.ScheduleAfter(Duration::Zero(),
+                          [this, w] { TryBeginIteration(w); });
+      }
+    }
+  }
+
+  // --- evaluation ----------------------------------------------------------
+
+  double EvaluateLoss() {
+    const DenseVector snapshot = server->Snapshot();
+    return model->FullLoss(snapshot, config.eval_subsample);
+  }
+
+  void OnEvalTimer() {
+    if (stopped) return;
+    const double loss = EvaluateLoss();
+    trace.RecordLoss(sim.now(), loss, TotalPushes(), GlobalEpoch());
+    if (config.loss_target > 0.0) {
+      if (loss < config.loss_target) {
+        if (below_target_streak == 0) {
+          streak_start = sim.now();
+          streak_start_pushes = TotalPushes();
+        }
+        ++below_target_streak;
+        if (below_target_streak >= config.convergence_patience &&
+            !convergence_time.has_value()) {
+          convergence_time = streak_start;
+          convergence_pushes = streak_start_pushes;
+          if (config.stop_on_convergence) {
+            stopped = true;
+            sim.RequestStop();
+            return;
+          }
+        }
+      } else {
+        below_target_streak = 0;
+        // A later excursion above target does not un-converge a run that
+        // already met the patience criterion (matches "staying below for 5
+        // consecutive" read as first-hit time).
+      }
+    }
+    sim.ScheduleAfter(config.eval_interval, [this] { OnEvalTimer(); });
+  }
+
+  SimResult Run() {
+    for (WorkerId w = 0; w < config.num_workers; ++w) {
+      sim.ScheduleAfter(Duration::Zero(), [this, w] { TryBeginIteration(w); });
+    }
+    sim.ScheduleAfter(config.eval_interval, [this] { OnEvalTimer(); });
+    sim.Run(config.max_time);
+
+    SimResult result;
+    result.final_weights = server->Snapshot();
+    result.final_loss = model->FullLoss(result.final_weights,
+                                        config.eval_subsample);
+    result.end_time = sim.now();
+    result.total_pushes = TotalPushes();
+    result.total_aborts = trace.total_aborts();
+    result.convergence_time = convergence_time;
+    result.convergence_pushes = convergence_pushes;
+    if (scheduler) {
+      result.scheduler_stats = scheduler->stats();
+      result.final_params = scheduler->params();
+    }
+    trace.RecordLoss(sim.now(), result.final_loss, TotalPushes(),
+                     GlobalEpoch());
+    result.trace = std::move(trace);
+    result.transfers = std::move(transfers);
+    return result;
+  }
+};
+
+ClusterSim::ClusterSim(std::shared_ptr<const Model> model,
+                       std::shared_ptr<const LearningRateSchedule> schedule,
+                       std::unique_ptr<SpeedModel> speed,
+                       ClusterSimConfig config)
+    : impl_(std::make_unique<Impl>(std::move(model), std::move(schedule),
+                                   std::move(speed), std::move(config))) {}
+
+ClusterSim::~ClusterSim() = default;
+
+SimResult ClusterSim::Run() { return impl_->Run(); }
+
+}  // namespace specsync

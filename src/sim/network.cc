@@ -1,0 +1,64 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace specsync {
+
+NetworkModel::NetworkModel(NetworkConfig config) : config_(config) {
+  SPECSYNC_CHECK(config_.base_latency >= Duration::Zero());
+  SPECSYNC_CHECK_GT(config_.bandwidth_bytes_per_sec, 0.0);
+  SPECSYNC_CHECK_GE(config_.jitter_sigma, 0.0);
+}
+
+Duration NetworkModel::TransferTime(std::size_t bytes, Rng& rng) const {
+  const double serialization =
+      static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec;
+  double seconds = config_.base_latency.seconds() + serialization;
+  if (config_.jitter_sigma > 0.0) {
+    // Log-normal multiplier with median 1: preserves ordering statistics while
+    // spreading delivery times like real networks do.
+    seconds *= rng.LogNormal(0.0, config_.jitter_sigma);
+  }
+  return Duration::Seconds(seconds);
+}
+
+StallSchedule::StallSchedule(StallConfig config, Rng rng)
+    : config_(config), rng_(std::move(rng)) {
+  if (config_.enabled) {
+    SPECSYNC_CHECK_GT(config_.mean_gap.seconds(), 0.0);
+    SPECSYNC_CHECK_GT(config_.mean_duration.seconds(), 0.0);
+  }
+}
+
+void StallSchedule::GenerateUpTo(SimTime t) {
+  while (generated_until_ <= t) {
+    const Duration gap = Duration::Seconds(
+        rng_.Exponential(1.0 / config_.mean_gap.seconds()));
+    const Duration length = Duration::Seconds(
+        rng_.Exponential(1.0 / config_.mean_duration.seconds()));
+    Window window;
+    window.begin = generated_until_ + gap;
+    window.end = window.begin + length;
+    windows_.push_back(window);
+    generated_until_ = window.end;  // stalls never overlap
+  }
+}
+
+SimTime StallSchedule::Defer(SimTime arrival) {
+  if (!config_.enabled) return arrival;
+  GenerateUpTo(arrival);
+  // Windows are ordered and non-overlapping: binary-search the last window
+  // beginning at or before `arrival`.
+  auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), arrival,
+      [](SimTime t, const Window& w) { return t < w.begin; });
+  if (it == windows_.begin()) return arrival;
+  const Window& window = *std::prev(it);
+  if (arrival < window.end) return window.end;
+  return arrival;
+}
+
+}  // namespace specsync

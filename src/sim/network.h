@@ -1,0 +1,78 @@
+// Network model: per-message transfer time and wire-size constants.
+//
+// A message's delivery time is base_latency + bytes/bandwidth, with optional
+// log-normal jitter — the standard latency/bandwidth model for datacenter
+// links. Defaults approximate the paper's EC2 m4.xlarge testbed
+// (~0.1 ms intra-AZ RTT/2, ~1.25 GB/s of "high" networking).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace specsync {
+
+struct NetworkConfig {
+  Duration base_latency = Duration::Milliseconds(0.1);
+  double bandwidth_bytes_per_sec = 1.25e9;
+  // Sigma of the log-normal jitter multiplier applied to the whole transfer
+  // time; 0 disables jitter.
+  double jitter_sigma = 0.05;
+};
+
+// Wire size of the tiny control messages (notify / re-sync): sender id,
+// iteration, timestamp, header.
+inline constexpr std::size_t kControlMessageBytes = 64;
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(NetworkConfig config);
+
+  // Time to deliver a message of `bytes` over one link.
+  Duration TransferTime(std::size_t bytes, Rng& rng) const;
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+};
+
+// Server-side stall schedule: windows during which the parameter servers
+// cannot serve traffic (incast congestion, JVM-style pauses, page-cache
+// writeback storms). Messages nominally arriving inside a stall are delivered
+// when it ends — in a batch. This is what turns independent push arrivals
+// into the bursty, overdispersed pushes-after-pull distribution the paper's
+// Fig. 3 measures on EC2, and it is the regime where speculative
+// re-synchronization has something to catch.
+struct StallConfig {
+  bool enabled = false;
+  // Exponential inter-arrival gap between stalls and stall length.
+  Duration mean_gap = Duration::Seconds(30.0);
+  Duration mean_duration = Duration::Seconds(3.0);
+};
+
+class StallSchedule {
+ public:
+  StallSchedule(StallConfig config, Rng rng);
+
+  // Effective delivery time for a message nominally arriving at `arrival`
+  // (identical to `arrival` when no stall covers it).
+  SimTime Defer(SimTime arrival);
+
+  bool enabled() const { return config_.enabled; }
+
+ private:
+  void GenerateUpTo(SimTime t);
+
+  StallConfig config_;
+  Rng rng_;
+  struct Window {
+    SimTime begin;
+    SimTime end;
+  };
+  std::vector<Window> windows_;  // time-ordered, non-overlapping
+  SimTime generated_until_ = SimTime::Zero();
+};
+
+}  // namespace specsync

@@ -1,0 +1,40 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace specsync {
+
+void Simulator::ScheduleAt(SimTime at, Callback fn) {
+  SPECSYNC_CHECK(at >= now_) << "cannot schedule in the past: " << at
+                             << " < " << now_;
+  SPECSYNC_CHECK(fn != nullptr);
+  queue_.push(Event{at, next_sequence_++, std::move(fn)});
+}
+
+void Simulator::ScheduleAfter(Duration delay, Callback fn) {
+  SPECSYNC_CHECK(delay >= Duration::Zero())
+      << "negative delay: " << delay;
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the event is copied out. Callbacks are
+  // small (captured ids), so this is cheap relative to event work.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::Run(SimTime until) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty()) {
+    if (queue_.top().time > until) break;
+    Step();
+  }
+}
+
+}  // namespace specsync

@@ -1,0 +1,71 @@
+// Discrete-event simulation engine.
+//
+// A single virtual clock and a priority queue of callbacks. Events at equal
+// times run in scheduling (FIFO) order, which — together with seeded RNGs —
+// makes every simulation bit-deterministic. This is the substrate substituting
+// for the paper's EC2 cluster: what matters to SpecSync is the interleaving of
+// pushes and pulls, and the queue reproduces any interleaving exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+
+namespace specsync {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` at absolute time `at` (must not be in the past).
+  void ScheduleAt(SimTime at, Callback fn);
+
+  // Schedules `fn` `delay` from now (delay must be non-negative).
+  void ScheduleAfter(Duration delay, Callback fn);
+
+  // Runs events in time order until the queue drains, `until` is passed, or
+  // RequestStop() is called from inside an event. Events scheduled exactly at
+  // `until` still run.
+  void Run(SimTime until = SimTime::Infinite());
+
+  // Runs exactly one event if available; returns false when the queue is
+  // empty.
+  bool Step();
+
+  // Stops Run() after the current event returns.
+  void RequestStop() { stop_requested_ = true; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t sequence = 0;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;  // FIFO among equal times
+    }
+  };
+
+  SimTime now_ = SimTime::Zero();
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace specsync

@@ -1,0 +1,126 @@
+// Worker compute-speed models.
+//
+// Per-iteration compute time = base_time * worker_multiplier * jitter.
+// Three configurations reproduce the paper's testbeds:
+//  - homogeneous (Cluster 1: 40x m4.xlarge),
+//  - heterogeneous instance classes (Cluster 2: 10x m3.xlarge, 10x m3.2xlarge,
+//    10x m4.xlarge, 10x m4.2xlarge),
+//  - transient stragglers (background load / multi-tenancy effects).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace specsync {
+
+class SpeedModel {
+ public:
+  virtual ~SpeedModel() = default;
+  // Compute duration of one full iteration attempt for `worker`, starting at
+  // simulated time `now` (time-varying models use it; stationary ones don't).
+  virtual Duration ComputeTime(WorkerId worker, SimTime now, Rng& rng) = 0;
+  // Stationary mean compute time for `worker` (no jitter, no events).
+  virtual Duration MeanComputeTime(WorkerId worker) const = 0;
+};
+
+// All workers share one mean with log-normal jitter.
+class HomogeneousSpeedModel final : public SpeedModel {
+ public:
+  HomogeneousSpeedModel(Duration base, double jitter_sigma);
+  Duration ComputeTime(WorkerId worker, SimTime now, Rng& rng) override;
+  Duration MeanComputeTime(WorkerId worker) const override {
+    (void)worker;
+    return base_;
+  }
+
+ private:
+  Duration base_;
+  double jitter_sigma_;
+};
+
+// Per-worker speed multipliers (e.g. 4 instance classes). multiplier > 1
+// means slower.
+class HeterogeneousSpeedModel final : public SpeedModel {
+ public:
+  HeterogeneousSpeedModel(Duration base, std::vector<double> multipliers,
+                          double jitter_sigma);
+  Duration ComputeTime(WorkerId worker, SimTime now, Rng& rng) override;
+  Duration MeanComputeTime(WorkerId worker) const override;
+
+  // Builds the paper's Cluster-2 shape: `num_workers` workers split evenly
+  // across `class_multipliers` (round-robin).
+  static std::unique_ptr<HeterogeneousSpeedModel> EvenClasses(
+      Duration base, std::size_t num_workers,
+      std::vector<double> class_multipliers, double jitter_sigma);
+
+ private:
+  Duration base_;
+  std::vector<double> multipliers_;
+  double jitter_sigma_;
+};
+
+// Wraps another model; with probability `probability` an iteration is slowed
+// by `slowdown` (independent transient straggler).
+class StragglerInjectingSpeedModel final : public SpeedModel {
+ public:
+  StragglerInjectingSpeedModel(std::unique_ptr<SpeedModel> inner,
+                               double probability, double slowdown);
+  Duration ComputeTime(WorkerId worker, SimTime now, Rng& rng) override;
+  Duration MeanComputeTime(WorkerId worker) const override;
+
+ private:
+  std::unique_ptr<SpeedModel> inner_;
+  double probability_;
+  double slowdown_;
+};
+
+// Correlated contention events: multi-tenant clouds periodically slow a
+// cohort of nodes at once (noisy neighbors, network congestion, host
+// maintenance). When an event ends, the cohort's delayed pushes land together
+// — exactly the bursty, overdispersed push-after-pull arrivals the paper's
+// Fig. 3 traces show (whiskers spanning 0..2x the Poisson mean). This
+// burstiness is the regime where speculative re-synchronization pays off:
+// with purely independent arrivals the mean version-staleness of a
+// full-duty-cycle cluster is conserved at m-1 regardless of scheme.
+struct ContentionConfig {
+  // Mean gap between contention events (exponential inter-arrivals).
+  Duration mean_gap = Duration::Seconds(40.0);
+  // Event duration (exponential with this mean).
+  Duration mean_duration = Duration::Seconds(20.0);
+  // Fraction of workers hit by each event.
+  double cohort_fraction = 0.3;
+  // Slowdown multiplier applied to iterations started during an event.
+  double slowdown = 2.5;
+};
+
+class ContentionSpeedModel final : public SpeedModel {
+ public:
+  ContentionSpeedModel(std::unique_ptr<SpeedModel> inner,
+                       ContentionConfig config, Rng rng);
+  Duration ComputeTime(WorkerId worker, SimTime now, Rng& rng) override;
+  Duration MeanComputeTime(WorkerId worker) const override;
+
+  // True if `worker` is slowed at `now` (generates events up to `now`).
+  bool IsContended(WorkerId worker, SimTime now);
+
+ private:
+  struct Event {
+    SimTime begin;
+    SimTime end;
+    std::uint64_t cohort_salt = 0;
+  };
+  void GenerateEventsUpTo(SimTime now);
+  bool InCohort(WorkerId worker, const Event& event) const;
+
+  std::unique_ptr<SpeedModel> inner_;
+  ContentionConfig config_;
+  Rng event_rng_;
+  std::vector<Event> events_;  // time-ordered
+  SimTime generated_until_ = SimTime::Zero();
+};
+
+}  // namespace specsync

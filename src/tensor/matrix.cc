@@ -1,0 +1,39 @@
+#include "tensor/matrix.h"
+
+namespace specsync {
+
+void Gemv(ConstMatrixView w, std::span<const double> x, std::span<double> y) {
+  SPECSYNC_CHECK_EQ(x.size(), w.cols());
+  SPECSYNC_CHECK_EQ(y.size(), w.rows());
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    double acc = 0.0;
+    const std::span<const double> row = w.row(r);
+    for (std::size_t c = 0; c < w.cols(); ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void GemvTransposed(ConstMatrixView w, std::span<const double> x,
+                    std::span<double> y) {
+  SPECSYNC_CHECK_EQ(x.size(), w.rows());
+  SPECSYNC_CHECK_EQ(y.size(), w.cols());
+  for (std::size_t c = 0; c < w.cols(); ++c) y[c] = 0.0;
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const std::span<const double> row = w.row(r);
+    const double xr = x[r];
+    for (std::size_t c = 0; c < w.cols(); ++c) y[c] += row[c] * xr;
+  }
+}
+
+void AddOuterProduct(MatrixView w, double alpha, std::span<const double> u,
+                     std::span<const double> v) {
+  SPECSYNC_CHECK_EQ(u.size(), w.rows());
+  SPECSYNC_CHECK_EQ(v.size(), w.cols());
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    std::span<double> row = w.row(r);
+    const double au = alpha * u[r];
+    for (std::size_t c = 0; c < w.cols(); ++c) row[c] += au * v[c];
+  }
+}
+
+}  // namespace specsync

@@ -1,0 +1,65 @@
+// Row-major dense matrix view and owning matrix.
+//
+// Models store their weights inside flat parameter vectors; MatrixView lets a
+// model treat a slice of that flat storage as a (rows x cols) matrix without
+// copying — essential because the parameter server owns the flat layout.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+
+namespace specsync {
+
+template <typename T>
+class MatrixViewT {
+ public:
+  MatrixViewT(std::span<T> data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {
+    SPECSYNC_CHECK_EQ(data.size(), rows * cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  T& at(std::size_t r, std::size_t c) const {
+    SPECSYNC_CHECK(r < rows_ && c < cols_)
+        << "(" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[r * cols_ + c];
+  }
+
+  // Unchecked fast path for kernels.
+  T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<T> row(std::size_t r) const {
+    SPECSYNC_CHECK_LT(r, rows_);
+    return data_.subspan(r * cols_, cols_);
+  }
+
+  std::span<T> flat() const { return data_; }
+
+ private:
+  std::span<T> data_;
+  std::size_t rows_;
+  std::size_t cols_;
+};
+
+using MatrixView = MatrixViewT<double>;
+using ConstMatrixView = MatrixViewT<const double>;
+
+// y = W * x   (W: rows x cols, x: cols, y: rows).
+void Gemv(ConstMatrixView w, std::span<const double> x, std::span<double> y);
+
+// y = W^T * x (W: rows x cols, x: rows, y: cols).
+void GemvTransposed(ConstMatrixView w, std::span<const double> x,
+                    std::span<double> y);
+
+// W += alpha * outer(u, v)   (u: rows, v: cols).
+void AddOuterProduct(MatrixView w, double alpha, std::span<const double> u,
+                     std::span<const double> v);
+
+}  // namespace specsync

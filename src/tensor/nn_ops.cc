@@ -1,0 +1,48 @@
+#include "tensor/nn_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace specsync {
+
+void SoftmaxInPlace(std::span<double> x) {
+  SPECSYNC_CHECK(!x.empty());
+  const double max = *std::max_element(x.begin(), x.end());
+  double sum = 0.0;
+  for (double& v : x) {
+    v = std::exp(v - max);
+    sum += v;
+  }
+  for (double& v : x) v /= sum;
+}
+
+void Relu(std::span<const double> x, std::span<double> out) {
+  SPECSYNC_CHECK_EQ(x.size(), out.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::max(0.0, x[i]);
+}
+
+void ReluBackward(std::span<const double> x, std::span<const double> grad_out,
+                  std::span<double> grad_in) {
+  SPECSYNC_CHECK_EQ(x.size(), grad_out.size());
+  SPECSYNC_CHECK_EQ(x.size(), grad_in.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    grad_in[i] = x[i] > 0.0 ? grad_out[i] : 0.0;
+  }
+}
+
+double CrossEntropy(std::span<const double> probabilities, std::size_t label) {
+  SPECSYNC_CHECK_LT(label, probabilities.size());
+  // Floor keeps the loss finite if a class probability underflows.
+  constexpr double kFloor = 1e-12;
+  return -std::log(std::max(probabilities[label], kFloor));
+}
+
+std::size_t ArgMax(std::span<const double> x) {
+  SPECSYNC_CHECK(!x.empty());
+  return static_cast<std::size_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+}  // namespace specsync

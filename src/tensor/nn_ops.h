@@ -1,0 +1,24 @@
+// Elementwise / reduction kernels used by the neural-network models.
+#pragma once
+
+#include <span>
+
+namespace specsync {
+
+// In-place numerically stable softmax over x.
+void SoftmaxInPlace(std::span<double> x);
+
+// out = relu(x); out may alias x.
+void Relu(std::span<const double> x, std::span<double> out);
+
+// grad_in = grad_out where x > 0, else 0; grad_in may alias grad_out.
+void ReluBackward(std::span<const double> x, std::span<const double> grad_out,
+                  std::span<double> grad_in);
+
+// Cross-entropy loss -log(probabilities[label]); probabilities must sum to ~1.
+double CrossEntropy(std::span<const double> probabilities, std::size_t label);
+
+// Index of the maximum element (first one on ties); x must be non-empty.
+std::size_t ArgMax(std::span<const double> x);
+
+}  // namespace specsync

@@ -1,0 +1,50 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace specsync {
+
+void SparseUpdate::Coalesce() {
+  if (indices_.size() < 2) return;
+  std::vector<std::size_t> order(indices_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return indices_[a] < indices_[b];
+  });
+  std::vector<std::uint64_t> new_indices;
+  std::vector<double> new_values;
+  new_indices.reserve(indices_.size());
+  new_values.reserve(values_.size());
+  for (std::size_t pos : order) {
+    if (!new_indices.empty() && new_indices.back() == indices_[pos]) {
+      new_values.back() += values_[pos];
+    } else {
+      new_indices.push_back(indices_[pos]);
+      new_values.push_back(values_[pos]);
+    }
+  }
+  indices_ = std::move(new_indices);
+  values_ = std::move(new_values);
+}
+
+void SparseUpdate::ScatterAdd(double alpha, std::span<double> dest) const {
+  for (std::size_t i = 0; i < indices_.size(); ++i) {
+    SPECSYNC_CHECK_LT(indices_[i], dest.size());
+    dest[indices_[i]] += alpha * values_[i];
+  }
+}
+
+void SparseUpdate::ScaleValues(double alpha) {
+  for (double& v : values_) v *= alpha;
+}
+
+std::vector<double> ToDense(const SparseUpdate& update, std::size_t size) {
+  std::vector<double> dense(size, 0.0);
+  update.ScatterAdd(1.0, dense);
+  return dense;
+}
+
+}  // namespace specsync

@@ -1,0 +1,53 @@
+#include "tensor/vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace specsync {
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  SPECSYNC_CHECK_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  SPECSYNC_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double SumOfSquares(std::span<const double> x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+double Norm2(std::span<const double> x) { return std::sqrt(SumOfSquares(x)); }
+
+void Zero(std::span<double> x) { std::fill(x.begin(), x.end(), 0.0); }
+
+void ClipInPlace(std::span<double> x, double bound) {
+  SPECSYNC_CHECK_GT(bound, 0.0);
+  for (double& v : x) v = std::clamp(v, -bound, bound);
+}
+
+void Sub(std::span<const double> a, std::span<const double> b,
+         std::span<double> out) {
+  SPECSYNC_CHECK_EQ(a.size(), b.size());
+  SPECSYNC_CHECK_EQ(a.size(), out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+bool AllFinite(std::span<const double> x) {
+  return std::all_of(x.begin(), x.end(),
+                     [](double v) { return std::isfinite(v); });
+}
+
+}  // namespace specsync

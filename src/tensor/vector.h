@@ -1,0 +1,43 @@
+// Dense numeric vector.
+//
+// The parameter payloads exchanged between workers and servers are flat
+// double vectors; models view slices of them as weights. Kernels are written
+// plainly (no BLAS dependency) — model sizes in this repro are small enough
+// that memory bandwidth, not FLOPs, dominates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace specsync {
+
+using DenseVector = std::vector<double>;
+
+// y += alpha * x  (sizes must match).
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+// x *= alpha.
+void Scale(double alpha, std::span<double> x);
+
+double Dot(std::span<const double> a, std::span<const double> b);
+
+// Euclidean norm.
+double Norm2(std::span<const double> x);
+
+double SumOfSquares(std::span<const double> x);
+
+// Fills with zeros.
+void Zero(std::span<double> x);
+
+// Clips x elementwise into [-bound, bound]; bound must be positive.
+void ClipInPlace(std::span<double> x, double bound);
+
+// out = a - b (sizes must match; out may alias a).
+void Sub(std::span<const double> a, std::span<const double> b,
+         std::span<double> out);
+
+// Returns true if every element is finite.
+bool AllFinite(std::span<const double> x);
+
+}  // namespace specsync

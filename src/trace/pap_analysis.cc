@@ -1,0 +1,70 @@
+#include "trace/pap_analysis.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace specsync {
+
+PapResult AnalyzePap(const TrainingTrace& trace, const PapConfig& config) {
+  SPECSYNC_CHECK_GT(config.num_intervals, 0u);
+  SPECSYNC_CHECK_GT(config.interval.seconds(), 0.0);
+
+  // All push times, sorted (they are recorded in order, but be safe).
+  std::vector<std::pair<SimTime, WorkerId>> pushes;
+  pushes.reserve(trace.pushes().size());
+  for (const PushEvent& e : trace.pushes()) {
+    pushes.emplace_back(e.time, e.worker);
+  }
+  std::sort(pushes.begin(), pushes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // samples[k][j] = PAP count in interval k for the j-th (worker, pull).
+  std::vector<std::vector<double>> samples(config.num_intervals);
+  std::vector<double> first_two;
+
+  for (WorkerId w = 0; w < trace.num_workers(); ++w) {
+    const std::vector<SimTime> pulls = trace.PullTimes(w);
+    // The last pull has no complete following window; consider all pulls whose
+    // full horizon fits before the trace end.
+    for (SimTime pull : pulls) {
+      const SimTime horizon =
+          pull + config.interval * static_cast<double>(config.num_intervals);
+      if (horizon > trace.end_time()) continue;
+      std::vector<std::size_t> counts(config.num_intervals, 0);
+      auto it = std::upper_bound(
+          pushes.begin(), pushes.end(), pull,
+          [](SimTime t, const auto& p) { return t < p.first; });
+      for (; it != pushes.end() && it->first <= horizon; ++it) {
+        if (it->second == w) continue;  // own push is not a missed update
+        const double offset = (it->first - pull).seconds();
+        auto bucket =
+            static_cast<std::size_t>(offset / config.interval.seconds());
+        bucket = std::min(bucket, config.num_intervals - 1);
+        ++counts[bucket];
+      }
+      for (std::size_t k = 0; k < config.num_intervals; ++k) {
+        samples[k].push_back(static_cast<double>(counts[k]));
+      }
+      if (config.num_intervals >= 2) {
+        first_two.push_back(static_cast<double>(counts[0] + counts[1]));
+      }
+    }
+  }
+
+  PapResult result;
+  result.per_interval.reserve(config.num_intervals);
+  result.mean_per_interval.reserve(config.num_intervals);
+  for (std::size_t k = 0; k < config.num_intervals; ++k) {
+    RunningStats stats;
+    for (double v : samples[k]) stats.Add(v);
+    result.mean_per_interval.push_back(stats.mean());
+    result.per_interval.push_back(BoxSummary::FromSample(std::move(samples[k])));
+  }
+  if (!first_two.empty()) {
+    result.median_first_two = Quantile(std::move(first_two), 0.5);
+  }
+  return result;
+}
+
+}  // namespace specsync

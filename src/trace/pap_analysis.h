@@ -1,0 +1,34 @@
+// Pushes-after-a-pull (PAP) analysis — regenerates Fig. 3.
+//
+// For each pull a worker makes, the pushes other workers make before its next
+// pull are the updates it misses (paper Sec. III-A). Bucketing those misses
+// into 1-second intervals after the pull and box-plotting each interval shows
+// whether a short deferral would uncover many updates.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "trace/trace.h"
+
+namespace specsync {
+
+struct PapConfig {
+  Duration interval = Duration::Seconds(1.0);
+  std::size_t num_intervals = 14;
+};
+
+struct PapResult {
+  // box[k] summarizes, across all (worker, pull) pairs, the number of PAP
+  // received in interval k (i.e. (k*interval, (k+1)*interval] after a pull).
+  std::vector<BoxSummary> per_interval;
+  // Mean count per interval (same index).
+  std::vector<double> mean_per_interval;
+  // Median cumulative count within the first two intervals (the paper's
+  // headline "median over 6 within two seconds").
+  double median_first_two = 0.0;
+};
+
+PapResult AnalyzePap(const TrainingTrace& trace, const PapConfig& config);
+
+}  // namespace specsync

@@ -1,0 +1,66 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace specsync {
+
+TrainingTrace::TrainingTrace(std::size_t num_workers)
+    : num_workers_(num_workers) {
+  SPECSYNC_CHECK_GT(num_workers, 0u);
+}
+
+void TrainingTrace::RecordPull(WorkerId worker, SimTime time,
+                               std::uint64_t version) {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  pulls_.push_back(PullEvent{time, worker, version});
+  end_time_ = std::max(end_time_, time);
+}
+
+void TrainingTrace::RecordPush(WorkerId worker, SimTime time,
+                               IterationId iteration, std::uint64_t version,
+                               std::uint64_t missed_updates) {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  pushes_.push_back(PushEvent{time, worker, iteration, version, missed_updates});
+  end_time_ = std::max(end_time_, time);
+}
+
+void TrainingTrace::RecordAbort(WorkerId worker, SimTime time,
+                                Duration wasted_compute) {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  aborts_.push_back(AbortEvent{time, worker, wasted_compute});
+  end_time_ = std::max(end_time_, time);
+}
+
+void TrainingTrace::RecordLoss(SimTime time, double loss,
+                               std::uint64_t total_iterations, EpochId epoch) {
+  losses_.push_back(LossSample{time, loss, total_iterations, epoch});
+  end_time_ = std::max(end_time_, time);
+}
+
+std::vector<SimTime> TrainingTrace::PullTimes(WorkerId worker) const {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  std::vector<SimTime> out;
+  for (const PullEvent& e : pulls_) {
+    if (e.worker == worker) out.push_back(e.time);
+  }
+  return out;
+}
+
+std::vector<SimTime> TrainingTrace::PushTimes(WorkerId worker) const {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  std::vector<SimTime> out;
+  for (const PushEvent& e : pushes_) {
+    if (e.worker == worker) out.push_back(e.time);
+  }
+  return out;
+}
+
+Duration TrainingTrace::total_wasted_compute() const {
+  Duration total = Duration::Zero();
+  for (const AbortEvent& e : aborts_) total += e.wasted_compute;
+  return total;
+}
+
+}  // namespace specsync

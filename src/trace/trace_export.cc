@@ -1,0 +1,69 @@
+#include "trace/trace_export.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace specsync {
+
+void ExportLossCurve(const TrainingTrace& trace, std::ostream& os) {
+  os << "time_s,loss,total_iterations,epoch\n";
+  for (const LossSample& sample : trace.losses()) {
+    os << sample.time.seconds() << ',' << sample.loss << ','
+       << sample.total_iterations << ',' << sample.epoch << '\n';
+  }
+}
+
+void ExportEvents(const TrainingTrace& trace, std::ostream& os) {
+  struct Row {
+    SimTime time;
+    int order;  // pulls before pushes before aborts at equal times
+    std::string line;
+  };
+  std::vector<Row> rows;
+  rows.reserve(trace.pulls().size() + trace.pushes().size() +
+               trace.aborts().size());
+  for (const PullEvent& e : trace.pulls()) {
+    std::ostringstream line;
+    line << "pull," << e.time.seconds() << ',' << e.worker << ",," << e.version
+         << ',';
+    rows.push_back({e.time, 0, line.str()});
+  }
+  for (const PushEvent& e : trace.pushes()) {
+    std::ostringstream line;
+    line << "push," << e.time.seconds() << ',' << e.worker << ','
+         << e.iteration << ',' << e.version << ',' << e.missed_updates;
+    rows.push_back({e.time, 1, line.str()});
+  }
+  for (const AbortEvent& e : trace.aborts()) {
+    std::ostringstream line;
+    line << "abort," << e.time.seconds() << ',' << e.worker << ",,,";
+    rows.push_back({e.time, 2, line.str()});
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+  os << "kind,time_s,worker,iteration,version,missed_updates\n";
+  for (const Row& row : rows) os << row.line << '\n';
+}
+
+void ExportTransferTimeline(const TransferAccountant& transfers, SimTime end,
+                            std::ostream& os, std::size_t max_points) {
+  os << "time_s,cumulative_bytes\n";
+  for (const auto& point : transfers.Timeline(end, max_points)) {
+    os << point.time.seconds() << ',' << point.cumulative_bytes << '\n';
+  }
+}
+
+void ExportTransferBreakdown(const TransferAccountant& transfers,
+                             std::ostream& os) {
+  os << "category,bytes,fraction\n";
+  for (std::size_t c = 0; c < kNumTransferCategories; ++c) {
+    const auto category = static_cast<TransferCategory>(c);
+    os << TransferCategoryName(category) << ',' << transfers.bytes(category)
+       << ',' << transfers.fraction(category) << '\n';
+  }
+}
+
+}  // namespace specsync

@@ -1,0 +1,28 @@
+// CSV export of training traces — the bridge to external plotting.
+//
+// Each exporter writes one tidy table (header + rows) so the paper's figures
+// can be replotted from bench output with any tool.
+#pragma once
+
+#include <ostream>
+
+#include "trace/trace.h"
+#include "trace/transfer.h"
+
+namespace specsync {
+
+// time_s,loss,total_iterations,epoch
+void ExportLossCurve(const TrainingTrace& trace, std::ostream& os);
+
+// kind,time_s,worker,iteration,version,missed_updates  (kind: pull/push/abort)
+void ExportEvents(const TrainingTrace& trace, std::ostream& os);
+
+// time_s,cumulative_bytes
+void ExportTransferTimeline(const TransferAccountant& transfers, SimTime end,
+                            std::ostream& os, std::size_t max_points = 200);
+
+// category,bytes,fraction
+void ExportTransferBreakdown(const TransferAccountant& transfers,
+                             std::ostream& os);
+
+}  // namespace specsync

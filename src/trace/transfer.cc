@@ -1,0 +1,71 @@
+#include "trace/transfer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace specsync {
+
+const char* TransferCategoryName(TransferCategory category) {
+  switch (category) {
+    case TransferCategory::kPullParams:
+      return "pull_params";
+    case TransferCategory::kPushGrads:
+      return "push_grads";
+    case TransferCategory::kNotify:
+      return "notify";
+    case TransferCategory::kReSync:
+      return "resync";
+    case TransferCategory::kControl:
+      return "control";
+  }
+  return "?";
+}
+
+void TransferAccountant::Charge(TransferCategory category, std::uint64_t bytes,
+                                SimTime time) {
+  const auto index = static_cast<std::size_t>(category);
+  SPECSYNC_CHECK_LT(index, kNumTransferCategories);
+  SPECSYNC_CHECK(events_.empty() || events_.back().time <= time)
+      << "transfer events must be charged in time order";
+  by_category_[index] += bytes;
+  events_.push_back(Event{time, bytes});
+}
+
+std::uint64_t TransferAccountant::total_bytes() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : by_category_) total += b;
+  return total;
+}
+
+std::uint64_t TransferAccountant::bytes(TransferCategory category) const {
+  return by_category_[static_cast<std::size_t>(category)];
+}
+
+double TransferAccountant::fraction(TransferCategory category) const {
+  const std::uint64_t total = total_bytes();
+  if (total == 0) return 0.0;
+  return static_cast<double>(bytes(category)) / static_cast<double>(total);
+}
+
+std::vector<TransferAccountant::TimelinePoint> TransferAccountant::Timeline(
+    SimTime end, std::size_t max_points) const {
+  SPECSYNC_CHECK_GT(max_points, 1u);
+  std::vector<TimelinePoint> out;
+  out.reserve(max_points);
+  const double step =
+      end.seconds() / static_cast<double>(max_points - 1);
+  std::size_t cursor = 0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const SimTime t = SimTime::FromSeconds(step * static_cast<double>(i));
+    while (cursor < events_.size() && events_[cursor].time <= t) {
+      cumulative += events_[cursor].bytes;
+      ++cursor;
+    }
+    out.push_back(TimelinePoint{t, cumulative});
+  }
+  return out;
+}
+
+}  // namespace specsync

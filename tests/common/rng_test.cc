@@ -1,0 +1,158 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace specsync {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform(0.0, 1.0) == b.Uniform(0.0, 1.0)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkStreamsAreIndependentOfConsumption) {
+  // Forking must depend only on (seed, fork index), not on how many numbers
+  // the parent drew in between.
+  Rng parent1(99);
+  Rng child1 = parent1.Fork();
+  Rng parent2(99);
+  for (int i = 0; i < 50; ++i) parent2.Uniform(0.0, 1.0);
+  Rng child2 = parent2.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(child1.Uniform(0.0, 1.0), child2.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, SuccessiveForksDiffer) {
+  Rng parent(7);
+  Rng a = parent.Fork();
+  Rng b = parent.Fork();
+  EXPECT_NE(a.seed(), b.seed());
+  EXPECT_NE(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(1, 6);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces hit
+}
+
+TEST(RngTest, IndexCoversRange) {
+  Rng rng(5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Index(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, IndexOfZeroThrows) {
+  Rng rng(6);
+  EXPECT_THROW(rng.Index(0), CheckError);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(8);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Normal(2.0, 3.0));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.Exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialRequiresPositiveRate) {
+  Rng rng(10);
+  EXPECT_THROW(rng.Exponential(0.0), CheckError);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, BernoulliClampsProbability) {
+  Rng rng(12);
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, LogNormalMedianIsOne) {
+  Rng rng(13);
+  std::vector<double> sample;
+  for (int i = 0; i < 20000; ++i) sample.push_back(rng.LogNormal(0.0, 0.5));
+  std::nth_element(sample.begin(), sample.begin() + 10000, sample.end());
+  EXPECT_NEAR(sample[10000], 1.0, 0.05);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(14);
+  for (std::size_t k : {0u, 3u, 50u, 100u}) {
+    auto sample = rng.SampleIndices(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(RngTest, SampleIndicesFullRange) {
+  Rng rng(15);
+  auto sample = rng.SampleIndices(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleMoreThanPopulationThrows) {
+  Rng rng(16);
+  EXPECT_THROW(rng.SampleIndices(5, 6), CheckError);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = items;
+  rng.Shuffle(items);
+  std::sort(items.begin(), items.end());
+  EXPECT_EQ(items, original);
+}
+
+}  // namespace
+}  // namespace specsync

@@ -1,0 +1,144 @@
+// Tests for the workload registry, experiment driver, and cherry-pick search.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/grid_search.h"
+#include "harness/workload.h"
+
+namespace specsync {
+namespace {
+
+// Small scale + short horizons keep these integration tests quick.
+ExperimentConfig FastConfig() {
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Homogeneous(4);
+  config.cluster.num_servers = 2;
+  config.max_time = SimTime::FromSeconds(120.0);
+  config.seed = 5;
+  return config;
+}
+
+TEST(WorkloadTest, TableOneRegistry) {
+  const auto workloads = MakeAllWorkloads(1, /*scale=*/0.1);
+  ASSERT_EQ(workloads.size(), 3u);
+  EXPECT_EQ(workloads[0].name, "MF");
+  EXPECT_EQ(workloads[1].name, "CIFAR-10");
+  EXPECT_EQ(workloads[2].name, "ImageNet");
+  // Iteration times follow Table I: 3s, 14s, 70s.
+  EXPECT_DOUBLE_EQ(workloads[0].iteration_time.seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(workloads[1].iteration_time.seconds(), 14.0);
+  EXPECT_DOUBLE_EQ(workloads[2].iteration_time.seconds(), 70.0);
+  for (const Workload& w : workloads) {
+    EXPECT_NE(w.model, nullptr);
+    EXPECT_NE(w.schedule, nullptr);
+    EXPECT_GT(w.model->param_dim(), 0u);
+    EXPECT_GT(w.loss_target, 0.0);
+    EXPECT_FALSE(w.paper_dataset.empty());
+  }
+}
+
+TEST(WorkloadTest, ScaleShrinksDatasets) {
+  const Workload big = MakeMfWorkload(1, 1.0);
+  const Workload small = MakeMfWorkload(1, 0.1);
+  EXPECT_GT(big.model->dataset_size(), small.model->dataset_size());
+}
+
+TEST(WorkloadTest, ConvexWorkloadForCalibration) {
+  const Workload w = MakeConvexWorkload(1, 0.2);
+  EXPECT_EQ(w.name, "Convex");
+  EXPECT_GT(w.model->param_dim(), 0u);
+}
+
+TEST(ExperimentTest, RunsAndImprovesLoss) {
+  const Workload workload = MakeMfWorkload(2, 0.1);
+  ExperimentConfig config = FastConfig();
+  config.scheme = SchemeSpec::Original();
+  const ExperimentResult result = RunExperiment(workload, config);
+  EXPECT_EQ(result.workload_name, "MF");
+  EXPECT_EQ(result.scheme_name, "ASP");
+  ASSERT_GE(result.sim.trace.losses().size(), 2u);
+  EXPECT_LT(result.sim.trace.losses().back().loss,
+            result.sim.trace.losses().front().loss);
+}
+
+TEST(ExperimentTest, HeterogeneousClusterShape) {
+  const ClusterSpec hetero = ClusterSpec::Heterogeneous(8);
+  EXPECT_EQ(hetero.class_multipliers.size(), 4u);
+  const Workload workload = MakeMfWorkload(3, 0.1);
+  ExperimentConfig config = FastConfig();
+  config.cluster = hetero;
+  config.cluster.num_servers = 2;
+  config.scheme = SchemeSpec::Adaptive();
+  const ExperimentResult result = RunExperiment(workload, config);
+  EXPECT_GT(result.sim.total_pushes, 0u);
+  // Slow-class workers (multiplier 1.7) complete fewer iterations than
+  // fast-class ones (0.5).
+  std::vector<std::size_t> pushes(8, 0);
+  for (const PushEvent& e : result.sim.trace.pushes()) ++pushes[e.worker];
+  EXPECT_GT(pushes[3], pushes[0]);  // class 0.5 vs class 1.7
+}
+
+TEST(ExperimentTest, LossAtTimeAndTimeToTarget) {
+  TrainingTrace trace(1);
+  trace.RecordLoss(SimTime::FromSeconds(1.0), 3.0, 1, 0);
+  trace.RecordLoss(SimTime::FromSeconds(2.0), 1.0, 2, 0);
+  trace.RecordLoss(SimTime::FromSeconds(3.0), 0.5, 3, 0);
+  trace.RecordLoss(SimTime::FromSeconds(4.0), 0.4, 4, 0);
+
+  EXPECT_EQ(LossAtTime(trace, SimTime::FromSeconds(0.5)), std::nullopt);
+  EXPECT_EQ(LossAtTime(trace, SimTime::FromSeconds(2.5)), 1.0);
+  EXPECT_EQ(LossAtTime(trace, SimTime::FromSeconds(9.0)), 0.4);
+
+  const auto ttt = TimeToTarget(trace, 1.5, /*patience=*/3);
+  ASSERT_TRUE(ttt.has_value());
+  EXPECT_DOUBLE_EQ(ttt->seconds(), 2.0);
+  EXPECT_EQ(TimeToTarget(trace, 0.1), std::nullopt);
+}
+
+TEST(ExperimentTest, TimeToTargetResetsOnExcursion) {
+  TrainingTrace trace(1);
+  trace.RecordLoss(SimTime::FromSeconds(1.0), 0.5, 1, 0);  // below
+  trace.RecordLoss(SimTime::FromSeconds(2.0), 2.0, 2, 0);  // excursion
+  trace.RecordLoss(SimTime::FromSeconds(3.0), 0.5, 3, 0);
+  trace.RecordLoss(SimTime::FromSeconds(4.0), 0.5, 4, 0);
+  const auto ttt = TimeToTarget(trace, 1.0, /*patience=*/2);
+  ASSERT_TRUE(ttt.has_value());
+  EXPECT_DOUBLE_EQ(ttt->seconds(), 3.0);
+}
+
+TEST(ExperimentTest, LossTargetOverride) {
+  const Workload workload = MakeMfWorkload(4, 0.1);
+  ExperimentConfig config = FastConfig();
+  config.loss_target_override = 100.0;  // trivially met
+  const ExperimentResult result = RunExperiment(workload, config);
+  EXPECT_TRUE(result.time_to_target.has_value());
+}
+
+TEST(GridSearchTest, FindsParamsWithinGrid) {
+  const Workload workload = MakeMfWorkload(5, 0.1);
+  GridSearchConfig config;
+  config.time_fractions = {0.1, 0.3};
+  config.rates = {0.25, 0.5};
+  config.trial_max_time = SimTime::FromSeconds(60.0);
+  ClusterSpec cluster = ClusterSpec::Homogeneous(4);
+  cluster.num_servers = 2;
+  const GridSearchResult result = CherrypickSearch(workload, cluster, config);
+  EXPECT_EQ(result.trials.size(), 4u);
+  EXPECT_TRUE(result.best.enabled());
+  // Best must be one of the grid points.
+  bool found = false;
+  for (double f : config.time_fractions) {
+    for (double r : config.rates) {
+      if (result.best.abort_time == workload.iteration_time * f &&
+          result.best.abort_rate == r) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+  // Total simulated time accumulates across trials (Table II's cost).
+  EXPECT_GT(result.total_simulated_time.seconds(), 100.0);
+}
+
+}  // namespace
+}  // namespace specsync

@@ -1,0 +1,166 @@
+// Tests for the parameter server and the ASP/BSP/SSP consistency controllers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.h"
+#include "data/synthetic.h"
+#include "models/softmax_regression.h"
+#include "ps/consistency.h"
+#include "ps/param_store.h"
+
+namespace specsync {
+namespace {
+
+std::shared_ptr<const SgdApplier> UnitApplier() {
+  return std::make_shared<SgdApplier>(std::make_shared<ConstantSchedule>(1.0));
+}
+
+TEST(ParamStoreTest, ShardPartitioning) {
+  ParameterServer server(10, 3, UnitApplier());
+  EXPECT_EQ(server.num_shards(), 3u);
+  EXPECT_EQ(server.shard(0).offset, 0u);
+  EXPECT_EQ(server.shard(0).length, 4u);
+  EXPECT_EQ(server.shard(1).offset, 4u);
+  EXPECT_EQ(server.shard(1).length, 3u);
+  EXPECT_EQ(server.shard(2).offset, 7u);
+  EXPECT_EQ(server.shard(2).length, 3u);
+  EXPECT_THROW(server.shard(3), CheckError);
+}
+
+TEST(ParamStoreTest, TooManyShardsThrows) {
+  EXPECT_THROW(ParameterServer(2, 3, UnitApplier()), CheckError);
+}
+
+TEST(ParamStoreTest, PushAppliesAndBumpsVersion) {
+  ParameterServer server(3, 1, UnitApplier());
+  server.SetParams({1.0, 1.0, 1.0});
+  EXPECT_EQ(server.version(), 0u);
+  Gradient g = Gradient::Dense(3);
+  g.dense() = {0.5, 0.0, -0.5};
+  EXPECT_EQ(server.Push(g, 0), 1u);
+  const PullResult pulled = server.Pull();
+  EXPECT_EQ(pulled.version, 1u);
+  EXPECT_EQ(pulled.params, (std::vector<double>{0.5, 1.0, 1.5}));
+}
+
+TEST(ParamStoreTest, PullIsSnapshotNotReference) {
+  ParameterServer server(2, 1, UnitApplier());
+  server.SetParams({0.0, 0.0});
+  PullResult before = server.Pull();
+  Gradient g = Gradient::Dense(2);
+  g.dense() = {1.0, 1.0};
+  server.Push(g, 0);
+  EXPECT_EQ(before.params, (std::vector<double>{0.0, 0.0}));
+}
+
+TEST(ParamStoreTest, SparsePushTouchesOnlyItsShards) {
+  ParameterServer server(10, 2, UnitApplier());  // shards [0,5), [5,10)
+  Gradient g = Gradient::Sparse();
+  g.sparse().Add(7, 1.0);
+  server.Push(g, 0);
+  EXPECT_EQ(server.shard(0).version, 0u);
+  EXPECT_EQ(server.shard(1).version, 1u);
+  // Dense pushes touch everything.
+  Gradient d = Gradient::Dense(10);
+  server.Push(d, 0);
+  EXPECT_EQ(server.shard(0).version, 1u);
+  EXPECT_EQ(server.shard(1).version, 2u);
+  EXPECT_EQ(server.version(), 2u);
+}
+
+TEST(ParamStoreTest, InitializeUsesModel) {
+  Rng data_rng(1);
+  ClassificationSpec spec;
+  spec.num_examples = 10;
+  spec.feature_dim = 4;
+  spec.num_classes = 2;
+  auto data = std::make_shared<ClassificationDataset>(
+      GenerateClassification(spec, data_rng));
+  SoftmaxRegressionModel model(data, {});
+  ParameterServer server(model.param_dim(), 2, UnitApplier());
+  Rng init_rng(2);
+  server.Initialize(model, init_rng);
+  const auto snapshot = server.Snapshot();
+  // Not all zeros after init.
+  double sum_abs = 0.0;
+  for (double v : snapshot) sum_abs += std::abs(v);
+  EXPECT_GT(sum_abs, 0.0);
+  EXPECT_EQ(server.version(), 0u);
+}
+
+TEST(ParamStoreTest, PullBytes) {
+  ParameterServer server(100, 4, UnitApplier());
+  EXPECT_EQ(server.pull_bytes(), 800u);
+}
+
+// --- consistency controllers -------------------------------------------------
+
+TEST(AspControllerTest, AlwaysAllows) {
+  AspController asp(3);
+  EXPECT_TRUE(asp.MayStart(0, 0));
+  EXPECT_TRUE(asp.MayStart(2, 1000));
+  EXPECT_EQ(asp.name(), "ASP");
+}
+
+TEST(BspControllerTest, BarriersEachIteration) {
+  BspController bsp(2);
+  // Everyone may start iteration 0.
+  EXPECT_TRUE(bsp.MayStart(0, 0));
+  EXPECT_TRUE(bsp.MayStart(1, 0));
+  bsp.OnPush(0, 0);
+  // Worker 0 finished iteration 0 but worker 1 has not: 0 must wait.
+  EXPECT_FALSE(bsp.MayStart(0, 1));
+  bsp.OnPush(1, 0);
+  EXPECT_TRUE(bsp.MayStart(0, 1));
+  EXPECT_TRUE(bsp.MayStart(1, 1));
+}
+
+TEST(SspControllerTest, BoundedStaleness) {
+  SspController ssp(2, 2);
+  EXPECT_EQ(ssp.name(), "SSP(s=2)");
+  // Worker 0 may run up to 2 iterations ahead of the slowest.
+  EXPECT_TRUE(ssp.MayStart(0, 0));
+  ssp.OnPush(0, 0);
+  EXPECT_TRUE(ssp.MayStart(0, 1));
+  ssp.OnPush(0, 1);
+  EXPECT_TRUE(ssp.MayStart(0, 2));
+  ssp.OnPush(0, 2);
+  EXPECT_FALSE(ssp.MayStart(0, 3));  // 3 > 0 (min) + 2
+  ssp.OnPush(1, 0);
+  EXPECT_TRUE(ssp.MayStart(0, 3));
+  EXPECT_EQ(ssp.MinProgress(), 1u);
+}
+
+TEST(SspControllerTest, OutOfOrderPushThrows) {
+  SspController ssp(2, 1);
+  ssp.OnPush(0, 0);
+  EXPECT_THROW(ssp.OnPush(0, 0), CheckError);  // duplicate
+  EXPECT_THROW(ssp.OnPush(1, 3), CheckError);  // skipped ahead
+}
+
+TEST(ControllerFactoryTest, MakesExpectedTypes) {
+  EXPECT_EQ(MakeAsp(2)->name(), "ASP");
+  EXPECT_EQ(MakeBsp(2)->name(), "BSP");
+  EXPECT_EQ(MakeSsp(2, 5)->name(), "SSP(s=5)");
+}
+
+// BSP == SSP(0) equivalence property over a random schedule.
+TEST(ControllerEquivalenceTest, BspEqualsSspZero) {
+  BspController bsp(3);
+  SspController ssp0(3, 0);
+  Rng rng(5);
+  std::vector<IterationId> next(3, 0);
+  for (int step = 0; step < 200; ++step) {
+    const WorkerId w = static_cast<WorkerId>(rng.Index(3));
+    EXPECT_EQ(bsp.MayStart(w, next[w]), ssp0.MayStart(w, next[w]));
+    if (bsp.MayStart(w, next[w])) {
+      bsp.OnPush(w, next[w]);
+      ssp0.OnPush(w, next[w]);
+      ++next[w];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specsync

@@ -1,0 +1,167 @@
+// Property-style invariants checked across every synchronization scheme:
+// whatever the scheme, the PS protocol's bookkeeping must stay coherent.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "data/synthetic.h"
+#include "models/softmax_regression.h"
+#include "sim/cluster.h"
+
+namespace specsync {
+namespace {
+
+std::shared_ptr<const Model> SmallModel() {
+  Rng rng(5);
+  ClassificationSpec spec;
+  spec.num_examples = 300;
+  spec.feature_dim = 8;
+  spec.num_classes = 3;
+  auto data = std::make_shared<ClassificationDataset>(
+      GenerateClassification(spec, rng));
+  return std::make_shared<SoftmaxRegressionModel>(std::move(data),
+                                                  SoftmaxRegressionConfig{});
+}
+
+struct SchemeCase {
+  std::string name;
+  SchemeSpec scheme;
+  bool stalls = false;
+};
+
+std::vector<SchemeCase> AllSchemes() {
+  SpeculationParams cherry;
+  cherry.abort_time = Duration::Seconds(0.3);
+  cherry.abort_rate = 0.25;
+  return {
+      {"asp", SchemeSpec::Original(), false},
+      {"asp_stalls", SchemeSpec::Original(), true},
+      {"bsp", SchemeSpec::Bsp(), false},
+      {"ssp1", SchemeSpec::Ssp(1), false},
+      {"ssp5", SchemeSpec::Ssp(5), true},
+      {"naive", SchemeSpec::NaiveWaiting(Duration::Seconds(0.4)), false},
+      {"cherry", SchemeSpec::Cherrypick(cherry), true},
+      {"adaptive", SchemeSpec::Adaptive(), true},
+  };
+}
+
+class SchemeInvariantsTest : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(SchemeInvariantsTest, TraceInvariantsHold) {
+  const SchemeCase& scheme_case = GetParam();
+  ClusterSimConfig config;
+  config.num_workers = 6;
+  config.num_servers = 3;
+  config.batch_size = 8;
+  config.scheme = scheme_case.scheme;
+  config.eval_interval = Duration::Seconds(10.0);
+  config.eval_subsample = 100;
+  config.max_time = SimTime::FromSeconds(150.0);
+  config.seed = 77;
+  if (scheme_case.stalls) {
+    config.stalls.enabled = true;
+    config.stalls.mean_gap = Duration::Seconds(4.0);
+    config.stalls.mean_duration = Duration::Seconds(0.6);
+  }
+  auto speed = std::make_unique<HomogeneousSpeedModel>(Duration::Seconds(1.0),
+                                                       0.15);
+  ClusterSim sim(SmallModel(), std::make_shared<ConstantSchedule>(0.1),
+                 std::move(speed), config);
+  const SimResult result = sim.Run();
+
+  ASSERT_GT(result.total_pushes, 0u);
+
+  // 1. Push times are globally non-decreasing; store versions are exactly
+  //    1, 2, 3, ... in arrival order.
+  SimTime previous = SimTime::Zero();
+  std::uint64_t expected_version = 0;
+  for (const PushEvent& push : result.trace.pushes()) {
+    EXPECT_GE(push.time, previous);
+    previous = push.time;
+    EXPECT_EQ(push.version, ++expected_version);
+  }
+
+  // 2. Per-worker iteration ids are 0, 1, 2, ... in order.
+  std::map<WorkerId, IterationId> next_iteration;
+  for (const PushEvent& push : result.trace.pushes()) {
+    EXPECT_EQ(push.iteration, next_iteration[push.worker]);
+    next_iteration[push.worker] = push.iteration + 1;
+  }
+
+  // 3. Every iteration begins with a pull: a worker's k-th push is preceded
+  //    by at least k pulls (aborted iterations add extra pulls).
+  for (WorkerId w = 0; w < config.num_workers; ++w) {
+    EXPECT_GE(result.trace.PullTimes(w).size(),
+              result.trace.PushTimes(w).size());
+  }
+
+  // 4. missed_updates is bounded by the push's own version minus one (it
+  //    cannot miss more updates than have ever been applied).
+  for (const PushEvent& push : result.trace.pushes()) {
+    EXPECT_LT(push.missed_updates, push.version);
+  }
+
+  // 5. Aborts only happen under speculation, and wasted compute is positive
+  //    and below one (jittered) iteration.
+  if (scheme_case.scheme.speculation == SpeculationMode::kNone) {
+    EXPECT_EQ(result.total_aborts, 0u);
+  }
+  for (const AbortEvent& abort : result.trace.aborts()) {
+    EXPECT_GT(abort.wasted_compute, Duration::Zero());
+    EXPECT_LT(abort.wasted_compute, Duration::Seconds(3.0));
+  }
+
+  // 6. Transfer ledger matches the trace: one full-model pull per PullEvent,
+  //    one gradient push per PushEvent.
+  EXPECT_EQ(result.transfers.bytes(TransferCategory::kPullParams),
+            result.trace.pulls().size() * SmallModel()->param_dim() *
+                sizeof(double));
+  EXPECT_EQ(result.transfers.bytes(TransferCategory::kPushGrads),
+            result.total_pushes * SmallModel()->param_dim() * sizeof(double));
+
+  // 7. Loss samples are finite and timestamps increase.
+  SimTime last_eval = SimTime::Zero();
+  for (const LossSample& sample : result.trace.losses()) {
+    EXPECT_TRUE(std::isfinite(sample.loss));
+    EXPECT_GE(sample.time, last_eval);
+    last_eval = sample.time;
+  }
+
+  // 8. Final weights are finite (no scheme may blow up at this step size).
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeInvariantsTest, ::testing::ValuesIn(AllSchemes()),
+    [](const ::testing::TestParamInfo<SchemeCase>& info) {
+      return info.param.name;
+    });
+
+// The conservation law behind DESIGN.md Sec. 6: under ASP with full duty
+// cycle and no delivery batching, mean version lag sits near m-1.
+TEST(StalenessConservationTest, AspMeanLagNearMMinus1) {
+  ClusterSimConfig config;
+  config.num_workers = 8;
+  config.num_servers = 2;
+  config.batch_size = 8;
+  config.eval_interval = Duration::Seconds(50.0);
+  config.eval_subsample = 50;
+  config.max_time = SimTime::FromSeconds(400.0);
+  config.seed = 13;
+  auto speed = std::make_unique<HomogeneousSpeedModel>(Duration::Seconds(1.0),
+                                                       0.1);
+  ClusterSim sim(SmallModel(), std::make_shared<ConstantSchedule>(0.05),
+                 std::move(speed), config);
+  const SimResult result = sim.Run();
+  double total = 0.0;
+  for (const PushEvent& push : result.trace.pushes()) {
+    total += static_cast<double>(push.missed_updates);
+  }
+  const double mean = total / static_cast<double>(result.total_pushes);
+  // Network time creates a little idle per iteration, so slightly below 7.
+  EXPECT_GT(mean, 5.5);
+  EXPECT_LT(mean, 7.5);
+}
+
+}  // namespace
+}  // namespace specsync

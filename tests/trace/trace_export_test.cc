@@ -1,0 +1,62 @@
+#include "trace/trace_export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace specsync {
+namespace {
+
+SimTime T(double s) { return SimTime::FromSeconds(s); }
+
+TEST(TraceExportTest, LossCurveCsv) {
+  TrainingTrace trace(1);
+  trace.RecordLoss(T(1.0), 2.5, 10, 0);
+  trace.RecordLoss(T(2.0), 1.25, 20, 1);
+  std::ostringstream os;
+  ExportLossCurve(trace, os);
+  EXPECT_EQ(os.str(),
+            "time_s,loss,total_iterations,epoch\n"
+            "1,2.5,10,0\n"
+            "2,1.25,20,1\n");
+}
+
+TEST(TraceExportTest, EventsSortedWithKinds) {
+  TrainingTrace trace(2);
+  trace.RecordPull(0, T(1.0), 0);
+  trace.RecordPush(0, T(2.0), 0, 1, 0);
+  trace.RecordAbort(1, T(1.5), Duration::Seconds(0.2));
+  std::ostringstream os;
+  ExportEvents(trace, os);
+  const std::string out = os.str();
+  const auto pull_pos = out.find("pull,1");
+  const auto abort_pos = out.find("abort,1.5");
+  const auto push_pos = out.find("push,2");
+  ASSERT_NE(pull_pos, std::string::npos);
+  ASSERT_NE(abort_pos, std::string::npos);
+  ASSERT_NE(push_pos, std::string::npos);
+  EXPECT_LT(pull_pos, abort_pos);
+  EXPECT_LT(abort_pos, push_pos);
+}
+
+TEST(TraceExportTest, TransferTimelineAndBreakdown) {
+  TransferAccountant transfers;
+  transfers.Charge(TransferCategory::kPullParams, 100, T(1.0));
+  transfers.Charge(TransferCategory::kNotify, 50, T(2.0));
+  std::ostringstream timeline;
+  ExportTransferTimeline(transfers, T(2.0), timeline, 3);
+  EXPECT_EQ(timeline.str(),
+            "time_s,cumulative_bytes\n"
+            "0,0\n"
+            "1,100\n"
+            "2,150\n");
+  std::ostringstream breakdown;
+  ExportTransferBreakdown(transfers, breakdown);
+  const std::string out = breakdown.str();
+  EXPECT_NE(out.find("pull_params,100,"), std::string::npos);
+  EXPECT_NE(out.find("notify,50,"), std::string::npos);
+  EXPECT_NE(out.find("resync,0,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace specsync
