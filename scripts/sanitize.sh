@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Builds and runs the concurrency-sensitive test suites under ThreadSanitizer
+# and AddressSanitizer. These are the suites that exercise real threads
+# (runtime, chaos, parameter server) plus the fault plan itself; the rest of
+# the repo is single-threaded sim code covered by the plain build.
+#
+# Usage: scripts/sanitize.sh [thread|address|all]   (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SUITES=(runtime_test runtime_chaos_test ps_test fault_test)
+MODE="${1:-all}"
+
+run_mode() {
+  local sanitizer="$1"
+  local build_dir="build-${sanitizer}san"
+  echo "=== ${sanitizer} sanitizer ==="
+  cmake -B "${build_dir}" -S . -DSPECSYNC_SANITIZE="${sanitizer}" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+  cmake --build "${build_dir}" -j --target "${SUITES[@]}"
+  for suite in "${SUITES[@]}"; do
+    echo "--- ${suite} (${sanitizer}) ---"
+    "${build_dir}/tests/${suite}"
+  done
+}
+
+case "${MODE}" in
+  thread)  run_mode thread ;;
+  address) run_mode address ;;
+  all)     run_mode thread; run_mode address ;;
+  *) echo "usage: $0 [thread|address|all]" >&2; exit 2 ;;
+esac
+
+echo "sanitize.sh: all suites clean"

@@ -7,7 +7,9 @@
 namespace specsync {
 
 PushHistory::PushHistory(std::size_t num_workers)
-    : num_workers_(num_workers), pulls_(num_workers) {
+    : num_workers_(num_workers),
+      pulls_(num_workers),
+      last_iteration_(num_workers) {
   SPECSYNC_CHECK_GT(num_workers, 0u);
 }
 
@@ -17,6 +19,8 @@ void PushHistory::RecordPush(WorkerId worker, IterationId iteration,
   SPECSYNC_CHECK(pushes_.empty() || pushes_.back().time <= time)
       << "pushes must be recorded in time order";
   pushes_.push_back(PushRecord{time, worker, iteration});
+  std::optional<IterationId>& last = last_iteration_[worker];
+  if (!last.has_value() || iteration > *last) last = iteration;
 }
 
 void PushHistory::RecordPull(WorkerId worker, SimTime time) {
@@ -70,6 +74,11 @@ std::optional<SimTime> PushHistory::LastPull(WorkerId worker) const {
   SPECSYNC_CHECK_LT(worker, num_workers_);
   if (pulls_[worker].empty()) return std::nullopt;
   return pulls_[worker].back();
+}
+
+std::optional<IterationId> PushHistory::LastIteration(WorkerId worker) const {
+  SPECSYNC_CHECK_LT(worker, num_workers_);
+  return last_iteration_[worker];
 }
 
 std::optional<Duration> PushHistory::MeanIterationSpan(WorkerId worker,

@@ -54,6 +54,11 @@ class PushHistory {
   // Most recent pull by `worker` overall.
   std::optional<SimTime> LastPull(WorkerId worker) const;
 
+  // Highest iteration ever recorded for `worker` (nullopt before its first
+  // push). Survives Trim — the scheduler uses it to recognize duplicated or
+  // reordered notifies from faulty links.
+  std::optional<IterationId> LastIteration(WorkerId worker) const;
+
   // Mean time between consecutive pushes of `worker` within (begin, end];
   // nullopt with fewer than two pushes in the window.
   std::optional<Duration> MeanIterationSpan(WorkerId worker, SimTime begin,
@@ -67,6 +72,8 @@ class PushHistory {
   std::size_t num_workers_;
   std::vector<PushRecord> pushes_;              // append-only, time-ordered
   std::vector<std::vector<SimTime>> pulls_;     // per worker, time-ordered
+  // Highest iteration recorded per worker; not affected by Trim.
+  std::vector<std::optional<IterationId>> last_iteration_;
 };
 
 }  // namespace specsync

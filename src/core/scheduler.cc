@@ -18,18 +18,30 @@ SpecSyncScheduler::SpecSyncScheduler(SchedulerConfig config,
       spans_(config_.num_workers, config_.default_span),
       last_push_time_(config_.num_workers, SimTime::Zero()),
       has_pushed_(config_.num_workers, false),
+      active_(config_.num_workers, true),
       pending_(config_.num_workers) {
   SPECSYNC_CHECK_GT(config_.num_workers, 0u);
   SPECSYNC_CHECK(policy_ != nullptr);
   SPECSYNC_CHECK(config_.span_ewma_alpha > 0.0 &&
                  config_.span_ewma_alpha <= 1.0);
   SPECSYNC_CHECK_GT(config_.default_span.seconds(), 0.0);
+  SPECSYNC_CHECK_GE(config_.late_check_slack.seconds(), 0.0);
 }
 
 std::optional<SpecSyncScheduler::CheckRequest> SpecSyncScheduler::HandleNotify(
     WorkerId worker, IterationId iteration, SimTime now) {
   SPECSYNC_CHECK_LT(worker, config_.num_workers);
   ++stats_.notifies_received;
+
+  // Faulty links may replay or reorder notifies. Each worker's iterations
+  // are monotone, so anything at or below its highest recorded iteration is
+  // a duplicate: ignore it without touching the ledger, the span estimate,
+  // or the pending speculation window.
+  const std::optional<IterationId> last = history_.LastIteration(worker);
+  if (last.has_value() && iteration <= *last) {
+    ++stats_.duplicate_notifies;
+    return std::nullopt;
+  }
   history_.RecordPush(worker, iteration, now);
 
   // Update the iteration-span estimate from the gap between this worker's
@@ -47,7 +59,7 @@ std::optional<SpecSyncScheduler::CheckRequest> SpecSyncScheduler::HandleNotify(
 
   MaybeFinishEpoch(now);
 
-  if (!params_.enabled()) {
+  if (!params_.enabled() || !active_[worker]) {
     pending_[worker].active = false;
     return std::nullopt;
   }
@@ -56,6 +68,7 @@ std::optional<SpecSyncScheduler::CheckRequest> SpecSyncScheduler::HandleNotify(
   PendingCheck& check = pending_[worker];
   check.token = next_token_++;
   check.window_begin = now;
+  check.deadline = now + params_.abort_time;
   check.active = true;
   return CheckRequest{check.token, params_.abort_time};
 }
@@ -79,12 +92,19 @@ bool SpecSyncScheduler::HandleCheckTimer(WorkerId worker, std::uint64_t token,
   ++stats_.checks_performed;
 
   // Count pushes from others within the speculation window (Algorithm 2,
-  // CheckResync). `now` is window_begin + ABORT_TIME under exact timers; we
-  // count up to `now` so drivers with jittery timers still see a full window.
+  // CheckResync). Under exact timers `now` equals the armed deadline; a
+  // delayed timer (jittery wall clock, fault-injected control link) is
+  // clamped back to the deadline so pushes landing after the intended
+  // window can never trigger a re-sync for a stale window.
+  SimTime window_end = now;
+  if (now > check.deadline) {
+    window_end = check.deadline;
+    if (now - check.deadline > config_.late_check_slack) ++stats_.late_checks;
+  }
   const std::size_t count =
-      history_.CountPushesInWindow(check.window_begin, now, worker);
+      history_.CountPushesInWindow(check.window_begin, window_end, worker);
   const double threshold =
-      static_cast<double>(config_.num_workers) * params_.RateFor(worker);
+      static_cast<double>(ActiveWorkerCount()) * params_.RateFor(worker);
   if (static_cast<double>(count) >= threshold) {
     ++stats_.resyncs_issued;
     return true;
@@ -92,11 +112,50 @@ bool SpecSyncScheduler::HandleCheckTimer(WorkerId worker, std::uint64_t token,
   return false;
 }
 
+void SpecSyncScheduler::OnWorkerDown(WorkerId worker, SimTime now) {
+  SPECSYNC_CHECK_LT(worker, config_.num_workers);
+  if (!active_[worker]) return;
+  active_[worker] = false;
+  pending_[worker].active = false;
+  ++stats_.worker_departures;
+  // If this worker was the last epoch holdout, finish the epoch now instead
+  // of deadlocking on a push that will never come.
+  MaybeFinishEpoch(now);
+}
+
+void SpecSyncScheduler::OnWorkerUp(WorkerId worker, SimTime now) {
+  SPECSYNC_CHECK_LT(worker, config_.num_workers);
+  (void)now;
+  if (active_[worker]) return;
+  active_[worker] = true;
+  ++stats_.worker_rejoins;
+  // Reset the span anchor: the next push gap would otherwise fold the whole
+  // dead period into the EWMA.
+  has_pushed_[worker] = false;
+}
+
+std::size_t SpecSyncScheduler::ActiveWorkerCount() const {
+  return static_cast<std::size_t>(
+      std::count(active_.begin(), active_.end(), true));
+}
+
 void SpecSyncScheduler::MaybeFinishEpoch(SimTime now) {
-  const bool all_pushed =
-      std::all_of(pushes_this_epoch_.begin(), pushes_this_epoch_.end(),
-                  [](std::uint64_t c) { return c > 0; });
-  if (!all_pushed) return;
+  // An epoch ends once every *active* worker has pushed since it began.
+  // Departed workers that never pushed this epoch are excused; departed
+  // workers that did push still contribute their update.
+  bool any_active = false;
+  bool all_pushed = true;
+  bool excused = false;
+  for (WorkerId w = 0; w < config_.num_workers; ++w) {
+    if (active_[w]) {
+      any_active = true;
+      if (pushes_this_epoch_[w] == 0) all_pushed = false;
+    } else if (pushes_this_epoch_[w] == 0) {
+      excused = true;
+    }
+  }
+  if (!any_active || !all_pushed) return;
+  if (excused) ++stats_.lost_worker_epochs_unblocked;
 
   TuningInputs inputs = BuildTuningInputs(now);
   params_ = policy_->OnEpochEnd(inputs);

@@ -34,6 +34,11 @@ struct SchedulerConfig {
   Duration default_span = Duration::Seconds(1.0);
   // History retention multiple (in units of the longest span estimate).
   double history_horizon_spans = 50.0;
+  // A check timer firing later than its armed deadline plus this slack is
+  // counted as late (drivers with slightly jittery wall-clock timers stay
+  // under it; fault-injected delays exceed it). The counting window is
+  // always clamped to the armed deadline regardless.
+  Duration late_check_slack = Duration::Milliseconds(10.0);
 };
 
 struct SchedulerStats {
@@ -42,6 +47,14 @@ struct SchedulerStats {
   std::uint64_t resyncs_issued = 0;
   std::uint64_t stale_checks_skipped = 0;
   std::uint64_t retunes = 0;
+  // Fault tolerance: notifies recognized as replayed/reordered and ignored.
+  std::uint64_t duplicate_notifies = 0;
+  // Check timers that fired past their armed deadline (plus slack).
+  std::uint64_t late_checks = 0;
+  // Epochs that could finish only because departed workers were excused.
+  std::uint64_t lost_worker_epochs_unblocked = 0;
+  std::uint64_t worker_departures = 0;
+  std::uint64_t worker_rejoins = 0;
 };
 
 class SpecSyncScheduler {
@@ -66,7 +79,20 @@ class SpecSyncScheduler {
 
   // A previously requested check timer fired (Algorithm 2 CheckResync).
   // Returns true when the worker should abort and re-synchronize.
+  // Token-idempotent: replaying a token (duplicated timer message) or firing
+  // a superseded one is a counted no-op. A timer firing past its armed
+  // deadline has its counting window clamped to the deadline, so a late
+  // check never issues a re-sync for pushes outside its intended window.
   bool HandleCheckTimer(WorkerId worker, std::uint64_t token, SimTime now);
+
+  // Worker departure/rejoin (crash injection, node loss). A departed worker
+  // stops being required for epoch completion — the epoch it would otherwise
+  // deadlock is finished on the spot if it was the last holdout — and its
+  // pending speculation window is cancelled. A rejoining worker must push
+  // again before the current epoch can end, and its span EWMA anchor is
+  // reset so the dead period is not folded into the estimate.
+  void OnWorkerDown(WorkerId worker, SimTime now);
+  void OnWorkerUp(WorkerId worker, SimTime now);
 
   const SpeculationParams& params() const { return params_; }
   EpochId epoch() const { return epoch_; }
@@ -75,10 +101,13 @@ class SpecSyncScheduler {
   std::size_t num_workers() const { return config_.num_workers; }
   // Per-worker smoothed iteration spans (tests / diagnostics).
   const std::vector<Duration>& iteration_spans() const { return spans_; }
+  // Per-worker membership (false after OnWorkerDown until OnWorkerUp).
+  const std::vector<bool>& active_workers() const { return active_; }
 
  private:
   void MaybeFinishEpoch(SimTime now);
   TuningInputs BuildTuningInputs(SimTime epoch_end) const;
+  std::size_t ActiveWorkerCount() const;
 
   SchedulerConfig config_;
   std::unique_ptr<SpeculationPolicy> policy_;
@@ -92,11 +121,13 @@ class SpecSyncScheduler {
   std::vector<Duration> spans_;          // smoothed T_i
   std::vector<SimTime> last_push_time_;  // per worker
   std::vector<bool> has_pushed_;         // per worker, ever
+  std::vector<bool> active_;             // per worker, membership
 
   // Speculation-window state per worker.
   struct PendingCheck {
     std::uint64_t token = 0;
     SimTime window_begin;
+    SimTime deadline;  // window_begin + abort_time at arm time
     bool active = false;
   };
   std::vector<PendingCheck> pending_;

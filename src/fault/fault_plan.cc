@@ -1,0 +1,111 @@
+#include "fault/fault_plan.h"
+
+#include "common/check.h"
+
+namespace specsync {
+
+namespace {
+
+void ValidateLink(const LinkFaultConfig& link) {
+  SPECSYNC_CHECK_GE(link.drop_probability, 0.0);
+  SPECSYNC_CHECK_LE(link.drop_probability, 1.0);
+  SPECSYNC_CHECK_GE(link.duplicate_probability, 0.0);
+  SPECSYNC_CHECK_LE(link.duplicate_probability, 1.0);
+  SPECSYNC_CHECK_GE(link.delay_probability, 0.0);
+  SPECSYNC_CHECK_LE(link.delay_probability, 1.0);
+  if (link.delay_probability > 0.0) {
+    SPECSYNC_CHECK_GT(link.delay_mean.seconds(), 0.0);
+  }
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : config_(std::move(config)),
+      data_rng_(0),
+      control_rng_(0) {
+  ValidateLink(config_.data);
+  ValidateLink(config_.control);
+  SPECSYNC_CHECK_GT(config_.pull_retry_timeout.seconds(), 0.0);
+  for (const SlowdownWindow& window : config_.slowdowns) {
+    SPECSYNC_CHECK(window.worker != kInvalidWorker);
+    SPECSYNC_CHECK(window.begin < window.end)
+        << "empty slowdown window for worker " << window.worker;
+    SPECSYNC_CHECK_GT(window.factor, 0.0);
+  }
+  for (const CrashEvent& crash : config_.crashes) {
+    SPECSYNC_CHECK(crash.worker != kInvalidWorker);
+    if (crash.rejoin.has_value()) {
+      SPECSYNC_CHECK(*crash.rejoin > crash.at)
+          << "worker " << crash.worker << " rejoins before it crashes";
+    }
+  }
+  // Well-separated per-class streams: the data link's decisions never shift
+  // when the control link draws more or fewer numbers, and vice versa.
+  Rng root(config_.seed);
+  data_rng_ = root.Fork();
+  control_rng_ = root.Fork();
+}
+
+FaultDecision FaultPlan::OnMessage(LinkClass link) {
+  const LinkFaultConfig& cfg =
+      link == LinkClass::kData ? config_.data : config_.control;
+  std::scoped_lock lock(mutex_);
+  ++stats_.messages_seen;
+  if (!cfg.enabled()) return {};
+  Rng& rng = link == LinkClass::kData ? data_rng_ : control_rng_;
+  // A fixed base draw count per message keeps the stream aligned no matter
+  // which of the three fault kinds are enabled.
+  const double u_drop = rng.Uniform(0.0, 1.0);
+  const double u_duplicate = rng.Uniform(0.0, 1.0);
+  const double u_delay = rng.Uniform(0.0, 1.0);
+  FaultDecision decision;
+  if (u_drop < cfg.drop_probability) {
+    decision.drop = true;
+    ++stats_.drops;
+    return decision;
+  }
+  if (u_duplicate < cfg.duplicate_probability) {
+    decision.duplicate = true;
+    ++stats_.duplicates;
+  }
+  if (u_delay < cfg.delay_probability) {
+    decision.extra_delay =
+        Duration::Seconds(rng.Exponential(1.0 / cfg.delay_mean.seconds()));
+    ++stats_.delays;
+  }
+  return decision;
+}
+
+double FaultPlan::SlowdownFactor(WorkerId worker, SimTime now) const {
+  double factor = 1.0;
+  for (const SlowdownWindow& window : config_.slowdowns) {
+    if (window.worker != worker) continue;
+    if (now >= window.begin && now < window.end) factor *= window.factor;
+  }
+  return factor;
+}
+
+const CrashEvent* FaultPlan::CrashFor(WorkerId worker) const {
+  for (const CrashEvent& crash : config_.crashes) {
+    if (crash.worker == worker) return &crash;
+  }
+  return nullptr;
+}
+
+void FaultPlan::CountCrash() {
+  std::scoped_lock lock(mutex_);
+  ++stats_.crashes;
+}
+
+void FaultPlan::CountRejoin() {
+  std::scoped_lock lock(mutex_);
+  ++stats_.rejoins;
+}
+
+FaultStats FaultPlan::stats() const {
+  std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace specsync

@@ -1,0 +1,145 @@
+// Seeded fault-injection plan shared by both execution engines.
+//
+// Real clusters are messy: links drop and replay messages, timers fire late,
+// nodes slow down under background load, and workers die mid-epoch (the
+// regime the paper's Fig. 3 measures and the reason speculative
+// re-synchronization pays off). A FaultPlan is the single description of that
+// messiness: per-link-class message fault probabilities (drop / duplicate /
+// extra delay), per-worker slowdown windows, and scheduled worker
+// crash/rejoin events. The discrete-event simulator consults it on every
+// transfer (NetworkModel::PlanTransfer) and the threaded runtime consults it
+// in its fault-injecting mailbox and worker-kill path — so one config
+// produces comparable chaos in both engines.
+//
+// Determinism: all message-fault decisions are drawn from per-link-class
+// streams forked from `FaultPlanConfig::seed`, so for a fixed seed and a
+// fixed call order the decision sequence replays bit-identically. Slowdown
+// windows and crash events are explicit schedules — deterministic by
+// construction. With every probability at zero and no scheduled events the
+// plan is inert: no RNG is consumed and every decision is the no-fault
+// decision, which keeps fault-free runs bit-identical to a build without the
+// hooks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace specsync {
+
+// Message-fault probabilities for one class of links.
+struct LinkFaultConfig {
+  // Probability a message is silently lost in transit.
+  double drop_probability = 0.0;
+  // Probability the network delivers a second copy of the message.
+  double duplicate_probability = 0.0;
+  // Probability the message is held up by an extra exponential delay with
+  // mean `delay_mean` on top of its nominal transfer time.
+  double delay_probability = 0.0;
+  Duration delay_mean = Duration::Milliseconds(5.0);
+
+  bool enabled() const {
+    return drop_probability > 0.0 || duplicate_probability > 0.0 ||
+           delay_probability > 0.0;
+  }
+};
+
+// The two link classes the protocol uses: bulk parameter traffic
+// (pulls / gradient pushes) and the tiny control messages (notify / re-sync).
+enum class LinkClass { kData = 0, kControl = 1 };
+
+// While `now` is in [begin, end), `worker`'s compute time is multiplied by
+// `factor` (> 1 = slower). Overlapping windows compound multiplicatively.
+struct SlowdownWindow {
+  WorkerId worker = kInvalidWorker;
+  SimTime begin;
+  SimTime end;
+  double factor = 1.0;
+};
+
+// Worker `worker` dies at `at`; if `rejoin` is set it comes back at that time
+// (with no memory of in-flight work), otherwise the death is permanent.
+struct CrashEvent {
+  WorkerId worker = kInvalidWorker;
+  SimTime at;
+  std::optional<SimTime> rejoin;
+};
+
+struct FaultPlanConfig {
+  LinkFaultConfig data;     // pulls and gradient pushes
+  LinkFaultConfig control;  // notify and re-sync messages
+  std::vector<SlowdownWindow> slowdowns;
+  std::vector<CrashEvent> crashes;
+  // Timeout before a dropped pull request is retried (simulator only; the
+  // runtime's pulls are in-process calls and cannot be lost).
+  Duration pull_retry_timeout = Duration::Milliseconds(50.0);
+  std::uint64_t seed = 0x5EEDFA17ULL;
+
+  bool enabled() const {
+    return data.enabled() || control.enabled() || !slowdowns.empty() ||
+           !crashes.empty();
+  }
+};
+
+// The fate of one message, drawn once at send time. `drop` wins over the
+// other two; `extra_delay` applies to every delivered copy.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  Duration extra_delay = Duration::Zero();
+};
+
+// Injection counters (what the plan actually did), distinct from the
+// scheduler's counters (how the protocol coped).
+struct FaultStats {
+  std::uint64_t messages_seen = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t rejoins = 0;
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(FaultPlanConfig config);
+
+  // Draws the fate of one message on `link`. Thread-safe; deterministic per
+  // link class given the call order on that class. Inert (no RNG consumed)
+  // when the link's probabilities are all zero.
+  FaultDecision OnMessage(LinkClass link);
+
+  // Product of the factors of all slowdown windows covering (worker, now);
+  // 1.0 outside every window. Pure function of the config (thread-safe).
+  double SlowdownFactor(WorkerId worker, SimTime now) const;
+
+  // The scheduled crash/rejoin events, in config order.
+  const std::vector<CrashEvent>& crashes() const { return config_.crashes; }
+
+  // First crash event scheduled for `worker` (the runtime's kill path
+  // honors one lifecycle event per worker), nullptr if none.
+  const CrashEvent* CrashFor(WorkerId worker) const;
+
+  // Engines report lifecycle events as they fire so stats() reflects what
+  // actually happened, not just what was scheduled.
+  void CountCrash();
+  void CountRejoin();
+
+  bool enabled() const { return config_.enabled(); }
+  const FaultPlanConfig& config() const { return config_; }
+  FaultStats stats() const;
+
+ private:
+  FaultPlanConfig config_;
+  mutable std::mutex mutex_;
+  Rng data_rng_;
+  Rng control_rng_;
+  FaultStats stats_;
+};
+
+}  // namespace specsync

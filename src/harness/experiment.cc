@@ -65,6 +65,7 @@ ExperimentResult RunExperiment(const Workload& workload,
     sim_config.stalls.mean_duration =
         workload.iteration_time * config.cluster.stall_duration_iters;
   }
+  sim_config.faults = config.cluster.faults;
 
   ClusterSim sim(workload.model, workload.schedule,
                  MakeSpeedModel(workload, config.cluster, config.seed),

@@ -40,6 +40,9 @@ struct ClusterSpec {
   bool enable_stalls = true;
   double stall_gap_iters = 3.0;       // mean gap between stalls
   double stall_duration_iters = 0.4;  // mean stall length
+  // Fault injection (message drop/duplication/delay, slowdown windows, worker
+  // crashes), forwarded to ClusterSimConfig::faults. Disabled by default.
+  FaultPlanConfig faults;
 
   static ClusterSpec Homogeneous(std::size_t num_workers) {
     ClusterSpec c;

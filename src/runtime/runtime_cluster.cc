@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "core/adaptive_tuner.h"
 #include "data/sharding.h"
+#include "runtime/fault_mailbox.h"
 #include "runtime/mailbox.h"
 
 namespace specsync {
@@ -24,7 +25,15 @@ struct NotifyMsg {
 struct PullMsg {
   WorkerId worker;
 };
-using SchedulerMsg = std::variant<NotifyMsg, PullMsg>;
+// Lifecycle events (reliable failure detection, sent via SendReliable).
+struct WorkerDownMsg {
+  WorkerId worker;
+};
+struct WorkerUpMsg {
+  WorkerId worker;
+};
+using SchedulerMsg =
+    std::variant<NotifyMsg, PullMsg, WorkerDownMsg, WorkerUpMsg>;
 
 // Maps wall time onto the SimTime axis the scheduler expects.
 class WallClock {
@@ -80,12 +89,14 @@ struct RuntimeCluster::Impl {
 
   std::unique_ptr<ParameterServer> server;
   WallClock clock;
-  Mailbox<SchedulerMsg> scheduler_mailbox;
+  FaultPlan faults;
+  FaultMailbox<SchedulerMsg> scheduler_mailbox;
 
   // Worker -> iteration index the scheduler wants aborted (-1 = none).
   std::vector<std::atomic<std::int64_t>> abort_target;
   std::vector<std::atomic<std::uint64_t>> completed;
   std::atomic<std::uint64_t> total_aborts{0};
+  std::atomic<std::uint64_t> workers_killed{0};
 
   // Scheduler state (owned by the scheduler thread after Run() starts).
   std::unique_ptr<SpecSyncScheduler> scheduler;
@@ -97,6 +108,8 @@ struct RuntimeCluster::Impl {
       : model(std::move(model_in)),
         schedule(std::move(schedule_in)),
         config(std::move(config_in)),
+        faults(config.faults),
+        scheduler_mailbox(&faults, LinkClass::kControl),
         abort_target(config.num_workers),
         completed(config.num_workers) {
     SPECSYNC_CHECK(model != nullptr);
@@ -104,6 +117,12 @@ struct RuntimeCluster::Impl {
     SPECSYNC_CHECK_GT(config.num_workers, 0u);
     SPECSYNC_CHECK_GT(config.compute_chunks, 0u);
     SPECSYNC_CHECK_LE(config.compute_chunks, config.batch_size);
+    for (const CrashEvent& event : config.faults.crashes) {
+      SPECSYNC_CHECK_LT(event.worker, config.num_workers);
+    }
+    for (const SlowdownWindow& window : config.faults.slowdowns) {
+      SPECSYNC_CHECK_LT(window.worker, config.num_workers);
+    }
     for (auto& a : abort_target) a.store(-1, std::memory_order_relaxed);
     for (auto& c : completed) c.store(0, std::memory_order_relaxed);
 
@@ -161,10 +180,15 @@ struct RuntimeCluster::Impl {
         timers.pop();
         if (scheduler->HandleCheckTimer(timer.worker, timer.token,
                                         clock.Now())) {
-          // "Send" the re-sync: target the iteration after the notify.
-          abort_target[timer.worker].store(
-              static_cast<std::int64_t>(timer.iteration + 1),
-              std::memory_order_release);
+          // "Send" the re-sync: target the iteration after the notify. The
+          // re-sync rides the control link, so it too can be lost.
+          const bool lost =
+              faults.enabled() && faults.OnMessage(LinkClass::kControl).drop;
+          if (!lost) {
+            abort_target[timer.worker].store(
+                static_cast<std::int64_t>(timer.iteration + 1),
+                std::memory_order_release);
+          }
         }
       }
       std::optional<SchedulerMsg> msg;
@@ -181,6 +205,14 @@ struct RuntimeCluster::Impl {
       }
       if (const auto* pull = std::get_if<PullMsg>(&*msg)) {
         scheduler->HandlePull(pull->worker, clock.Now());
+        continue;
+      }
+      if (const auto* down = std::get_if<WorkerDownMsg>(&*msg)) {
+        scheduler->OnWorkerDown(down->worker, clock.Now());
+        continue;
+      }
+      if (const auto* up = std::get_if<WorkerUpMsg>(&*msg)) {
+        scheduler->OnWorkerUp(up->worker, clock.Now());
         continue;
       }
       const auto& notify = std::get<NotifyMsg>(*msg);
@@ -202,16 +234,45 @@ struct RuntimeCluster::Impl {
     const std::size_t chunk_size =
         std::max<std::size_t>(1, config.batch_size / config.compute_chunks);
 
+    // Injected crash: honored at iteration start and chunk boundaries (like
+    // aborts, an in-flight chunk always completes). One lifecycle event per
+    // worker; the down/up messages ride the reliable failure-detection path.
+    const CrashEvent* crash = faults.CrashFor(w);
+    bool crash_pending = crash != nullptr;
+    const auto crash_due = [&] {
+      return crash_pending && clock.Now() >= crash->at;
+    };
+    // Returns true when the death is permanent (worker thread exits).
+    const auto handle_crash = [&] {
+      crash_pending = false;
+      faults.CountCrash();
+      if (scheduler) {
+        scheduler_mailbox.SendReliable(SchedulerMsg{WorkerDownMsg{w}});
+      }
+      if (!crash->rejoin.has_value()) {
+        workers_killed.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      std::this_thread::sleep_until(clock.ToTimePoint(*crash->rejoin));
+      faults.CountRejoin();
+      if (scheduler) {
+        scheduler_mailbox.SendReliable(SchedulerMsg{WorkerUpMsg{w}});
+      }
+      return false;  // in-flight work is discarded; re-pull and restart
+    };
+
     for (IterationId iteration = 0; iteration < config.iterations_per_worker;
          ++iteration) {
       bool pushed = false;
       while (!pushed) {
+        if (crash_due() && handle_crash()) return;
         PullResult snapshot = server->Pull();
         if (scheduler) scheduler_mailbox.Send(SchedulerMsg{PullMsg{w}});
 
         const std::vector<std::size_t> batch = sampler.NextBatch();
         std::vector<Gradient> chunks;
         bool aborted = false;
+        bool crashed = false;
         for (std::size_t begin = 0; begin < batch.size();
              begin += chunk_size) {
           const std::size_t end = std::min(begin + chunk_size, batch.size());
@@ -221,7 +282,19 @@ struct RuntimeCluster::Impl {
           model->LossAndGradient(snapshot.params, chunk, grad);
           chunks.push_back(std::move(grad));
           if (config.chunk_delay.count() > 0) {
-            std::this_thread::sleep_for(config.chunk_delay);
+            // Injected slowdown stretches the artificial per-chunk delay.
+            const double factor = faults.SlowdownFactor(w, clock.Now());
+            if (factor != 1.0) {
+              std::this_thread::sleep_for(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      config.chunk_delay * factor));
+            } else {
+              std::this_thread::sleep_for(config.chunk_delay);
+            }
+          }
+          if (crash_due()) {
+            crashed = true;
+            break;
           }
           // Honor a re-sync aimed at this iteration (abort-and-refresh).
           std::int64_t expected = static_cast<std::int64_t>(iteration);
@@ -231,6 +304,10 @@ struct RuntimeCluster::Impl {
             total_aborts.fetch_add(1, std::memory_order_relaxed);
             break;
           }
+        }
+        if (crashed) {
+          if (handle_crash()) return;
+          continue;  // rejoined: discard the iteration and re-pull
         }
         if (aborted) continue;  // re-pull fresher parameters and start over
 
@@ -272,6 +349,8 @@ struct RuntimeCluster::Impl {
     result.total_pushes = server->version();
     result.total_aborts = total_aborts.load(std::memory_order_relaxed);
     result.scheduler_stats = final_stats;
+    result.fault_stats = faults.stats();
+    result.workers_killed = workers_killed.load(std::memory_order_relaxed);
     result.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start);
     return result;

@@ -15,6 +15,7 @@
 
 #include "core/scheduler.h"
 #include "core/speculation.h"
+#include "fault/fault_plan.h"
 #include "models/model.h"
 #include "optim/lr_schedule.h"
 #include "ps/param_store.h"
@@ -38,6 +39,11 @@ struct RuntimeConfig {
   std::size_t num_servers = 4;
   double sgd_clip = 0.0;
   std::uint64_t seed = 123;
+  // Fault injection: control-link faults apply to the scheduler mailbox and
+  // re-sync delivery, slowdown windows scale chunk_delay, and crash events
+  // kill (and optionally rejoin) worker threads. Default = disabled, which
+  // leaves the runtime's behavior untouched.
+  FaultPlanConfig faults;
 };
 
 struct RuntimeResult {
@@ -47,6 +53,9 @@ struct RuntimeResult {
   SchedulerStats scheduler_stats;
   std::chrono::milliseconds elapsed{0};
   DenseVector final_weights;
+  FaultStats fault_stats;
+  // Workers that died permanently (crash with no rejoin).
+  std::uint64_t workers_killed = 0;
 };
 
 class RuntimeCluster {

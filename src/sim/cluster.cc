@@ -81,6 +81,7 @@ struct ClusterSim::Impl {
   Rng rng;
   NetworkModel network;
   StallSchedule stalls;
+  FaultPlan faults;
   std::unique_ptr<ParameterServer> server;
   std::unique_ptr<ConsistencyController> controller;
   std::unique_ptr<SpecSyncScheduler> scheduler;  // null when speculation off
@@ -95,8 +96,12 @@ struct ClusterSim::Impl {
     std::uint64_t snapshot_version = 0;
     bool computing = false;
     bool blocked = false;          // gated by BSP/SSP
+    bool crashed = false;          // down due to an injected CrashEvent
     SimTime compute_start = SimTime::Zero();
     std::uint64_t compute_generation = 0;  // invalidates stale finish events
+    // Iteration already aborted once; makes re-sync delivery idempotent
+    // under duplicated/delayed control messages.
+    std::optional<IterationId> last_abort;
 
     WorkerState(std::unique_ptr<BatchSampler> s, Rng r)
         : sampler(std::move(s)), rng(std::move(r)) {}
@@ -121,12 +126,19 @@ struct ClusterSim::Impl {
         rng(config.seed),
         network(config.network),
         stalls(config.stalls, Rng(config.seed ^ 0x57A11u)),
+        faults(config.faults),
         trace(config.num_workers) {
     SPECSYNC_CHECK(model != nullptr);
     SPECSYNC_CHECK(schedule != nullptr);
     SPECSYNC_CHECK(speed != nullptr);
     SPECSYNC_CHECK_GT(config.num_workers, 0u);
     SPECSYNC_CHECK_GT(config.batch_size, 0u);
+    for (const CrashEvent& event : config.faults.crashes) {
+      SPECSYNC_CHECK_LT(event.worker, config.num_workers);
+    }
+    for (const SlowdownWindow& window : config.faults.slowdowns) {
+      SPECSYNC_CHECK_LT(window.worker, config.num_workers);
+    }
 
     auto applier = std::make_shared<SgdApplier>(schedule,
                                                 SgdConfig{config.sgd_clip});
@@ -160,13 +172,19 @@ struct ClusterSim::Impl {
   }
 
   // Global epoch for the learning-rate schedule: completed iterations of the
-  // slowest worker (paper Sec. II-B's epoch definition).
+  // slowest *live* worker (paper Sec. II-B's epoch definition). A crashed
+  // worker must not pin the learning rate forever; if every worker is down,
+  // fall back to the overall minimum.
   EpochId GlobalEpoch() const {
-    IterationId min_completed = workers[0].completed;
+    std::optional<IterationId> min_live;
+    IterationId min_all = workers[0].completed;
     for (const WorkerState& w : workers) {
-      min_completed = std::min(min_completed, w.completed);
+      min_all = std::min(min_all, w.completed);
+      if (w.crashed) continue;
+      min_live = min_live.has_value() ? std::min(*min_live, w.completed)
+                                      : w.completed;
     }
-    return min_completed;
+    return min_live.value_or(min_all);
   }
 
   std::uint64_t TotalPushes() const { return trace.total_pushes(); }
@@ -174,7 +192,7 @@ struct ClusterSim::Impl {
   // --- worker lifecycle ----------------------------------------------------
 
   void TryBeginIteration(WorkerId w) {
-    if (stopped) return;
+    if (stopped || workers[w].crashed) return;
     WorkerState& worker = workers[w];
     if (!controller->MayStart(w, worker.completed)) {
       worker.blocked = true;
@@ -190,17 +208,24 @@ struct ClusterSim::Impl {
   }
 
   void BeginPull(WorkerId w) {
-    if (stopped) return;
-    const Duration delay =
-        network.TransferTime(server->pull_bytes(), workers[w].rng);
+    if (stopped || workers[w].crashed) return;
+    const NetworkModel::TransferPlan plan = network.PlanTransfer(
+        server->pull_bytes(), LinkClass::kData, workers[w].rng, &faults);
+    if (plan.drop) {
+      // Lost pull request/response: the worker times out and retries.
+      // (Duplicated pulls are idempotent reads and need no special case.)
+      sim.ScheduleAfter(plan.delay + faults.config().pull_retry_timeout,
+                        [this, w] { BeginPull(w); });
+      return;
+    }
     // A stalled server cannot serve the pull; the response is batched with
     // everything else the stall delayed.
-    const SimTime arrival = stalls.Defer(sim.now() + delay);
+    const SimTime arrival = stalls.Defer(sim.now() + plan.delay);
     sim.ScheduleAt(arrival, [this, w] { OnPullComplete(w); });
   }
 
   void OnPullComplete(WorkerId w) {
-    if (stopped) return;
+    if (stopped || workers[w].crashed) return;
     WorkerState& worker = workers[w];
     PullResult pulled = server->Pull();
     worker.snapshot = std::move(pulled.params);
@@ -217,7 +242,11 @@ struct ClusterSim::Impl {
     worker.computing = true;
     worker.compute_start = sim.now();
     const std::uint64_t generation = ++worker.compute_generation;
-    const Duration span = speed->ComputeTime(w, sim.now(), worker.rng);
+    Duration span = speed->ComputeTime(w, sim.now(), worker.rng);
+    // Injected slowdown (background load, thermal throttling). The exact-1.0
+    // guard keeps fault-free runs bit-identical.
+    const double factor = faults.SlowdownFactor(w, sim.now());
+    if (factor != 1.0) span = span * factor;
     sim.ScheduleAfter(span, [this, w, generation] {
       if (stopped) return;
       if (workers[w].compute_generation != generation) return;  // aborted
@@ -234,10 +263,22 @@ struct ClusterSim::Impl {
     auto grad = std::make_shared<Gradient>();
     const std::vector<std::size_t> batch = worker.sampler->NextBatch();
     model->LossAndGradient(worker.snapshot, batch, *grad);
-    const Duration delay =
-        network.TransferTime(grad->wire_bytes(), worker.rng);
-    const SimTime arrival = stalls.Defer(sim.now() + delay);
+    const NetworkModel::TransferPlan plan = network.PlanTransfer(
+        grad->wire_bytes(), LinkClass::kData, worker.rng, &faults);
+    if (plan.drop) {
+      // The gradient vanishes on the wire, but the worker cannot know: it
+      // proceeds (and notifies) as if the push landed. No stall defer — the
+      // message never reaches the server.
+      sim.ScheduleAfter(plan.delay, [this, w] { OnPushLost(w); });
+      return;
+    }
+    const SimTime arrival = stalls.Defer(sim.now() + plan.delay);
     sim.ScheduleAt(arrival, [this, w, grad] { OnPushArrive(w, *grad); });
+    if (plan.duplicate) {
+      // Network-level replay: the gradient is applied a second time, but the
+      // worker-side bookkeeping (completed, notify) happens only once.
+      sim.ScheduleAt(arrival, [this, w, grad] { OnDuplicatePush(w, *grad); });
+    }
   }
 
   void OnPushArrive(WorkerId w, const Gradient& grad) {
@@ -258,15 +299,46 @@ struct ClusterSim::Impl {
       return;
     }
 
-    if (scheduler) {
-      const Duration delay =
-          network.TransferTime(kControlMessageBytes, worker.rng);
-      sim.ScheduleAfter(delay,
-                        [this, w, iteration] { OnNotifyArrive(w, iteration); });
-    }
+    // A push from a worker that crashed while the message was in flight
+    // still lands on the server, but the worker is gone: no notify, no next
+    // iteration. Its push may still unblock others under BSP/SSP.
+    if (!worker.crashed) SendNotify(w, iteration);
+    ReleaseBlockedWorkers();
+    if (!worker.crashed) TryBeginIteration(w);
+  }
 
+  // A push whose gradient was dropped in transit: the server never sees it,
+  // but the worker-side protocol proceeds exactly as after a real push.
+  void OnPushLost(WorkerId w) {
+    if (stopped || workers[w].crashed) return;
+    WorkerState& worker = workers[w];
+    const IterationId iteration = worker.completed;
+    controller->OnPush(w, iteration);
+    worker.completed = iteration + 1;
+    SendNotify(w, iteration);
     ReleaseBlockedWorkers();
     TryBeginIteration(w);
+  }
+
+  // Second delivery of a duplicated gradient: server-side effect only.
+  void OnDuplicatePush(WorkerId w, const Gradient& grad) {
+    if (stopped) return;
+    server->Push(grad, GlobalEpoch());
+    transfers.Charge(TransferCategory::kPushGrads, grad.wire_bytes(),
+                     sim.now());
+  }
+
+  void SendNotify(WorkerId w, IterationId iteration) {
+    if (!scheduler) return;
+    const NetworkModel::TransferPlan plan = network.PlanTransfer(
+        kControlMessageBytes, LinkClass::kControl, workers[w].rng, &faults);
+    if (plan.drop) return;  // the scheduler never hears about this push
+    sim.ScheduleAfter(plan.delay,
+                      [this, w, iteration] { OnNotifyArrive(w, iteration); });
+    if (plan.duplicate) {
+      sim.ScheduleAfter(plan.delay,
+                        [this, w, iteration] { OnNotifyArrive(w, iteration); });
+    }
   }
 
   // --- SpecSync protocol (Algorithm 2 driver) ------------------------------
@@ -286,10 +358,15 @@ struct ClusterSim::Impl {
   void OnCheckTimer(WorkerId w, std::uint64_t token, IterationId iteration) {
     if (stopped) return;
     if (!scheduler->HandleCheckTimer(w, token, sim.now())) return;
-    const Duration delay =
-        network.TransferTime(kControlMessageBytes, workers[w].rng);
-    sim.ScheduleAfter(delay,
+    const NetworkModel::TransferPlan plan = network.PlanTransfer(
+        kControlMessageBytes, LinkClass::kControl, workers[w].rng, &faults);
+    if (plan.drop) return;  // lost re-sync: the worker keeps computing stale
+    sim.ScheduleAfter(plan.delay,
                       [this, w, iteration] { OnReSyncArrive(w, iteration); });
+    if (plan.duplicate) {
+      sim.ScheduleAfter(plan.delay,
+                        [this, w, iteration] { OnReSyncArrive(w, iteration); });
+    }
   }
 
   void OnReSyncArrive(WorkerId w, IterationId notified_iteration) {
@@ -304,11 +381,47 @@ struct ClusterSim::Impl {
     if (worker.completed != notified_iteration + 1 || !worker.computing) {
       return;
     }
+    // A duplicated or delayed re-sync must not abort the *restarted*
+    // computation of the same iteration: one abort per iteration.
+    if (worker.last_abort == notified_iteration) return;
+    worker.last_abort = notified_iteration;
     const Duration wasted = sim.now() - worker.compute_start;
     trace.RecordAbort(w, sim.now(), wasted);
     ++worker.compute_generation;  // cancels the in-flight finish event
     worker.computing = false;
     BeginPull(w);  // re-synchronize: fresh pull, then restart computation
+  }
+
+  // --- injected worker lifecycle -------------------------------------------
+
+  void OnWorkerCrash(const CrashEvent& event) {
+    if (stopped) return;
+    WorkerState& worker = workers[event.worker];
+    if (worker.crashed) return;
+    worker.crashed = true;
+    worker.computing = false;
+    worker.blocked = false;
+    ++worker.compute_generation;  // cancels any in-flight compute finish
+    faults.CountCrash();
+    SPECSYNC_LOG(kDebug) << "worker " << event.worker << " crashed at "
+                         << sim.now();
+    if (scheduler) scheduler->OnWorkerDown(event.worker, sim.now());
+    if (event.rejoin.has_value()) {
+      const WorkerId w = event.worker;
+      sim.ScheduleAt(*event.rejoin, [this, w] { OnWorkerRejoin(w); });
+    }
+  }
+
+  void OnWorkerRejoin(WorkerId w) {
+    if (stopped) return;
+    WorkerState& worker = workers[w];
+    if (!worker.crashed) return;
+    worker.crashed = false;
+    faults.CountRejoin();
+    SPECSYNC_LOG(kDebug) << "worker " << w << " rejoined at " << sim.now();
+    if (scheduler) scheduler->OnWorkerUp(w, sim.now());
+    // No memory of in-flight work: start from a fresh pull.
+    TryBeginIteration(w);
   }
 
   void ReleaseBlockedWorkers() {
@@ -366,6 +479,9 @@ struct ClusterSim::Impl {
     for (WorkerId w = 0; w < config.num_workers; ++w) {
       sim.ScheduleAfter(Duration::Zero(), [this, w] { TryBeginIteration(w); });
     }
+    for (const CrashEvent& event : faults.crashes()) {
+      sim.ScheduleAt(event.at, [this, event] { OnWorkerCrash(event); });
+    }
     sim.ScheduleAfter(config.eval_interval, [this] { OnEvalTimer(); });
     sim.Run(config.max_time);
 
@@ -382,6 +498,7 @@ struct ClusterSim::Impl {
       result.scheduler_stats = scheduler->stats();
       result.final_params = scheduler->params();
     }
+    result.fault_stats = faults.stats();
     trace.RecordLoss(sim.now(), result.final_loss, TotalPushes(),
                      GlobalEpoch());
     result.trace = std::move(trace);

@@ -16,6 +16,7 @@
 #include "core/scheduler.h"
 #include "core/speculation.h"
 #include "data/sharding.h"
+#include "fault/fault_plan.h"
 #include "models/model.h"
 #include "optim/lr_schedule.h"
 #include "ps/consistency.h"
@@ -83,6 +84,10 @@ struct ClusterSimConfig {
   SchemeSpec scheme;
   NetworkConfig network;
   StallConfig stalls;
+  // Fault injection (message drop/duplication/delay, slowdowns, crashes).
+  // Default-constructed = disabled; with all-zero probabilities and no
+  // crash/slowdown events the run is bit-identical to a fault-free one.
+  FaultPlanConfig faults;
   // Virtual-time cadence of loss evaluation (server-side snapshot).
   Duration eval_interval = Duration::Seconds(5.0);
   // Examples used per loss evaluation (0 = full dataset).
@@ -113,6 +118,7 @@ struct SimResult {
   std::uint64_t total_aborts = 0;
   SpeculationParams final_params;
   DenseVector final_weights;
+  FaultStats fault_stats;
 
   SimResult() : trace(1) {}
 };

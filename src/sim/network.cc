@@ -25,6 +25,19 @@ Duration NetworkModel::TransferTime(std::size_t bytes, Rng& rng) const {
   return Duration::Seconds(seconds);
 }
 
+NetworkModel::TransferPlan NetworkModel::PlanTransfer(std::size_t bytes,
+                                                      LinkClass link, Rng& rng,
+                                                      FaultPlan* faults) const {
+  TransferPlan plan;
+  plan.delay = TransferTime(bytes, rng);
+  if (faults == nullptr || !faults->enabled()) return plan;
+  const FaultDecision decision = faults->OnMessage(link);
+  plan.drop = decision.drop;
+  plan.duplicate = decision.duplicate;
+  plan.delay += decision.extra_delay;
+  return plan;
+}
+
 StallSchedule::StallSchedule(StallConfig config, Rng rng)
     : config_(config), rng_(std::move(rng)) {
   if (config_.enabled) {

@@ -10,6 +10,7 @@
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "fault/fault_plan.h"
 
 namespace specsync {
 
@@ -31,6 +32,22 @@ class NetworkModel {
 
   // Time to deliver a message of `bytes` over one link.
   Duration TransferTime(std::size_t bytes, Rng& rng) const;
+
+  // One planned transfer with fault injection folded in. `delay` includes
+  // any fault-injected extra latency; `drop` wins over `duplicate`.
+  struct TransferPlan {
+    bool drop = false;
+    bool duplicate = false;
+    Duration delay = Duration::Zero();
+  };
+
+  // Plans a transfer over `link`, consulting `faults` (may be null or
+  // disabled, in which case this is exactly TransferTime). The base
+  // transfer-time draw always happens first from `rng`, so enabling faults
+  // never perturbs the existing jitter stream — with all-zero fault
+  // probabilities the schedule is bit-identical to a fault-free run.
+  TransferPlan PlanTransfer(std::size_t bytes, LinkClass link, Rng& rng,
+                            FaultPlan* faults) const;
 
   const NetworkConfig& config() const { return config_; }
 
@@ -58,6 +75,13 @@ class StallSchedule {
 
   // Effective delivery time for a message nominally arriving at `arrival`
   // (identical to `arrival` when no stall covers it).
+  //
+  // Safe for out-of-order queries. The lazily generated window list is
+  // prefix-complete: GenerateUpTo extends it strictly past the largest
+  // `arrival` seen so far and never inserts a window before
+  // `generated_until_`, so an earlier arrival queried later sees exactly
+  // the windows it would have seen in monotone order — same RNG draws,
+  // bit-identical answers (regression-tested in sim_test).
   SimTime Defer(SimTime arrival);
 
   bool enabled() const { return config_.enabled; }

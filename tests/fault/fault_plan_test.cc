@@ -1,0 +1,217 @@
+// Tests for the seeded fault-injection plan: deterministic replay, injection
+// rates within statistical tolerance, slowdown/crash schedules, validation.
+#include "fault/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace specsync {
+namespace {
+
+SimTime T(double s) { return SimTime::FromSeconds(s); }
+
+FaultPlanConfig LossyConfig(std::uint64_t seed = 7) {
+  FaultPlanConfig config;
+  config.data.drop_probability = 0.2;
+  config.data.duplicate_probability = 0.1;
+  config.data.delay_probability = 0.15;
+  config.control.drop_probability = 0.05;
+  config.control.duplicate_probability = 0.05;
+  config.seed = seed;
+  return config;
+}
+
+struct DecisionKey {
+  bool drop;
+  bool duplicate;
+  double extra_delay;
+  bool operator==(const DecisionKey&) const = default;
+};
+
+DecisionKey Key(const FaultDecision& d) {
+  return {d.drop, d.duplicate, d.extra_delay.seconds()};
+}
+
+TEST(FaultPlanTest, SameSeedReplaysIdentically) {
+  FaultPlan a(LossyConfig());
+  FaultPlan b(LossyConfig());
+  for (int i = 0; i < 5000; ++i) {
+    const LinkClass link = (i % 3 == 0) ? LinkClass::kControl : LinkClass::kData;
+    EXPECT_EQ(Key(a.OnMessage(link)), Key(b.OnMessage(link)));
+  }
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+  EXPECT_EQ(a.stats().duplicates, b.stats().duplicates);
+  EXPECT_EQ(a.stats().delays, b.stats().delays);
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiffer) {
+  FaultPlan a(LossyConfig(7));
+  FaultPlan b(LossyConfig(8));
+  int differing = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (!(Key(a.OnMessage(LinkClass::kData)) ==
+          Key(b.OnMessage(LinkClass::kData)))) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, LinkStreamsAreIndependent) {
+  // Interleaving extra control-link traffic must not shift the data link's
+  // decision sequence (separate forked streams per link class).
+  FaultPlan quiet(LossyConfig());
+  FaultPlan noisy(LossyConfig());
+  for (int i = 0; i < 1000; ++i) {
+    noisy.OnMessage(LinkClass::kControl);
+    if (i % 7 == 0) noisy.OnMessage(LinkClass::kControl);
+    EXPECT_EQ(Key(quiet.OnMessage(LinkClass::kData)),
+              Key(noisy.OnMessage(LinkClass::kData)));
+  }
+}
+
+TEST(FaultPlanTest, DropRateWithinTolerance) {
+  FaultPlanConfig config;
+  config.data.drop_probability = 0.2;
+  FaultPlan plan(config);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) plan.OnMessage(LinkClass::kData);
+  const FaultStats stats = plan.stats();
+  EXPECT_EQ(stats.messages_seen, static_cast<std::uint64_t>(n));
+  const double rate = static_cast<double>(stats.drops) / n;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+  // Only drops were configured on this link.
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.delays, 0u);
+}
+
+TEST(FaultPlanTest, DuplicateAndDelayRatesWithinTolerance) {
+  FaultPlanConfig config;
+  config.control.duplicate_probability = 0.3;
+  config.control.delay_probability = 0.25;
+  config.control.delay_mean = Duration::Milliseconds(2.0);
+  FaultPlan plan(config);
+  const int n = 20000;
+  double total_delay = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total_delay += plan.OnMessage(LinkClass::kControl).extra_delay.seconds();
+  }
+  const FaultStats stats = plan.stats();
+  EXPECT_NEAR(static_cast<double>(stats.duplicates) / n, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(stats.delays) / n, 0.25, 0.02);
+  // Mean extra delay over delayed messages ~ delay_mean.
+  EXPECT_NEAR(total_delay / static_cast<double>(stats.delays), 2.0e-3, 4e-4);
+  EXPECT_EQ(stats.drops, 0u);
+}
+
+TEST(FaultPlanTest, DropWinsOverDuplicateAndDelay) {
+  FaultPlanConfig config;
+  config.data.drop_probability = 1.0;
+  config.data.duplicate_probability = 1.0;
+  config.data.delay_probability = 1.0;
+  FaultPlan plan(config);
+  for (int i = 0; i < 100; ++i) {
+    const FaultDecision decision = plan.OnMessage(LinkClass::kData);
+    EXPECT_TRUE(decision.drop);
+    EXPECT_FALSE(decision.duplicate);
+    EXPECT_EQ(decision.extra_delay, Duration::Zero());
+  }
+  EXPECT_EQ(plan.stats().drops, 100u);
+  EXPECT_EQ(plan.stats().duplicates, 0u);
+}
+
+TEST(FaultPlanTest, DisabledPlanIsInert) {
+  FaultPlan plan(FaultPlanConfig{});
+  EXPECT_FALSE(plan.enabled());
+  for (int i = 0; i < 100; ++i) {
+    const FaultDecision decision = plan.OnMessage(LinkClass::kData);
+    EXPECT_FALSE(decision.drop);
+    EXPECT_FALSE(decision.duplicate);
+    EXPECT_EQ(decision.extra_delay, Duration::Zero());
+  }
+  const FaultStats stats = plan.stats();
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_EQ(stats.duplicates, 0u);
+  EXPECT_EQ(stats.delays, 0u);
+}
+
+TEST(FaultPlanTest, SlowdownFactorHonorsWindows) {
+  FaultPlanConfig config;
+  config.slowdowns.push_back(SlowdownWindow{0, T(1.0), T(3.0), 2.0});
+  config.slowdowns.push_back(SlowdownWindow{0, T(2.0), T(4.0), 3.0});
+  config.slowdowns.push_back(SlowdownWindow{1, T(0.0), T(10.0), 5.0});
+  FaultPlan plan(config);
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(0, T(0.5)), 1.0);   // before windows
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(0, T(1.5)), 2.0);   // first only
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(0, T(2.5)), 6.0);   // overlap compounds
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(0, T(3.5)), 3.0);   // second only
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(0, T(4.0)), 1.0);   // end exclusive
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(1, T(2.5)), 5.0);   // other worker
+  EXPECT_DOUBLE_EQ(plan.SlowdownFactor(2, T(2.5)), 1.0);   // unaffected worker
+}
+
+TEST(FaultPlanTest, CrashForReturnsFirstEventPerWorker) {
+  FaultPlanConfig config;
+  config.crashes.push_back(CrashEvent{2, T(5.0), std::nullopt});
+  config.crashes.push_back(CrashEvent{0, T(1.0), T(2.0)});
+  config.crashes.push_back(CrashEvent{2, T(9.0), std::nullopt});
+  FaultPlan plan(config);
+  ASSERT_NE(plan.CrashFor(2), nullptr);
+  EXPECT_EQ(plan.CrashFor(2)->at, T(5.0));
+  ASSERT_NE(plan.CrashFor(0), nullptr);
+  ASSERT_TRUE(plan.CrashFor(0)->rejoin.has_value());
+  EXPECT_EQ(plan.CrashFor(1), nullptr);
+  EXPECT_EQ(plan.crashes().size(), 3u);
+}
+
+TEST(FaultPlanTest, LifecycleCountersReflectReports) {
+  FaultPlanConfig config;
+  config.crashes.push_back(CrashEvent{0, T(1.0), T(2.0)});
+  FaultPlan plan(config);
+  plan.CountCrash();
+  plan.CountRejoin();
+  plan.CountCrash();
+  EXPECT_EQ(plan.stats().crashes, 2u);
+  EXPECT_EQ(plan.stats().rejoins, 1u);
+}
+
+TEST(FaultPlanTest, ValidationRejectsBadConfigs) {
+  {
+    FaultPlanConfig config;
+    config.data.drop_probability = 1.5;
+    EXPECT_THROW(FaultPlan{config}, CheckError);
+  }
+  {
+    FaultPlanConfig config;
+    config.control.delay_probability = 0.1;
+    config.control.delay_mean = Duration::Zero();
+    EXPECT_THROW(FaultPlan{config}, CheckError);
+  }
+  {
+    FaultPlanConfig config;
+    config.slowdowns.push_back(SlowdownWindow{0, T(2.0), T(1.0), 2.0});
+    EXPECT_THROW(FaultPlan{config}, CheckError);
+  }
+  {
+    FaultPlanConfig config;
+    config.slowdowns.push_back(SlowdownWindow{0, T(1.0), T(2.0), 0.0});
+    EXPECT_THROW(FaultPlan{config}, CheckError);
+  }
+  {
+    FaultPlanConfig config;
+    config.crashes.push_back(CrashEvent{0, T(5.0), T(4.0)});
+    EXPECT_THROW(FaultPlan{config}, CheckError);
+  }
+  {
+    FaultPlanConfig config;
+    config.pull_retry_timeout = Duration::Zero();
+    EXPECT_THROW(FaultPlan{config}, CheckError);
+  }
+}
+
+}  // namespace
+}  // namespace specsync

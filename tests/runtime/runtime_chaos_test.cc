@@ -1,0 +1,259 @@
+// Chaos tests for the threaded runtime: the fault-injecting mailbox contract,
+// and full training runs under message loss, duplication, delay, slowdown, and
+// worker crashes. These are the primary TSan/ASan targets — they exercise the
+// scheduler thread, worker threads, and the fault plan concurrently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "data/synthetic.h"
+#include "models/softmax_regression.h"
+#include "runtime/fault_mailbox.h"
+#include "runtime/runtime_cluster.h"
+#include "tensor/vector.h"
+
+namespace specsync {
+namespace {
+
+// --- FaultMailbox --------------------------------------------------------------
+
+TEST(FaultMailboxTest, NullPlanIsPlainFifo) {
+  FaultMailbox<int> box;
+  EXPECT_TRUE(box.Send(1));
+  EXPECT_TRUE(box.Send(2));
+  EXPECT_TRUE(box.Send(3));
+  EXPECT_EQ(box.size(), 3u);
+  EXPECT_EQ(box.Receive(), 1);
+  EXPECT_EQ(box.Receive(), 2);
+  EXPECT_EQ(box.Receive(), 3);
+  EXPECT_EQ(box.TryReceive(), std::nullopt);
+}
+
+TEST(FaultMailboxTest, DropAllSwallowsSilently) {
+  FaultPlanConfig config;
+  config.control.drop_probability = 1.0;
+  FaultPlan plan(config);
+  FaultMailbox<int> box(&plan);
+  // The sender cannot tell a swallowed message from a delivered one.
+  EXPECT_TRUE(box.Send(1));
+  EXPECT_TRUE(box.Send(2));
+  EXPECT_TRUE(box.Send(3));
+  EXPECT_EQ(box.size(), 0u);
+  EXPECT_EQ(box.TryReceive(), std::nullopt);
+  EXPECT_EQ(plan.stats().drops, 3u);
+}
+
+TEST(FaultMailboxTest, DuplicateAllDeliversTwiceInOrder) {
+  FaultPlanConfig config;
+  config.control.duplicate_probability = 1.0;
+  FaultPlan plan(config);
+  FaultMailbox<int> box(&plan);
+  box.Send(1);
+  box.Send(2);
+  box.Send(3);
+  EXPECT_EQ(box.size(), 6u);
+  for (int expected : {1, 1, 2, 2, 3, 3}) {
+    EXPECT_EQ(box.Receive(), expected);
+  }
+}
+
+TEST(FaultMailboxTest, CloseMakesDelayedMessagesDrainImmediately) {
+  FaultPlanConfig config;
+  config.control.delay_probability = 1.0;
+  config.control.delay_mean = Duration::Seconds(10.0);
+  FaultPlan plan(config);
+  FaultMailbox<int> box(&plan);
+  for (int i = 0; i < 5; ++i) box.Send(i);
+  EXPECT_EQ(box.size(), 5u);
+  // Messages delayed by ~10 s are not yet visible...
+  EXPECT_EQ(box.TryReceive(), std::nullopt);
+  // ...but shutdown must drain injected latency, not wait it out.
+  box.Close();
+  int received = 0;
+  while (box.Receive().has_value()) ++received;
+  EXPECT_EQ(received, 5);
+}
+
+TEST(FaultMailboxTest, SendReliableBypassesFaults) {
+  FaultPlanConfig config;
+  config.control.drop_probability = 1.0;
+  FaultPlan plan(config);
+  FaultMailbox<int> box(&plan);
+  box.Send(1);  // swallowed
+  EXPECT_TRUE(box.SendReliable(42));
+  EXPECT_EQ(box.size(), 1u);
+  EXPECT_EQ(box.Receive(), 42);
+}
+
+TEST(FaultMailboxTest, ReceiveUntilHonorsDeadlineWithDelayedTraffic) {
+  FaultPlanConfig config;
+  config.control.delay_probability = 1.0;
+  config.control.delay_mean = Duration::Seconds(30.0);
+  FaultPlan plan(config);
+  FaultMailbox<int> box(&plan);
+  box.Send(7);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_EQ(box.ReceiveUntil(deadline), std::nullopt);
+  EXPECT_FALSE(box.closed());
+}
+
+TEST(FaultMailboxTest, ConcurrentProducersUnderDuplication) {
+  FaultPlanConfig config;
+  config.control.duplicate_probability = 1.0;
+  FaultPlan plan(config);
+  FaultMailbox<int> box(&plan);
+  constexpr int kPerProducer = 200;
+  {
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&box] {
+        for (int i = 0; i < kPerProducer; ++i) box.Send(1);
+      });
+    }
+  }
+  int total = 0;
+  while (auto v = box.TryReceive()) total += *v;
+  EXPECT_EQ(total, 2 * 4 * kPerProducer);
+}
+
+// --- runtime under chaos -------------------------------------------------------
+
+std::shared_ptr<const Model> TinyModel(std::uint64_t seed) {
+  Rng rng(seed);
+  ClassificationSpec spec;
+  spec.num_examples = 300;
+  spec.feature_dim = 8;
+  spec.num_classes = 3;
+  auto data = std::make_shared<ClassificationDataset>(
+      GenerateClassification(spec, rng));
+  return std::make_shared<SoftmaxRegressionModel>(std::move(data),
+                                                  SoftmaxRegressionConfig{});
+}
+
+double InitLoss(const Model& model, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> params(model.param_dim());
+  model.InitParams(params, rng);
+  return model.FullLoss(params, 300);
+}
+
+TEST(RuntimeChaosTest, ZeroFaultConfigLeavesRuntimeUntouched) {
+  RuntimeConfig config;
+  config.num_workers = 3;
+  config.iterations_per_worker = 15;
+  config.batch_size = 16;
+  config.fixed_params.abort_time = Duration::Milliseconds(1.0);
+  config.fixed_params.abort_rate = 0.5;
+  // Explicit but inert fault config: a present FaultPlanConfig with all-zero
+  // probabilities and no events must not change anything.
+  config.faults.control.drop_probability = 0.0;
+  config.faults.seed = 42;
+  RuntimeCluster cluster(TinyModel(1), std::make_shared<ConstantSchedule>(0.2),
+                         config);
+  const RuntimeResult result = cluster.Run();
+  EXPECT_EQ(result.total_pushes, 45u);
+  EXPECT_EQ(result.workers_killed, 0u);
+  EXPECT_EQ(result.fault_stats.messages_seen, 0u);
+  EXPECT_EQ(result.fault_stats.drops, 0u);
+  EXPECT_EQ(result.fault_stats.crashes, 0u);
+  EXPECT_EQ(result.scheduler_stats.worker_departures, 0u);
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+TEST(RuntimeChaosTest, LossyControlPlaneWithKilledWorkerStillConverges) {
+  RuntimeConfig config;
+  config.num_workers = 4;
+  config.iterations_per_worker = 30;
+  config.batch_size = 16;
+  config.compute_chunks = 8;
+  config.chunk_delay = std::chrono::microseconds(200);
+  config.fixed_params.abort_time = Duration::Milliseconds(1.0);
+  config.fixed_params.abort_rate = 1.0 / 8.0;
+  config.faults.control.drop_probability = 0.10;
+  config.faults.control.duplicate_probability = 0.15;
+  config.faults.control.delay_probability = 0.2;
+  config.faults.control.delay_mean = Duration::Milliseconds(1.0);
+  // Worker 3 dies early and never comes back. Iterations take >= 1.6 ms of
+  // chunk delay alone, so it cannot finish its quota before 20 ms.
+  config.faults.crashes.push_back(
+      CrashEvent{3, SimTime::FromSeconds(0.02), std::nullopt});
+  auto model = TinyModel(2);
+  const double init_loss = InitLoss(*model, config.seed);
+  RuntimeCluster cluster(model, std::make_shared<ConstantSchedule>(0.2),
+                         config);
+  const RuntimeResult result = cluster.Run();
+
+  // The run completed despite the dead worker: survivors did all their work.
+  EXPECT_EQ(result.workers_killed, 1u);
+  EXPECT_EQ(result.fault_stats.crashes, 1u);
+  EXPECT_EQ(result.fault_stats.rejoins, 0u);
+  EXPECT_GE(result.total_pushes, 90u);   // 3 survivors x 30 iterations
+  EXPECT_LT(result.total_pushes, 120u);  // the dead worker's quota is unmet
+  // Faults actually fired.
+  EXPECT_GT(result.fault_stats.messages_seen, 0u);
+  EXPECT_GT(result.fault_stats.drops, 0u);
+  EXPECT_GT(result.fault_stats.duplicates, 0u);
+  // The scheduler saw the departure, deduped replayed notifies, and kept
+  // closing epochs without the dead worker.
+  EXPECT_EQ(result.scheduler_stats.worker_departures, 1u);
+  EXPECT_EQ(result.scheduler_stats.worker_rejoins, 0u);
+  EXPECT_GT(result.scheduler_stats.duplicate_notifies, 0u);
+  EXPECT_GE(result.scheduler_stats.lost_worker_epochs_unblocked, 1u);
+  // Training still made progress.
+  EXPECT_LT(result.final_loss, init_loss);
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+TEST(RuntimeChaosTest, CrashWithRejoinCompletesFullQuota) {
+  RuntimeConfig config;
+  config.num_workers = 3;
+  config.iterations_per_worker = 20;
+  config.batch_size = 16;
+  config.compute_chunks = 4;
+  config.chunk_delay = std::chrono::microseconds(200);
+  config.fixed_params.abort_time = Duration::Milliseconds(1.0);
+  config.fixed_params.abort_rate = 0.5;
+  config.faults.crashes.push_back(CrashEvent{
+      2, SimTime::FromSeconds(0.005), SimTime::FromSeconds(0.025)});
+  RuntimeCluster cluster(TinyModel(3), std::make_shared<ConstantSchedule>(0.1),
+                         config);
+  const RuntimeResult result = cluster.Run();
+  // The rejoined worker finishes its full quota after coming back.
+  EXPECT_EQ(result.total_pushes, 60u);
+  EXPECT_EQ(result.workers_killed, 0u);
+  EXPECT_EQ(result.fault_stats.crashes, 1u);
+  EXPECT_EQ(result.fault_stats.rejoins, 1u);
+  EXPECT_EQ(result.scheduler_stats.worker_departures, 1u);
+  EXPECT_EQ(result.scheduler_stats.worker_rejoins, 1u);
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+TEST(RuntimeChaosTest, SlowdownWindowStretchesVictimCompute) {
+  // One worker runs 8x slower for the whole run; the wall-clock time is
+  // dominated by the victim while the run still completes in full.
+  RuntimeConfig config;
+  config.num_workers = 3;
+  config.iterations_per_worker = 12;
+  config.batch_size = 16;
+  config.compute_chunks = 4;
+  config.chunk_delay = std::chrono::microseconds(500);
+  config.faults.slowdowns.push_back(SlowdownWindow{
+      0, SimTime::Zero(), SimTime::FromSeconds(3600.0), 8.0});
+  RuntimeCluster cluster(TinyModel(4), std::make_shared<ConstantSchedule>(0.1),
+                         config);
+  const auto start = std::chrono::steady_clock::now();
+  const RuntimeResult result = cluster.Run();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.total_pushes, 36u);
+  // The slowed worker's 12 iterations sleep >= 12 * 4 * 4 ms = 192 ms; the
+  // healthy workers alone would finish in ~24 ms of sleep time.
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            150);
+}
+
+}  // namespace
+}  // namespace specsync

@@ -1,6 +1,9 @@
 // Tests for the discrete-event engine, network model, stalls, speed models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <random>
 #include <vector>
 
 #include "common/check.h"
@@ -183,6 +186,45 @@ TEST(StallScheduleTest, BatchingCreatesBursts) {
     }
   }
   FAIL() << "no stall found in horizon";
+}
+
+TEST(StallScheduleTest, OutOfOrderQueriesMatchMonotone) {
+  // Regression: Defer's lazily generated window list is prefix-complete, so
+  // querying arrivals out of order must give bit-identical answers to
+  // querying them sorted. (Fault-injected delays and retries produce
+  // out-of-order Defer calls; a naive lazy generator would re-seed or skip
+  // windows for the earlier times.)
+  StallConfig config;
+  config.enabled = true;
+  config.mean_gap = D(5.0);
+  config.mean_duration = D(2.0);
+
+  std::vector<double> times;
+  for (double t = 0.0; t < 300.0; t += 0.3) times.push_back(t);
+
+  StallSchedule monotone(config, Rng(17));
+  std::vector<SimTime> expected;
+  expected.reserve(times.size());
+  for (double t : times) expected.push_back(monotone.Defer(T(t)));
+
+  // Shuffle deterministically and replay the same queries out of order.
+  std::vector<std::size_t> order(times.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::mt19937 gen(99);
+  std::shuffle(order.begin(), order.end(), gen);
+  StallSchedule shuffled(config, Rng(17));
+  for (std::size_t i : order) {
+    EXPECT_EQ(shuffled.Defer(T(times[i])), expected[i]) << "at t=" << times[i];
+  }
+
+  // Repeat queries are stable too (a retried message re-asks for the past).
+  StallSchedule repeat(config, Rng(17));
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(repeat.Defer(T(times[i])), expected[i]);
+    if (i >= 10) {
+      EXPECT_EQ(repeat.Defer(T(times[i - 10])), expected[i - 10]);
+    }
+  }
 }
 
 // --- speed models ---------------------------------------------------------------
