@@ -3,6 +3,10 @@
 // Paper: on Cluster 2 (four EC2 instance types, 10 nodes each),
 // SpecSync-Adaptive still outperforms Original, though by less than on the
 // homogeneous cluster — the tuner's uniform-arrival assumption degrades.
+//
+// The four (cluster, scheme) cells run through one ParallelRunner pass
+// (--threads=N); output is bit-identical at any thread count. The cluster
+// shape is part of each cell's seed key (label "homo"/"hetero").
 #include <iostream>
 
 #include "benchmarks/bench_util.h"
@@ -11,24 +15,22 @@ using namespace specsync;
 
 namespace {
 
-struct Cell {
-  std::vector<ExperimentResult> runs;
-};
-
-Cell Run(const Workload& workload, bool heterogeneous, SchemeSpec scheme,
-         SimTime horizon) {
+std::size_t AddCell(bench::CellBatch& batch, const Workload& workload,
+                    bool heterogeneous, SchemeSpec scheme, SimTime horizon) {
   ExperimentConfig config;
   config.cluster = heterogeneous ? ClusterSpec::Heterogeneous(20)
                                  : ClusterSpec::Homogeneous(20);
   config.scheme = std::move(scheme);
   config.max_time = horizon;
   config.stop_on_convergence = false;
-  return {bench::RunSeeds(workload, config, bench::SeedSweep{{7, 8}})};
+  return batch.AddSeries(workload, config, /*replicates=*/2,
+                         heterogeneous ? "hetero" : "homo");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::ParseThreads(argc, argv);
   bench::PrintHeader(
       "Fig. 10 — heterogeneous cluster (4 instance classes)",
       "SpecSync-Adaptive beats Original on both clusters; the heterogeneous "
@@ -37,38 +39,52 @@ int main() {
   const Workload workload = MakeCifar10Workload(1);
   const SimTime horizon = SimTime::FromSeconds(2400.0);
 
-  const Cell homo_asp = Run(workload, false, SchemeSpec::Original(), horizon);
-  const Cell homo_spec = Run(workload, false, SchemeSpec::Adaptive(), horizon);
-  const Cell hetero_asp = Run(workload, true, SchemeSpec::Original(), horizon);
-  const Cell hetero_spec = Run(workload, true, SchemeSpec::Adaptive(), horizon);
+  bench::CellBatch batch;
+  const std::size_t homo_asp =
+      AddCell(batch, workload, false, SchemeSpec::Original(), horizon);
+  const std::size_t homo_spec =
+      AddCell(batch, workload, false, SchemeSpec::Adaptive(), horizon);
+  const std::size_t hetero_asp =
+      AddCell(batch, workload, true, SchemeSpec::Original(), horizon);
+  const std::size_t hetero_spec =
+      AddCell(batch, workload, true, SchemeSpec::Adaptive(), horizon);
+  batch.Run(threads);
+
+  const auto& ha_runs = batch.Series(homo_asp);
+  const auto& hs_runs = batch.Series(homo_spec);
+  const auto& ea_runs = batch.Series(hetero_asp);
+  const auto& es_runs = batch.Series(hetero_spec);
 
   Table curve({"time(s)", "homo/ASP", "homo/SpecSync", "hetero/ASP",
                "hetero/SpecSync"});
   for (int i = 1; i <= 8; ++i) {
     const SimTime t = SimTime::FromSeconds(horizon.seconds() * i / 8.0);
-    curve.AddRowValues(t.seconds(), bench::MeanLossAt(homo_asp.runs, t),
-                       bench::MeanLossAt(homo_spec.runs, t),
-                       bench::MeanLossAt(hetero_asp.runs, t),
-                       bench::MeanLossAt(hetero_spec.runs, t));
+    curve.AddRowValues(t.seconds(), bench::MeanLossAt(ha_runs, t),
+                       bench::MeanLossAt(hs_runs, t),
+                       bench::MeanLossAt(ea_runs, t),
+                       bench::MeanLossAt(es_runs, t));
   }
   curve.PrintPretty(std::cout);
 
   const Duration fallback = horizon - SimTime::Zero();
   const double target = workload.loss_target;
   Table summary({"cluster", "ASP_time(s)", "SpecSync_time(s)", "speedup"});
-  const double ha = bench::MeanTimeToTarget(homo_asp.runs, target, fallback);
-  const double hs = bench::MeanTimeToTarget(homo_spec.runs, target, fallback);
-  const double ea = bench::MeanTimeToTarget(hetero_asp.runs, target, fallback);
-  const double es = bench::MeanTimeToTarget(hetero_spec.runs, target, fallback);
+  const double ha = bench::MeanTimeToTarget(ha_runs, target, fallback);
+  const double hs = bench::MeanTimeToTarget(hs_runs, target, fallback);
+  const double ea = bench::MeanTimeToTarget(ea_runs, target, fallback);
+  const double es = bench::MeanTimeToTarget(es_runs, target, fallback);
   summary.AddRowValues("homogeneous", ha, hs, hs > 0 ? ha / hs : 0.0);
   summary.AddRowValues("heterogeneous", ea, es, es > 0 ? ea / es : 0.0);
   summary.PrintPretty(std::cout);
 
   std::cout << "staleness (missed updates/push): homo ASP="
-            << bench::MeanStaleness(homo_asp.runs)
-            << " homo Spec=" << bench::MeanStaleness(homo_spec.runs)
-            << " hetero ASP=" << bench::MeanStaleness(hetero_asp.runs)
-            << " hetero Spec=" << bench::MeanStaleness(hetero_spec.runs)
-            << "\n";
+            << bench::MeanStaleness(ha_runs)
+            << " homo Spec=" << bench::MeanStaleness(hs_runs)
+            << " hetero ASP=" << bench::MeanStaleness(ea_runs)
+            << " hetero Spec=" << bench::MeanStaleness(es_runs) << "\n";
+
+  bench::BenchReporter reporter("bench_fig10_heterogeneity");
+  reporter.AddBatch(batch);
+  reporter.WriteJson();
   return 0;
 }

@@ -3,15 +3,22 @@
 // Paper: on CIFAR-10 with 20/30/40 workers, (left) SpecSync-Adaptive's
 // speedup over Original in runtime-to-target grows with cluster size, and
 // (right) so does its loss improvement at a fixed time budget.
+//
+// The 12 (workers, scheme, replicate) cells run through one ParallelRunner
+// pass (--threads=N, default hardware concurrency); output is bit-identical
+// at any thread count. The worker count is part of each cell's seed key
+// (label "workers=N"). BENCH_harness.json records the speedup-vs-serial this
+// parallel pass achieved.
 #include <iostream>
+#include <string>
 
 #include "benchmarks/bench_util.h"
 
 using namespace specsync;
 
-int main() {
-  using namespace specsync::bench;
-  PrintHeader(
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::ParseThreads(argc, argv);
+  bench::PrintHeader(
       "Fig. 11 — scalability with cluster size",
       "speedup over Original and fixed-budget loss improvement both grow "
       "with the worker count (20/30/40 in the paper)");
@@ -20,30 +27,44 @@ int main() {
   const SimTime horizon = SimTime::FromSeconds(2100.0);
   const SimTime budget = SimTime::FromSeconds(1400.0);  // fixed-cost scenario
   const Duration fallback = horizon - SimTime::Zero();
+  const std::vector<std::size_t> worker_counts = {10, 20, 30};
 
-  Table table({"workers", "ASP_time(s)", "Spec_time(s)", "speedup",
-               "ASP_loss@budget", "Spec_loss@budget", "loss_improvement"});
-  for (std::size_t workers : {10u, 20u, 30u}) {
+  bench::CellBatch batch;
+  std::vector<std::size_t> asp_series;
+  std::vector<std::size_t> spec_series;
+  for (std::size_t workers : worker_counts) {
     ExperimentConfig config;
     config.cluster = ClusterSpec::Homogeneous(workers);
     config.max_time = horizon;
     config.stop_on_convergence = false;
+    const std::string label = "workers=" + std::to_string(workers);
     config.scheme = SchemeSpec::Original();
-    const auto asp = RunSeeds(workload, config, SeedSweep{{7, 8}});
+    asp_series.push_back(batch.AddSeries(workload, config, 2, label));
     config.scheme = SchemeSpec::Adaptive();
-    const auto spec = RunSeeds(workload, config, SeedSweep{{7, 8}});
+    spec_series.push_back(batch.AddSeries(workload, config, 2, label));
+  }
+  batch.Run(threads);
 
+  Table table({"workers", "ASP_time(s)", "Spec_time(s)", "speedup",
+               "ASP_loss@budget", "Spec_loss@budget", "loss_improvement"});
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    const auto& asp = batch.Series(asp_series[i]);
+    const auto& spec = batch.Series(spec_series[i]);
     const double asp_time =
-        MeanTimeToTarget(asp, workload.loss_target, fallback);
+        bench::MeanTimeToTarget(asp, workload.loss_target, fallback);
     const double spec_time =
-        MeanTimeToTarget(spec, workload.loss_target, fallback);
-    const double asp_loss = MeanLossAt(asp, budget);
-    const double spec_loss = MeanLossAt(spec, budget);
-    table.AddRowValues(workers, asp_time, spec_time,
-                       spec_time > 0 ? asp_time / spec_time : 0.0, asp_loss,
-                       spec_loss,
-                       asp_loss > 0 ? (asp_loss - spec_loss) / asp_loss : 0.0);
+        bench::MeanTimeToTarget(spec, workload.loss_target, fallback);
+    const double asp_loss = bench::MeanLossAt(asp, budget);
+    const double spec_loss = bench::MeanLossAt(spec, budget);
+    table.AddRowValues(
+        static_cast<unsigned long>(worker_counts[i]), asp_time, spec_time,
+        spec_time > 0 ? asp_time / spec_time : 0.0, asp_loss, spec_loss,
+        asp_loss > 0 ? (asp_loss - spec_loss) / asp_loss : 0.0);
   }
   table.PrintPretty(std::cout);
+
+  bench::BenchReporter reporter("bench_fig11_scalability");
+  reporter.AddBatch(batch);
+  reporter.WriteJson();
   return 0;
 }

@@ -4,6 +4,9 @@
 //
 // Paper: speedups up to 2.97x (MF), 2.25x (CIFAR-10), 3x (ImageNet); the
 // adaptive tuner comes close to the cherry-picked hyperparameters.
+//
+// All panels' cells run through one ParallelRunner pass (--threads=N); the
+// printed tables are bit-identical at any thread count.
 #include <iostream>
 
 #include "benchmarks/bench_util.h"
@@ -16,33 +19,39 @@ struct PanelSpec {
   Workload workload;
   std::size_t num_workers;
   SimTime horizon;
-  bench::SeedSweep sweep;
+  std::size_t replicates;
+  // Series handles, filled while building the batch (Original, Cherrypick,
+  // Adaptive — the scheme order of the printed tables).
+  std::vector<std::size_t> series;
 };
 
-void Panel(const PanelSpec& spec) {
+const std::vector<std::string> kSchemeLabels = {"Original", "Cherrypick",
+                                                "Adaptive"};
+
+void AddPanel(bench::CellBatch& batch, PanelSpec& spec) {
+  const std::vector<SchemeSpec> schemes = {
+      SchemeSpec::Original(),
+      SchemeSpec::Cherrypick(bench::CherryParams(spec.workload)),
+      SchemeSpec::Adaptive(),
+  };
+  for (const SchemeSpec& scheme : schemes) {
+    ExperimentConfig config;
+    config.cluster = ClusterSpec::Homogeneous(spec.num_workers);
+    config.scheme = scheme;
+    config.max_time = spec.horizon;
+    config.stop_on_convergence = false;  // full curves
+    spec.series.push_back(
+        batch.AddSeries(spec.workload, config, spec.replicates));
+  }
+}
+
+void PrintPanel(const bench::CellBatch& batch, const PanelSpec& spec) {
   const Workload& workload = spec.workload;
   std::cout << "\n--- " << workload.name << " (" << spec.num_workers
             << " workers, target loss " << workload.loss_target << ") ---\n";
 
-  struct Entry {
-    std::string label;
-    SchemeSpec scheme;
-  };
-  const std::vector<Entry> entries = {
-      {"Original", SchemeSpec::Original()},
-      {"Cherrypick", SchemeSpec::Cherrypick(bench::CherryParams(workload))},
-      {"Adaptive", SchemeSpec::Adaptive()},
-  };
-
   std::vector<std::vector<ExperimentResult>> runs;
-  for (const Entry& entry : entries) {
-    ExperimentConfig config;
-    config.cluster = ClusterSpec::Homogeneous(spec.num_workers);
-    config.scheme = entry.scheme;
-    config.max_time = spec.horizon;
-    config.stop_on_convergence = false;  // full curves
-    runs.push_back(bench::RunSeeds(workload, config, spec.sweep));
-  }
+  for (std::size_t series : spec.series) runs.push_back(batch.Series(series));
 
   Table curve({"time(s)", "Original", "Cherrypick", "Adaptive"});
   constexpr int kCheckpoints = 8;
@@ -59,10 +68,10 @@ void Panel(const PanelSpec& spec) {
                  "mean_staleness", "speedup_vs_original"});
   const double base_time = bench::MeanTimeToTarget(
       runs[0], workload.loss_target, spec.horizon - SimTime::Zero());
-  for (std::size_t i = 0; i < entries.size(); ++i) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
     const double t = bench::MeanTimeToTarget(runs[i], workload.loss_target,
                                              spec.horizon - SimTime::Zero());
-    summary.AddRowValues(entries[i].label, t,
+    summary.AddRowValues(kSchemeLabels[i], t,
                          bench::ConvergedFraction(runs[i], workload.loss_target),
                          bench::MeanStaleness(runs[i]),
                          t > 0.0 ? base_time / t : 0.0);
@@ -72,17 +81,28 @@ void Panel(const PanelSpec& spec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::ParseThreads(argc, argv);
   bench::PrintHeader(
       "Fig. 8 — SpecSync effectiveness (loss vs time, runtime to target)",
       "up to 2.97x (MF) / 2.25x (CIFAR-10) / 3x (ImageNet) speedup over "
       "MXNet ASP; Adaptive ~ Cherrypick");
 
-  Panel({MakeMfWorkload(1), 40, SimTime::FromSeconds(1200.0),
-         bench::SeedSweep{{7, 8, 9}}});
-  Panel({MakeCifar10Workload(1), 20, SimTime::FromSeconds(2400.0),
-         bench::SeedSweep{{7, 8}}});
-  Panel({MakeImageNetWorkload(1, /*scale=*/0.6), 24,
-         SimTime::FromSeconds(6300.0), bench::SeedSweep{{7}}});
+  std::vector<PanelSpec> panels;
+  panels.push_back(
+      {MakeMfWorkload(1), 40, SimTime::FromSeconds(1200.0), 3, {}});
+  panels.push_back(
+      {MakeCifar10Workload(1), 20, SimTime::FromSeconds(2400.0), 2, {}});
+  panels.push_back({MakeImageNetWorkload(1, /*scale=*/0.6), 24,
+                    SimTime::FromSeconds(6300.0), 1, {}});
+
+  bench::CellBatch batch;
+  for (PanelSpec& panel : panels) AddPanel(batch, panel);
+  batch.Run(threads);
+  for (const PanelSpec& panel : panels) PrintPanel(batch, panel);
+
+  bench::BenchReporter reporter("bench_fig8_effectiveness");
+  reporter.AddBatch(batch);
+  reporter.WriteJson();
   return 0;
 }

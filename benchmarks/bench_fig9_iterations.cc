@@ -3,6 +3,9 @@
 // Paper: SpecSync needs up to 58% fewer iterations to converge — aborted
 // iterations are longer but compute on fresher parameters, so each surviving
 // push is worth more.
+//
+// Cells run through one ParallelRunner pass (--threads=N); output is
+// bit-identical at any thread count.
 #include <iostream>
 
 #include "benchmarks/bench_util.h"
@@ -46,28 +49,42 @@ double MeanPushesToTarget(const std::vector<ExperimentResult>& runs,
   return stats.mean();
 }
 
-void Panel(const Workload& workload, std::size_t workers, SimTime horizon,
-           const bench::SeedSweep& sweep) {
-  std::cout << "\n--- " << workload.name << " (" << workers
+struct PanelSpec {
+  Workload workload;
+  std::size_t workers;
+  SimTime horizon;
+  std::size_t replicates;
+  std::vector<std::size_t> series;  // Original, Adaptive, Cherrypick
+};
+
+const std::vector<std::string> kSchemeLabels = {"Original", "Adaptive",
+                                                "Cherrypick"};
+
+void AddPanel(bench::CellBatch& batch, PanelSpec& spec) {
+  const std::vector<SchemeSpec> schemes = {
+      SchemeSpec::Original(),
+      SchemeSpec::Adaptive(),
+      SchemeSpec::Cherrypick(bench::CherryParams(spec.workload)),
+  };
+  for (const SchemeSpec& scheme : schemes) {
+    ExperimentConfig config;
+    config.cluster = ClusterSpec::Homogeneous(spec.workers);
+    config.scheme = scheme;
+    config.max_time = spec.horizon;
+    config.stop_on_convergence = false;
+    spec.series.push_back(
+        batch.AddSeries(spec.workload, config, spec.replicates));
+  }
+}
+
+void PrintPanel(const bench::CellBatch& batch, const PanelSpec& spec) {
+  const Workload& workload = spec.workload;
+  std::cout << "\n--- " << workload.name << " (" << spec.workers
             << " workers) ---\n";
-  struct Entry {
-    std::string label;
-    SchemeSpec scheme;
-  };
-  const std::vector<Entry> entries = {
-      {"Original", SchemeSpec::Original()},
-      {"Adaptive", SchemeSpec::Adaptive()},
-      {"Cherrypick", SchemeSpec::Cherrypick(bench::CherryParams(workload))},
-  };
   std::vector<std::vector<ExperimentResult>> runs;
   std::uint64_t max_pushes = 0;
-  for (const Entry& entry : entries) {
-    ExperimentConfig config;
-    config.cluster = ClusterSpec::Homogeneous(workers);
-    config.scheme = entry.scheme;
-    config.max_time = horizon;
-    config.stop_on_convergence = false;
-    runs.push_back(bench::RunSeeds(workload, config, sweep));
+  for (std::size_t series : spec.series) {
+    runs.push_back(batch.Series(series));
     for (const auto& run : runs.back()) {
       max_pushes = std::max(max_pushes, run.sim.total_pushes);
     }
@@ -87,10 +104,10 @@ void Panel(const Workload& workload, std::size_t workers, SimTime horizon,
   const double fallback = static_cast<double>(max_pushes);
   const double base =
       MeanPushesToTarget(runs[0], workload.loss_target, fallback);
-  for (std::size_t i = 0; i < entries.size(); ++i) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
     const double pushes =
         MeanPushesToTarget(runs[i], workload.loss_target, fallback);
-    summary.AddRowValues(entries[i].label, pushes,
+    summary.AddRowValues(kSchemeLabels[i], pushes,
                          base > 0.0 ? 1.0 - pushes / base : 0.0);
   }
   summary.PrintPretty(std::cout);
@@ -98,14 +115,25 @@ void Panel(const Workload& workload, std::size_t workers, SimTime horizon,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::ParseThreads(argc, argv);
   bench::PrintHeader(
       "Fig. 9 — loss vs cumulative iteration count",
       "SpecSync converges in up to 58% fewer iterations than Original");
 
-  Panel(MakeMfWorkload(1), 40, SimTime::FromSeconds(1200.0),
-        bench::SeedSweep{{7, 8, 9}});
-  Panel(MakeCifar10Workload(1), 20, SimTime::FromSeconds(2400.0),
-        bench::SeedSweep{{7, 8}});
+  std::vector<PanelSpec> panels;
+  panels.push_back(
+      {MakeMfWorkload(1), 40, SimTime::FromSeconds(1200.0), 3, {}});
+  panels.push_back(
+      {MakeCifar10Workload(1), 20, SimTime::FromSeconds(2400.0), 2, {}});
+
+  bench::CellBatch batch;
+  for (PanelSpec& panel : panels) AddPanel(batch, panel);
+  batch.Run(threads);
+  for (const PanelSpec& panel : panels) PrintPanel(batch, panel);
+
+  bench::BenchReporter reporter("bench_fig9_iterations");
+  reporter.AddBatch(batch);
+  reporter.WriteJson();
   return 0;
 }

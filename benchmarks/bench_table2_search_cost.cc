@@ -4,7 +4,9 @@
 // Paper: Cherrypick needs 5-10 ABORT_TIME trials x 10 ABORT_RATE trials at
 // 1.33-8+ cluster-hours per trial (40-800+ hours total); Adaptive needs no
 // profiling runs at all.
-#include <chrono>
+//
+// The grid trials fan across the ParallelRunner (--threads=N); the selected
+// optimum and every printed number are bit-identical at any thread count.
 #include <iostream>
 
 #include "benchmarks/bench_util.h"
@@ -12,7 +14,8 @@
 
 using namespace specsync;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::ParseThreads(argc, argv);
   bench::PrintHeader(
       "Table II — hyperparameter search cost",
       "Cherrypick: 50-100 profiling trials, 40 to >800 cluster-hours; "
@@ -43,24 +46,48 @@ int main() {
     panels.push_back(std::move(cifar));
   }
 
+  bench::BenchReporter reporter("bench_table2_search_cost");
   for (PanelSpec& panel : panels) {
     const ClusterSpec cluster = ClusterSpec::Homogeneous(panel.workers);
+    panel.grid.threads = threads;
     const GridSearchResult search =
         CherrypickSearch(panel.workload, cluster, panel.grid);
+    for (std::size_t i = 0; i < search.cells.size(); ++i) {
+      const ExperimentCell& cell = search.cells[i];
+      const CellResult& result = search.cell_results[i];
+      bench::BenchReporter::CellRecord record;
+      record.workload = cell.workload.name;
+      record.scheme = cell.config.scheme.DisplayName();
+      record.label = cell.label;
+      record.seed = result.seed;
+      record.wall_seconds = result.wall_seconds;
+      record.sim_events = result.sim_events;
+      record.pushes = result.result.sim.total_pushes;
+      record.sim_end_seconds = result.result.sim.end_time.seconds();
+      record.final_loss = result.result.final_loss;
+      record.trace_digest = result.trace_digest;
+      reporter.Add(record);
+    }
+    reporter.SetRun(threads, search.wall_seconds,
+                    search.serial_wall_estimate);
 
     // Adaptive: measure the wall-clock cost of one full training run's worth
-    // of retunes (the only "cost" the adaptive scheme has).
+    // of retunes (the only "cost" the adaptive scheme has). One cell through
+    // the same engine, so its wall time lands in the telemetry too.
+    bench::CellBatch adaptive_batch;
     ExperimentConfig config;
     config.cluster = cluster;
     config.scheme = SchemeSpec::Adaptive();
     config.max_time = panel.grid.trial_max_time;
     config.stop_on_convergence = false;
-    const auto start = std::chrono::steady_clock::now();
-    const ExperimentResult adaptive = RunExperiment(panel.workload, config);
-    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
-        std::chrono::steady_clock::now() - start);
+    const std::size_t series =
+        adaptive_batch.AddSeries(panel.workload, config, 1, "adaptive-cost");
+    adaptive_batch.Run(/*threads=*/1);
+    const ExperimentResult& adaptive = adaptive_batch.Series(series)[0];
+    const double wall_ms = adaptive_batch.results()[0].wall_seconds * 1e3;
     const double retunes =
         static_cast<double>(adaptive.sim.scheduler_stats.retunes);
+    reporter.AddBatch(adaptive_batch);
 
     table.AddRowValues(
         panel.workload.name,
@@ -68,11 +95,12 @@ int main() {
         static_cast<unsigned long>(panel.grid.rates.size()),
         panel.grid.trial_max_time.seconds() / 3600.0,
         search.total_simulated_time.seconds() / 3600.0, 0,
-        static_cast<double>(wall.count()) / std::max(1.0, retunes));
+        wall_ms / std::max(1.0, retunes));
   }
   table.PrintPretty(std::cout);
   std::cout << "(adaptive_retune_ms is the wall cost per retune amortized "
                "over one training run — the grid search instead re-runs "
                "training once per cell)\n";
+  reporter.WriteJson();
   return 0;
 }

@@ -1,5 +1,16 @@
 #include "benchmarks/bench_util.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
 namespace specsync::bench {
 
 double MeanLossAt(const std::vector<ExperimentResult>& runs, SimTime time) {
@@ -60,6 +71,271 @@ void PrintHeader(const std::string& figure, const std::string& paper_claim) {
             << figure << "\n"
             << "Paper: " << paper_claim << "\n"
             << "==================================================\n";
+}
+
+std::size_t ParseThreads(int argc, char** argv) {
+  long threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      threads = std::strtol(arg.c_str() + 10, &end, 10);
+      if (end == nullptr || *end != '\0' || threads < 1) {
+        std::cerr << "usage: " << argv[0] << " [--threads=N]  (N >= 1)\n";
+        std::exit(2);
+      }
+    } else {
+      std::cerr << "warning: ignoring unknown argument '" << arg << "'\n";
+    }
+  }
+  if (threads > 0) return static_cast<std::size_t>(threads);
+  if (const char* env = std::getenv("SPECSYNC_BENCH_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  return ThreadPool::DefaultThreadCount();
+}
+
+std::size_t CellBatch::AddSeries(const Workload& workload,
+                                 ExperimentConfig config,
+                                 std::size_t replicates, std::string label) {
+  SPECSYNC_CHECK_GT(replicates, 0u);
+  SPECSYNC_CHECK(results_.empty()) << "AddSeries after Run";
+  std::vector<std::size_t> indices;
+  indices.reserve(replicates);
+  for (std::uint64_t r = 0; r < replicates; ++r) {
+    ExperimentCell cell;
+    cell.workload = workload;
+    cell.config = config;
+    cell.label = label;
+    cell.replicate = r;
+    indices.push_back(cells_.size());
+    cells_.push_back(std::move(cell));
+  }
+  series_.push_back(std::move(indices));
+  return series_.size() - 1;
+}
+
+void CellBatch::Run(std::size_t threads) {
+  SPECSYNC_CHECK(results_.empty()) << "Run called twice";
+  threads_ = threads;
+  ParallelRunnerOptions options;
+  options.threads = threads;
+  options.root_seed = kBenchRootSeed;
+  const auto start = std::chrono::steady_clock::now();
+  results_ = ParallelRunner(options).Run(cells_);
+  wall_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  series_results_.reserve(series_.size());
+  for (const std::vector<std::size_t>& indices : series_) {
+    std::vector<ExperimentResult> runs;
+    runs.reserve(indices.size());
+    for (std::size_t i : indices) runs.push_back(results_[i].result);
+    series_results_.push_back(std::move(runs));
+  }
+}
+
+const std::vector<ExperimentResult>& CellBatch::Series(
+    std::size_t series) const {
+  SPECSYNC_CHECK(!series_results_.empty()) << "Series before Run";
+  SPECSYNC_CHECK_LT(series, series_results_.size());
+  return series_results_[series];
+}
+
+double CellBatch::serial_wall_estimate() const {
+  double total = 0.0;
+  for (const CellResult& r : results_) total += r.wall_seconds;
+  return total;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  std::ostringstream out;
+  out << std::setprecision(12) << v;
+  return out.str();
+}
+
+std::string HexDigest(std::uint64_t digest) {
+  std::ostringstream out;
+  out << std::hex << std::setw(16) << std::setfill('0') << digest;
+  return out.str();
+}
+
+}  // namespace
+
+BenchReporter::BenchReporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchReporter::Add(const CellRecord& record) {
+  cells_.push_back(record);
+}
+
+void BenchReporter::AddBatch(const CellBatch& batch) {
+  for (std::size_t i = 0; i < batch.cells().size(); ++i) {
+    const ExperimentCell& cell = batch.cells()[i];
+    const CellResult& result = batch.results()[i];
+    CellRecord record;
+    record.workload = cell.workload.name;
+    record.scheme = cell.config.scheme.DisplayName();
+    record.label = cell.label;
+    record.replicate = cell.replicate;
+    record.seed = result.seed;
+    record.wall_seconds = result.wall_seconds;
+    record.sim_events = result.sim_events;
+    record.pushes = result.result.sim.total_pushes;
+    record.sim_end_seconds = result.result.sim.end_time.seconds();
+    record.final_loss = result.result.final_loss;
+    record.trace_digest = result.trace_digest;
+    Add(record);
+  }
+  SetRun(batch.threads(), batch.wall_seconds(), batch.serial_wall_estimate());
+}
+
+// Accumulates across batches (a bench may run several); the recorded thread
+// count is the widest pass.
+void BenchReporter::SetRun(std::size_t threads, double wall_seconds,
+                           double serial_wall_estimate) {
+  threads_ = std::max(threads_, threads);
+  wall_seconds_ += wall_seconds;
+  serial_wall_estimate_ += serial_wall_estimate;
+}
+
+Table BenchReporter::CellTable() const {
+  Table table({"workload", "scheme", "label", "replicate", "seed",
+               "wall_seconds", "sim_events", "sim_events_per_sec", "pushes",
+               "sim_end_s", "final_loss", "trace_digest"});
+  for (const CellRecord& c : cells_) {
+    const double events_per_sec =
+        c.wall_seconds > 0.0
+            ? static_cast<double>(c.sim_events) / c.wall_seconds
+            : 0.0;
+    table.AddRowValues(c.workload, c.scheme, c.label,
+                       static_cast<unsigned long long>(c.replicate),
+                       static_cast<unsigned long long>(c.seed), c.wall_seconds,
+                       static_cast<unsigned long long>(c.sim_events),
+                       events_per_sec,
+                       static_cast<unsigned long long>(c.pushes),
+                       c.sim_end_seconds, c.final_loss, HexDigest(c.trace_digest));
+  }
+  return table;
+}
+
+std::string BenchReporter::JsonPath() {
+  if (const char* env = std::getenv("SPECSYNC_BENCH_JSON")) return env;
+  return "BENCH_harness.json";
+}
+
+void BenchReporter::WriteJson() const {
+  std::uint64_t total_events = 0;
+  std::uint64_t total_pushes = 0;
+  for (const CellRecord& c : cells_) {
+    total_events += c.sim_events;
+    total_pushes += c.pushes;
+  }
+  std::ostringstream record;
+  record << "{\"bench\":\"" << JsonEscape(bench_name_) << "\""
+         << ",\"threads\":" << threads_
+         << ",\"cells\":" << cells_.size()
+         << ",\"parallel_wall_seconds\":" << JsonNumber(wall_seconds_)
+         << ",\"serial_wall_seconds_estimate\":"
+         << JsonNumber(serial_wall_estimate_)
+         << ",\"speedup_vs_serial\":"
+         << JsonNumber(wall_seconds_ > 0.0
+                           ? serial_wall_estimate_ / wall_seconds_
+                           : 0.0)
+         << ",\"total_sim_events\":" << total_events
+         << ",\"des_events_per_wall_second\":"
+         << JsonNumber(wall_seconds_ > 0.0
+                           ? static_cast<double>(total_events) / wall_seconds_
+                           : 0.0)
+         << ",\"sim_pushes_per_wall_second\":"
+         << JsonNumber(wall_seconds_ > 0.0
+                           ? static_cast<double>(total_pushes) / wall_seconds_
+                           : 0.0)
+         << ",\"per_cell\":[";
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const CellRecord& c = cells_[i];
+    if (i > 0) record << ",";
+    record << "{\"workload\":\"" << JsonEscape(c.workload) << "\""
+           << ",\"scheme\":\"" << JsonEscape(c.scheme) << "\""
+           << ",\"label\":\"" << JsonEscape(c.label) << "\""
+           << ",\"replicate\":" << c.replicate << ",\"seed\":" << c.seed
+           << ",\"wall_seconds\":" << JsonNumber(c.wall_seconds)
+           << ",\"sim_events\":" << c.sim_events
+           << ",\"sim_events_per_sec\":"
+           << JsonNumber(c.wall_seconds > 0.0
+                             ? static_cast<double>(c.sim_events) /
+                                   c.wall_seconds
+                             : 0.0)
+           << ",\"pushes\":" << c.pushes
+           << ",\"sim_end_seconds\":" << JsonNumber(c.sim_end_seconds)
+           << ",\"final_loss\":" << JsonNumber(c.final_loss)
+           << ",\"trace_digest\":\"" << HexDigest(c.trace_digest) << "\"}";
+  }
+  record << "]}";
+
+  // Merge: the file is a JSON array, one single-line record per bench. Keep
+  // every other bench's line, replace (or append) our own.
+  const std::string path = JsonPath();
+  const std::string marker = "\"bench\":\"" + JsonEscape(bench_name_) + "\"";
+  std::vector<std::string> records;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::size_t begin = line.find('{');
+      if (begin == std::string::npos) continue;  // brackets / blank lines
+      std::size_t end = line.find_last_of('}');
+      if (end == std::string::npos || end < begin) continue;
+      std::string body = line.substr(begin, end - begin + 1);
+      if (body.find(marker) != std::string::npos) continue;  // ours: replace
+      records.push_back(std::move(body));
+    }
+  }
+  records.push_back(record.str());
+
+  std::ofstream out(path, std::ios::trunc);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    out << records[i] << (i + 1 < records.size() ? ",\n" : "\n");
+  }
+  out << "]\n";
+  std::cout << "[bench telemetry] threads=" << threads_ << " wall="
+            << JsonNumber(wall_seconds_) << "s serial_estimate="
+            << JsonNumber(serial_wall_estimate_) << "s speedup_vs_serial="
+            << JsonNumber(wall_seconds_ > 0.0
+                              ? serial_wall_estimate_ / wall_seconds_
+                              : 0.0)
+            << "x -> " << path << "\n";
 }
 
 }  // namespace specsync::bench

@@ -3,7 +3,14 @@
 // Every bench prints (a) the paper's claim for the figure it regenerates and
 // (b) the measured rows/series, so EXPERIMENTS.md can be assembled directly
 // from bench output. Constants are sized so the full bench suite runs in a
-// few minutes on one core; raise kSeeds / horizons for tighter error bars.
+// few minutes; raise replicate counts / horizons for tighter error bars.
+//
+// The sweep-style benches (Figs. 8-11, Table II) run their cells through the
+// deterministic ParallelRunner: pass --threads=N (or set
+// SPECSYNC_BENCH_THREADS) to fan cells across cores — the printed numbers are
+// bit-identical at any thread count. Each such bench also records per-cell
+// telemetry (wall time, DES events/sec, trace digest) into the shared
+// BENCH_harness.json via BenchReporter, seeding the repo's perf trajectory.
 #pragma once
 
 #include <iostream>
@@ -14,9 +21,13 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "harness/experiment.h"
+#include "harness/parallel_runner.h"
 #include "harness/workload.h"
 
 namespace specsync::bench {
+
+// Root seed all figure benches fork their per-cell seeds from.
+inline constexpr std::uint64_t kBenchRootSeed = 7;
 
 // The fixed SpecSync-Cherrypick operating point used across benches: a window
 // wide enough to catch delivery bursts (0.35 iterations) with a threshold a
@@ -47,12 +58,96 @@ double ConvergedFraction(const std::vector<ExperimentResult>& runs,
 // Mean staleness (missed updates per push) across runs.
 double MeanStaleness(const std::vector<ExperimentResult>& runs);
 
-// Runs one (workload, scheme) over the sweep's seeds.
+// Runs one (workload, scheme) over the sweep's seeds, serially. The
+// sweep-style benches use CellBatch instead; this remains for the small
+// mechanism benches (timelines, PAP) that want literal pinned seeds.
 std::vector<ExperimentResult> RunSeeds(const Workload& workload,
                                        ExperimentConfig config,
                                        const SeedSweep& sweep);
 
 // Prints the standard bench header.
 void PrintHeader(const std::string& figure, const std::string& paper_claim);
+
+// Thread count for a bench binary: --threads=N beats SPECSYNC_BENCH_THREADS
+// beats the host's hardware concurrency. Exits with usage on a bad flag.
+std::size_t ParseThreads(int argc, char** argv);
+
+// A bench's full grid of cells, keyed into series. Build every series first,
+// Run() once (one ParallelRunner pass over the whole grid maximizes
+// parallelism), then read each series' results back for aggregation.
+class CellBatch {
+ public:
+  // Adds `replicates` cells of (workload, config) under a semantic label
+  // (part of the per-cell seed key); returns the series handle.
+  std::size_t AddSeries(const Workload& workload, ExperimentConfig config,
+                        std::size_t replicates, std::string label = "");
+
+  // Runs all cells across `threads` threads (root seed kBenchRootSeed).
+  void Run(std::size_t threads);
+
+  const std::vector<ExperimentResult>& Series(std::size_t series) const;
+  const std::vector<ExperimentCell>& cells() const { return cells_; }
+  const std::vector<CellResult>& results() const { return results_; }
+  std::size_t threads() const { return threads_; }
+  // Wall time of the Run() call vs the sum of per-cell walls (what a serial
+  // pass would have cost) — the speedup-vs-serial numerator/denominator.
+  double wall_seconds() const { return wall_seconds_; }
+  double serial_wall_estimate() const;
+
+ private:
+  std::vector<ExperimentCell> cells_;
+  std::vector<std::vector<std::size_t>> series_;  // series -> cell indices
+  std::vector<CellResult> results_;
+  std::vector<std::vector<ExperimentResult>> series_results_;
+  std::size_t threads_ = 1;
+  double wall_seconds_ = 0.0;
+};
+
+// Machine-readable perf telemetry: one record per bench binary, merged into
+// a shared JSON file (SPECSYNC_BENCH_JSON, default "BENCH_harness.json" in
+// the working directory). The file is a JSON array with each record on one
+// line; re-running a bench replaces its own record and leaves the others.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string bench_name);
+
+  struct CellRecord {
+    std::string workload;
+    std::string scheme;
+    std::string label;
+    std::uint64_t replicate = 0;
+    std::uint64_t seed = 0;
+    double wall_seconds = 0.0;
+    std::uint64_t sim_events = 0;
+    std::uint64_t pushes = 0;
+    double sim_end_seconds = 0.0;
+    double final_loss = 0.0;
+    std::uint64_t trace_digest = 0;
+  };
+
+  void Add(const CellRecord& record);
+  // Records every cell of a finished batch plus its run-level telemetry.
+  void AddBatch(const CellBatch& batch);
+  // Run-level telemetry when not using AddBatch (e.g. grid search).
+  void SetRun(std::size_t threads, double wall_seconds,
+              double serial_wall_estimate);
+
+  // Per-cell telemetry as a Table — the same rows the JSON serializes.
+  // CSV output goes through Table::PrintCsv (src/common/table), not a
+  // bench-private writer.
+  Table CellTable() const;
+
+  // Merges this bench's record into the shared JSON file and prints the path.
+  void WriteJson() const;
+
+  static std::string JsonPath();
+
+ private:
+  std::string bench_name_;
+  std::vector<CellRecord> cells_;
+  std::size_t threads_ = 1;
+  double wall_seconds_ = 0.0;
+  double serial_wall_estimate_ = 0.0;
+};
 
 }  // namespace specsync::bench

@@ -1,15 +1,17 @@
 #!/usr/bin/env bash
 # Builds and runs the concurrency-sensitive test suites under ThreadSanitizer
 # and AddressSanitizer. These are the suites that exercise real threads
-# (runtime, chaos, parameter server) plus the fault plan itself; the rest of
-# the repo is single-threaded sim code covered by the plain build.
+# (runtime, chaos, parameter server, the experiment thread pool and the
+# ParallelRunner built on it) plus the fault plan itself; the rest of the
+# repo is single-threaded sim code covered by the plain build.
 #
 # Usage: scripts/sanitize.sh [thread|address|all]   (default: all)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SUITES=(runtime_test runtime_chaos_test ps_test fault_test)
+SUITES=(runtime_test runtime_chaos_test ps_test fault_test thread_pool_test
+        parallel_runner_test)
 MODE="${1:-all}"
 
 run_mode() {

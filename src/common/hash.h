@@ -1,0 +1,53 @@
+// FNV-1a 64-bit hashing.
+//
+// Two jobs, both needing order-sensitive, bit-exact digests: (a) forking
+// per-cell experiment seeds from a root seed by semantic key — (workload,
+// scheme, label, replicate) — so a sweep's seeds never depend on submission
+// order, and (b) digesting event traces for the golden-trace and
+// parallel-equivalence tests. Variable-length fields are length-prefixed so
+// adjacent fields cannot alias ("ab"+"c" != "a"+"bc").
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace specsync {
+
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffset = 1469598103934665603ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  constexpr std::uint64_t digest() const { return state_; }
+
+  constexpr Fnv1a& Bytes(const char* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ ^= static_cast<unsigned char>(data[i]);
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  constexpr Fnv1a& U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ ^= (v >> (8 * i)) & 0xFFu;
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  // Hashes the bit pattern, so digests distinguish -0.0/0.0 and are exact.
+  constexpr Fnv1a& F64(double v) { return U64(std::bit_cast<std::uint64_t>(v)); }
+
+  constexpr Fnv1a& Str(std::string_view s) {
+    U64(s.size());
+    return Bytes(s.data(), s.size());
+  }
+
+ private:
+  std::uint64_t state_ = kOffset;
+};
+
+}  // namespace specsync

@@ -1,0 +1,58 @@
+// Fixed-size thread pool.
+//
+// A FIFO task queue drained by a fixed set of worker threads. The pool makes
+// no ordering promise beyond FIFO *dispatch*; completion order depends on the
+// scheduler. Callers that need deterministic results therefore make tasks
+// independent and have each write to a pre-assigned output slot (see
+// harness/parallel_runner), so the result layout is fixed before any thread
+// runs.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace specsync {
+
+class ThreadPool {
+ public:
+  // Spawns exactly `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads);
+  // Waits for queued tasks to drain, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished running.
+  void Wait();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  // Host hardware concurrency, clamped to >= 1.
+  static std::size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or shutdown
+  std::condition_variable idle_cv_;  // Wait(): all tasks finished
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Runs fn(0) .. fn(n-1) across the pool and blocks until all complete.
+void ParallelFor(ThreadPool& pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace specsync

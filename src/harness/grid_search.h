@@ -10,7 +10,7 @@
 
 #include <vector>
 
-#include "harness/experiment.h"
+#include "harness/parallel_runner.h"
 
 namespace specsync {
 
@@ -24,6 +24,10 @@ struct GridSearchConfig {
   SimTime trial_max_time = SimTime::FromSeconds(4000.0);
   std::uint64_t trial_max_pushes = 0;
   std::uint64_t seed = 11;
+  // Trials are independent cells; >1 fans them over a thread pool. The
+  // selected optimum and all trial results are identical at any thread count
+  // (every trial pins `seed`, so only the grid point varies).
+  std::size_t threads = 1;
 };
 
 struct GridTrial {
@@ -38,6 +42,13 @@ struct GridSearchResult {
   // Simulated cluster-hours the search consumed (Table II's "total search
   // time"): sum over trials of simulated end time.
   Duration total_simulated_time = Duration::Zero();
+  // Host-side telemetry: the cells and per-cell results (trial order), the
+  // wall time of the whole search, and the sum of per-trial wall times (what
+  // a serial search would have cost).
+  std::vector<ExperimentCell> cells;
+  std::vector<CellResult> cell_results;
+  double wall_seconds = 0.0;
+  double serial_wall_estimate = 0.0;
 };
 
 GridSearchResult CherrypickSearch(const Workload& workload,

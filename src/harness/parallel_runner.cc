@@ -1,0 +1,64 @@
+#include "harness/parallel_runner.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/thread_pool.h"
+
+namespace specsync {
+
+namespace {
+
+CellResult RunCell(const ExperimentCell& cell, std::uint64_t seed) {
+  ExperimentConfig config = cell.config;
+  config.seed = seed;
+  const auto start = std::chrono::steady_clock::now();
+  CellResult out;
+  out.result = RunExperiment(cell.workload, config);
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.seed = seed;
+  out.trace_digest = TraceDigest(out.result.sim.trace);
+  out.sim_events = out.result.sim.sim_events;
+  return out;
+}
+
+}  // namespace
+
+ParallelRunner::ParallelRunner(ParallelRunnerOptions options)
+    : options_(options) {
+  SPECSYNC_CHECK_GT(options_.threads, 0u);
+}
+
+std::uint64_t ParallelRunner::CellSeed(std::uint64_t root_seed,
+                                       const ExperimentCell& cell) {
+  if (cell.explicit_seed.has_value()) return *cell.explicit_seed;
+  return Fnv1a()
+      .U64(root_seed)
+      .Str(cell.workload.name)
+      .Str(cell.config.scheme.DisplayName())
+      .Str(cell.label)
+      .U64(cell.replicate)
+      .digest();
+}
+
+std::vector<CellResult> ParallelRunner::Run(
+    const std::vector<ExperimentCell>& cells) const {
+  std::vector<CellResult> results(cells.size());
+  if (options_.threads == 1) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      results[i] = RunCell(cells[i], CellSeed(options_.root_seed, cells[i]));
+    }
+    return results;
+  }
+  ThreadPool pool(options_.threads);
+  const std::uint64_t root = options_.root_seed;
+  ParallelFor(pool, cells.size(), [&cells, &results, root](std::size_t i) {
+    results[i] = RunCell(cells[i], ParallelRunner::CellSeed(root, cells[i]));
+  });
+  return results;
+}
+
+}  // namespace specsync

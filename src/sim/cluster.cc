@@ -492,6 +492,7 @@ struct ClusterSim::Impl {
     result.end_time = sim.now();
     result.total_pushes = TotalPushes();
     result.total_aborts = trace.total_aborts();
+    result.sim_events = sim.events_processed();
     result.convergence_time = convergence_time;
     result.convergence_pushes = convergence_pushes;
     if (scheduler) {

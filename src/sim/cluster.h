@@ -116,6 +116,8 @@ struct SimResult {
   SimTime end_time = SimTime::Zero();
   std::uint64_t total_pushes = 0;
   std::uint64_t total_aborts = 0;
+  // DES events the run processed (queue throughput = sim_events / wall time).
+  std::uint64_t sim_events = 0;
   SpeculationParams final_params;
   DenseVector final_weights;
   FaultStats fault_stats;

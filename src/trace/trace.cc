@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/hash.h"
 
 namespace specsync {
 
@@ -61,6 +62,32 @@ Duration TrainingTrace::total_wasted_compute() const {
   Duration total = Duration::Zero();
   for (const AbortEvent& e : aborts_) total += e.wasted_compute;
   return total;
+}
+
+std::uint64_t TraceDigest(const TrainingTrace& trace) {
+  Fnv1a hash;
+  hash.U64(trace.num_workers());
+  hash.U64(trace.pulls().size());
+  for (const PullEvent& e : trace.pulls()) {
+    hash.F64(e.time.seconds()).U64(e.worker).U64(e.version);
+  }
+  hash.U64(trace.pushes().size());
+  for (const PushEvent& e : trace.pushes()) {
+    hash.F64(e.time.seconds())
+        .U64(e.worker)
+        .U64(e.iteration)
+        .U64(e.version)
+        .U64(e.missed_updates);
+  }
+  hash.U64(trace.aborts().size());
+  for (const AbortEvent& e : trace.aborts()) {
+    hash.F64(e.time.seconds()).U64(e.worker).F64(e.wasted_compute.seconds());
+  }
+  hash.U64(trace.losses().size());
+  for (const LossSample& s : trace.losses()) {
+    hash.F64(s.time.seconds()).F64(s.loss).U64(s.total_iterations).U64(s.epoch);
+  }
+  return hash.digest();
 }
 
 }  // namespace specsync

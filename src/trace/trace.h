@@ -80,4 +80,10 @@ class TrainingTrace {
   SimTime end_time_ = SimTime::Zero();
 };
 
+// Order-sensitive FNV-1a digest over the full event streams (pulls, pushes,
+// aborts, losses) with bit-exact times and payloads: two traces digest equal
+// iff they recorded identical histories. Pinned by the golden-trace test and
+// compared across thread counts by the parallel-equivalence test.
+std::uint64_t TraceDigest(const TrainingTrace& trace);
+
 }  // namespace specsync

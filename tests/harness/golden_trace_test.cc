@@ -1,0 +1,60 @@
+// Golden-trace determinism test: a fixed-seed 8-worker SpecSync-Adaptive
+// simulation must reproduce one exact event history, pinned here as an FNV
+// digest of the ordered pull/push/abort/loss trace. Any change to event
+// ordering, RNG consumption, scheduler decisions, or gradient math shows up
+// as a digest mismatch — deliberate changes must re-pin the constant.
+//
+// To regenerate after an intentional behavior change:
+//   run this test and copy the "Actual" digest from the failure message
+//   (or print TraceDigest(result.sim.trace) from any driver with the exact
+//   config below).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/workload.h"
+#include "trace/trace.h"
+
+namespace specsync {
+namespace {
+
+ExperimentResult RunGoldenSim() {
+  // Convex workload: unique optimum, no divergence at 8 async workers, so
+  // the pinned history stays meaningful (the MF proxy can blow up at this
+  // worker count and NaN losses compare unequal to themselves).
+  const Workload workload = MakeConvexWorkload(/*seed=*/1, /*scale=*/0.2);
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Homogeneous(8);
+  config.cluster.num_servers = 2;
+  config.scheme = SchemeSpec::Adaptive();
+  config.max_time = SimTime::FromSeconds(240.0);
+  config.stop_on_convergence = false;
+  config.seed = 41;
+  return RunExperiment(workload, config);
+}
+
+// Pinned digest of the golden run's trace. See the header comment for how to
+// regenerate when a change is intentional.
+constexpr std::uint64_t kGoldenDigest = 9468566950707090850ULL;
+
+TEST(GoldenTraceTest, AdaptiveEightWorkerTraceDigestIsPinned) {
+  const ExperimentResult result = RunGoldenSim();
+  // The run must exercise the interesting protocol paths, or the pin proves
+  // nothing about speculation.
+  EXPECT_GT(result.sim.trace.total_pushes(), 100u);
+  EXPECT_GT(result.sim.trace.total_aborts(), 0u);
+  EXPECT_GT(result.sim.scheduler_stats.resyncs_issued, 0u);
+  EXPECT_GT(result.sim.scheduler_stats.retunes, 0u);
+  EXPECT_EQ(TraceDigest(result.sim.trace), kGoldenDigest);
+}
+
+TEST(GoldenTraceTest, RerunningTheGoldenSimIsBitIdentical) {
+  const ExperimentResult a = RunGoldenSim();
+  const ExperimentResult b = RunGoldenSim();
+  EXPECT_EQ(TraceDigest(a.sim.trace), TraceDigest(b.sim.trace));
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.sim.scheduler_stats.resyncs_issued,
+            b.sim.scheduler_stats.resyncs_issued);
+}
+
+}  // namespace
+}  // namespace specsync

@@ -1,0 +1,160 @@
+// Parallel-equivalence property tests: ParallelRunner results (losses,
+// convergence times, trace digests) must be bit-identical across thread
+// counts {1, 2, 8} and across repeated runs at the same count — the core
+// guarantee that lets the figure benches fan cells across cores without
+// changing a single printed number.
+#include <gtest/gtest.h>
+
+#include "harness/grid_search.h"
+#include "harness/parallel_runner.h"
+#include "harness/workload.h"
+
+namespace specsync {
+namespace {
+
+std::vector<ExperimentCell> SmallGrid() {
+  // Two workloads x two schemes x two replicates: enough shape to catch a
+  // seed leaking across cells or a result landing in the wrong slot.
+  std::vector<ExperimentCell> cells;
+  const Workload mf = MakeMfWorkload(1, /*scale=*/0.1);
+  const Workload convex = MakeConvexWorkload(1, /*scale=*/0.2);
+  for (const Workload& workload : {mf, convex}) {
+    for (const SchemeSpec& scheme :
+         {SchemeSpec::Original(), SchemeSpec::Adaptive()}) {
+      for (std::uint64_t replicate = 0; replicate < 2; ++replicate) {
+        ExperimentCell cell;
+        cell.workload = workload;
+        cell.config.cluster = ClusterSpec::Homogeneous(4);
+        cell.config.cluster.num_servers = 2;
+        cell.config.scheme = scheme;
+        cell.config.max_time = SimTime::FromSeconds(60.0);
+        cell.config.stop_on_convergence = false;
+        cell.replicate = replicate;
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+std::vector<CellResult> RunWith(const std::vector<ExperimentCell>& cells,
+                                std::size_t threads) {
+  ParallelRunnerOptions options;
+  options.threads = threads;
+  options.root_seed = 7;
+  return ParallelRunner(options).Run(cells);
+}
+
+void ExpectBitIdentical(const std::vector<CellResult>& a,
+                        const std::vector<CellResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].trace_digest, b[i].trace_digest);
+    EXPECT_EQ(a[i].sim_events, b[i].sim_events);
+    // Bit-exact double comparison is the point: == on purpose.
+    EXPECT_EQ(a[i].result.final_loss, b[i].result.final_loss);
+    EXPECT_EQ(a[i].result.sim.total_pushes, b[i].result.sim.total_pushes);
+    EXPECT_EQ(a[i].result.sim.total_aborts, b[i].result.sim.total_aborts);
+    EXPECT_EQ(a[i].result.time_to_target.has_value(),
+              b[i].result.time_to_target.has_value());
+    if (a[i].result.time_to_target.has_value()) {
+      EXPECT_EQ(a[i].result.time_to_target->seconds(),
+                b[i].result.time_to_target->seconds());
+    }
+  }
+}
+
+TEST(ParallelRunnerTest, BitIdenticalAcrossThreadCounts) {
+  const std::vector<ExperimentCell> cells = SmallGrid();
+  const auto serial = RunWith(cells, 1);
+  ExpectBitIdentical(serial, RunWith(cells, 2));
+  ExpectBitIdentical(serial, RunWith(cells, 8));
+}
+
+TEST(ParallelRunnerTest, RepeatedRunsAtSameThreadCountAreIdentical) {
+  const std::vector<ExperimentCell> cells = SmallGrid();
+  const auto first = RunWith(cells, 8);
+  ExpectBitIdentical(first, RunWith(cells, 8));
+}
+
+TEST(ParallelRunnerTest, SubmissionOrderDoesNotChangeCellResults) {
+  std::vector<ExperimentCell> cells = SmallGrid();
+  const auto forward = RunWith(cells, 2);
+  std::vector<ExperimentCell> reversed(cells.rbegin(), cells.rend());
+  const auto backward = RunWith(reversed, 2);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t j = cells.size() - 1 - i;
+    EXPECT_EQ(forward[i].seed, backward[j].seed);
+    EXPECT_EQ(forward[i].trace_digest, backward[j].trace_digest);
+  }
+}
+
+TEST(ParallelRunnerTest, MatchesDirectSerialRunExperiment) {
+  const std::vector<ExperimentCell> cells = SmallGrid();
+  const auto parallel = RunWith(cells, 8);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ExperimentConfig config = cells[i].config;
+    config.seed = ParallelRunner::CellSeed(7, cells[i]);
+    const ExperimentResult direct = RunExperiment(cells[i].workload, config);
+    EXPECT_EQ(TraceDigest(direct.sim.trace), parallel[i].trace_digest)
+        << "cell " << i;
+    EXPECT_EQ(direct.final_loss, parallel[i].result.final_loss);
+  }
+}
+
+TEST(ParallelRunnerTest, CellSeedIsKeyDerivedNotOrderDerived) {
+  ExperimentCell cell;
+  cell.workload = MakeConvexWorkload(1, 0.2);
+  cell.config.scheme = SchemeSpec::Adaptive();
+  cell.replicate = 3;
+  cell.label = "workers=20";
+  const std::uint64_t seed = ParallelRunner::CellSeed(7, cell);
+  EXPECT_EQ(seed, ParallelRunner::CellSeed(7, cell));  // pure function
+
+  ExperimentCell other = cell;
+  other.replicate = 4;
+  EXPECT_NE(ParallelRunner::CellSeed(7, other), seed);
+  other = cell;
+  other.label = "workers=30";
+  EXPECT_NE(ParallelRunner::CellSeed(7, other), seed);
+  other = cell;
+  other.config.scheme = SchemeSpec::Original();
+  EXPECT_NE(ParallelRunner::CellSeed(7, other), seed);
+  EXPECT_NE(ParallelRunner::CellSeed(8, cell), seed);
+
+  cell.explicit_seed = 99;
+  EXPECT_EQ(ParallelRunner::CellSeed(7, cell), 99u);
+}
+
+TEST(GridSearchTest, ParallelGridMatchesSerialGrid) {
+  const Workload workload = MakeMfWorkload(5, 0.1);
+  GridSearchConfig config;
+  config.time_fractions = {0.1, 0.3};
+  config.rates = {0.25, 0.5};
+  config.trial_max_time = SimTime::FromSeconds(60.0);
+  ClusterSpec cluster = ClusterSpec::Homogeneous(4);
+  cluster.num_servers = 2;
+
+  config.threads = 1;
+  const GridSearchResult serial = CherrypickSearch(workload, cluster, config);
+  config.threads = 4;
+  const GridSearchResult parallel =
+      CherrypickSearch(workload, cluster, config);
+
+  EXPECT_EQ(serial.best.abort_time.seconds(),
+            parallel.best.abort_time.seconds());
+  EXPECT_EQ(serial.best.abort_rate, parallel.best.abort_rate);
+  ASSERT_EQ(serial.trials.size(), parallel.trials.size());
+  for (std::size_t i = 0; i < serial.trials.size(); ++i) {
+    EXPECT_EQ(serial.trials[i].final_loss, parallel.trials[i].final_loss);
+    EXPECT_EQ(serial.cell_results[i].trace_digest,
+              parallel.cell_results[i].trace_digest);
+  }
+  EXPECT_EQ(serial.total_simulated_time.seconds(),
+            parallel.total_simulated_time.seconds());
+}
+
+}  // namespace
+}  // namespace specsync

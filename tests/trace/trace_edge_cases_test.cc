@@ -1,0 +1,112 @@
+// Edge-case coverage for the trace analyses: empty traces, a single worker
+// (PAP counts only *other* workers' pushes), and a run where every iteration
+// aborts. The exporters and AnalyzePap must degrade gracefully — headers and
+// zeros, not crashes — because short or pathological sims produce exactly
+// these shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "trace/pap_analysis.h"
+#include "trace/trace.h"
+#include "trace/trace_export.h"
+
+namespace specsync {
+namespace {
+
+std::size_t CountLines(const std::string& s) {
+  std::size_t lines = 0;
+  for (char c : s) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(TraceEdgeCasesTest, EmptyTraceAnalyzesToZeros) {
+  const TrainingTrace trace(4);  // four workers, no events recorded
+  const PapResult pap = AnalyzePap(trace, PapConfig{});
+  ASSERT_EQ(pap.per_interval.size(), PapConfig{}.num_intervals);
+  ASSERT_EQ(pap.mean_per_interval.size(), PapConfig{}.num_intervals);
+  for (std::size_t k = 0; k < pap.per_interval.size(); ++k) {
+    EXPECT_EQ(pap.per_interval[k].p50, 0.0) << "interval " << k;
+    EXPECT_EQ(pap.mean_per_interval[k], 0.0) << "interval " << k;
+  }
+  EXPECT_EQ(pap.median_first_two, 0.0);
+  EXPECT_EQ(trace.total_pushes(), 0u);
+  EXPECT_EQ(trace.total_aborts(), 0u);
+  EXPECT_EQ(trace.total_wasted_compute().seconds(), 0.0);
+}
+
+TEST(TraceEdgeCasesTest, EmptyTraceExportsHeadersOnly) {
+  const TrainingTrace trace(4);
+  std::ostringstream loss_csv;
+  ExportLossCurve(trace, loss_csv);
+  EXPECT_EQ(CountLines(loss_csv.str()), 1u) << loss_csv.str();
+
+  std::ostringstream events_csv;
+  ExportEvents(trace, events_csv);
+  EXPECT_EQ(CountLines(events_csv.str()), 1u) << events_csv.str();
+}
+
+TEST(TraceEdgeCasesTest, EmptyTracesDigestEqualOnlyWithSameShape) {
+  EXPECT_EQ(TraceDigest(TrainingTrace(4)), TraceDigest(TrainingTrace(4)));
+  // Worker count is part of the recorded history.
+  EXPECT_NE(TraceDigest(TrainingTrace(4)), TraceDigest(TrainingTrace(5)));
+}
+
+TEST(TraceEdgeCasesTest, SingleWorkerHasNoPushesAfterPull) {
+  // One worker pulling and pushing on a steady cadence: PAP counts pushes
+  // from *other* workers after each pull, so every interval must stay zero.
+  TrainingTrace trace(1);
+  for (int i = 0; i < 10; ++i) {
+    const double t = static_cast<double>(i);
+    trace.RecordPull(0, SimTime::FromSeconds(t), /*version=*/i);
+    trace.RecordPush(0, SimTime::FromSeconds(t + 0.5), /*iteration=*/i,
+                     /*version=*/i + 1, /*missed_updates=*/0);
+  }
+  const PapResult pap = AnalyzePap(trace, PapConfig{});
+  for (std::size_t k = 0; k < pap.per_interval.size(); ++k) {
+    EXPECT_EQ(pap.mean_per_interval[k], 0.0) << "interval " << k;
+    EXPECT_EQ(pap.per_interval[k].p50, 0.0) << "interval " << k;
+  }
+  EXPECT_EQ(pap.median_first_two, 0.0);
+}
+
+TEST(TraceEdgeCasesTest, AllAbortsTraceExportsAndAccountsWaste) {
+  // Pathological run: every speculation window fires, no push ever lands.
+  TrainingTrace trace(3);
+  double total_waste = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    const WorkerId w = static_cast<WorkerId>(i % 3);
+    const double t = 0.7 * static_cast<double>(i + 1);
+    trace.RecordPull(w, SimTime::FromSeconds(t), /*version=*/0);
+    const double waste = 0.25 + 0.05 * static_cast<double>(i);
+    trace.RecordAbort(w, SimTime::FromSeconds(t + 0.4),
+                      Duration::Seconds(waste));
+    total_waste += waste;
+  }
+  EXPECT_EQ(trace.total_pushes(), 0u);
+  EXPECT_EQ(trace.total_aborts(), 6u);
+  EXPECT_DOUBLE_EQ(trace.total_wasted_compute().seconds(), total_waste);
+
+  // PAP sees pulls but zero pushes: defined, all-zero result.
+  const PapResult pap = AnalyzePap(trace, PapConfig{});
+  EXPECT_EQ(pap.median_first_two, 0.0);
+
+  // ExportEvents must carry one row per pull and per abort; no push rows.
+  std::ostringstream events_csv;
+  ExportEvents(trace, events_csv);
+  const std::string csv = events_csv.str();
+  EXPECT_EQ(CountLines(csv), 1u + 6u + 6u) << csv;
+  EXPECT_NE(csv.find("abort"), std::string::npos);
+  EXPECT_EQ(csv.find("push,"), std::string::npos);
+
+  // The loss curve is empty (no evals ran) but still well-formed.
+  std::ostringstream loss_csv;
+  ExportLossCurve(trace, loss_csv);
+  EXPECT_EQ(CountLines(loss_csv.str()), 1u);
+}
+
+}  // namespace
+}  // namespace specsync
