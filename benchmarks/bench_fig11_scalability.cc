@@ -17,11 +17,12 @@
 using namespace specsync;
 
 int main(int argc, char** argv) {
-  const std::size_t threads = bench::ParseThreads(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Fig. 11 — scalability with cluster size",
       "speedup over Original and fixed-budget loss improvement both grow "
       "with the worker count (20/30/40 in the paper)");
+  std::cout << "num_servers=" << args.num_servers << "\n";
 
   const Workload workload = MakeCifar10Workload(1);
   const SimTime horizon = SimTime::FromSeconds(2100.0);
@@ -35,15 +36,17 @@ int main(int argc, char** argv) {
   for (std::size_t workers : worker_counts) {
     ExperimentConfig config;
     config.cluster = ClusterSpec::Homogeneous(workers);
+    config.cluster.num_servers = args.num_servers;
     config.max_time = horizon;
     config.stop_on_convergence = false;
-    const std::string label = "workers=" + std::to_string(workers);
+    const std::string label = "workers=" + std::to_string(workers) +
+                              ",servers=" + std::to_string(args.num_servers);
     config.scheme = SchemeSpec::Original();
     asp_series.push_back(batch.AddSeries(workload, config, 2, label));
     config.scheme = SchemeSpec::Adaptive();
     spec_series.push_back(batch.AddSeries(workload, config, 2, label));
   }
-  batch.Run(threads);
+  batch.Run(args.threads);
 
   Table table({"workers", "ASP_time(s)", "Spec_time(s)", "speedup",
                "ASP_loss@budget", "Spec_loss@budget", "loss_improvement"});

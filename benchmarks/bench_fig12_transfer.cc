@@ -3,7 +3,15 @@
 // Paper: the two curves track each other closely (SpecSync adds negligible
 // bandwidth); because SpecSync finishes sooner, its total transfer is lower —
 // CIFAR-10: 3.17 TB (Original) vs 2.00 TB (SpecSync), ~40% less.
+//
+// With the sharded transfer model every data-plane message is charged against
+// the server shard it moved to/from, so each panel also prints a per-server
+// breakdown (pull/push bytes per shard). Contiguous sharding splits the
+// parameter vector near-equally, so the shares should be near-uniform — a
+// built-in sanity check on the routing. --num_servers=N picks the shard count
+// (default 4, the paper-like testbed).
 #include <iostream>
+#include <string>
 
 #include "benchmarks/bench_util.h"
 
@@ -11,9 +19,30 @@ using namespace specsync;
 
 namespace {
 
-void Panel(const Workload& workload, std::size_t workers, SimTime horizon) {
+void PerServerBreakdown(const char* scheme, const TransferAccountant& t) {
+  std::cout << scheme << " per-server bytes:\n";
+  Table table({"server", "pull(MB)", "push(MB)", "total(MB)", "share"});
+  const double total = static_cast<double>(t.total_bytes());
+  for (std::size_t s = 0; s < t.num_shards_seen(); ++s) {
+    const double shard_total = static_cast<double>(t.shard_total_bytes(s));
+    table.AddRowValues(
+        static_cast<unsigned long>(s),
+        static_cast<double>(t.shard_bytes(TransferCategory::kPullParams, s)) /
+            1e6,
+        static_cast<double>(t.shard_bytes(TransferCategory::kPushGrads, s)) /
+            1e6,
+        shard_total / 1e6, total > 0.0 ? shard_total / total : 0.0);
+  }
+  table.PrintPretty(std::cout);
+  std::cout << "  control-plane (unsharded): "
+            << static_cast<double>(t.unsharded_bytes()) / 1e6 << " MB\n";
+}
+
+void Panel(const Workload& workload, std::size_t workers,
+           std::size_t num_servers, SimTime horizon) {
   ExperimentConfig config;
   config.cluster = ClusterSpec::Homogeneous(workers);
+  config.cluster.num_servers = num_servers;
   config.max_time = horizon;
   config.stop_on_convergence = true;  // run-to-convergence totals
   config.seed = 7;
@@ -23,8 +52,9 @@ void Panel(const Workload& workload, std::size_t workers, SimTime horizon) {
   config.scheme = SchemeSpec::Adaptive();
   const ExperimentResult spec = RunExperiment(workload, config);
 
-  std::cout << "\n--- " << workload.name << " (" << workers
-            << " workers, run to target " << workload.loss_target << ") ---\n";
+  std::cout << "\n--- " << workload.name << " (" << workers << " workers, "
+            << num_servers << " servers, run to target "
+            << workload.loss_target << ") ---\n";
   const SimTime end =
       std::max(original.sim.end_time, spec.sim.end_time);
   const auto original_curve = original.sim.transfers.Timeline(end, 9);
@@ -45,19 +75,25 @@ void Panel(const Workload& workload, std::size_t workers, SimTime horizon) {
             << "s, SpecSync=" << sb / 1e6 << " MB over "
             << spec.sim.end_time.seconds() << "s ("
             << (1.0 - sb / ob) * 100.0 << "% less; paper CIFAR-10: ~40%)\n";
+  PerServerBreakdown("Original", original.sim.transfers);
+  PerServerBreakdown("SpecSync", spec.sim.transfers);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Fig. 12 — accumulated data transfer over time",
       "SpecSync's rate matches Original's; earlier convergence makes its "
       "total smaller (CIFAR-10: 3.17 TB vs 2.00 TB)");
+  std::cout << "num_servers=" << args.num_servers << "\n";
 
-  Panel(MakeMfWorkload(1), 40, SimTime::FromSeconds(1500.0));
-  Panel(MakeCifar10Workload(1), 20, SimTime::FromSeconds(2800.0));
-  Panel(MakeImageNetWorkload(1, /*scale=*/0.6), 12,
+  Panel(MakeMfWorkload(1), 40, args.num_servers,
+        SimTime::FromSeconds(1500.0));
+  Panel(MakeCifar10Workload(1), 20, args.num_servers,
+        SimTime::FromSeconds(2800.0));
+  Panel(MakeImageNetWorkload(1, /*scale=*/0.6), 12, args.num_servers,
         SimTime::FromSeconds(7000.0));
   return 0;
 }

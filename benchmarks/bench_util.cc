@@ -73,27 +73,52 @@ void PrintHeader(const std::string& figure, const std::string& paper_claim) {
             << "==================================================\n";
 }
 
-std::size_t ParseThreads(int argc, char** argv) {
-  long threads = 0;
+namespace {
+
+// Parses the value of a `--flag=N` argument; exits with usage when malformed.
+std::size_t ParsePositiveFlag(const std::string& arg, std::size_t prefix_len,
+                              const char* program, const char* usage) {
+  char* end = nullptr;
+  const long value = std::strtol(arg.c_str() + prefix_len, &end, 10);
+  if (end == nullptr || *end != '\0' || value < 1) {
+    std::cerr << "usage: " << program << " " << usage << "\n";
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(value);
+}
+
+constexpr const char* kBenchUsage =
+    "[--threads=N] [--num_servers=N] [--smoke]  (N >= 1)";
+
+}  // namespace
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  std::size_t threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--threads=", 0) == 0) {
-      char* end = nullptr;
-      threads = std::strtol(arg.c_str() + 10, &end, 10);
-      if (end == nullptr || *end != '\0' || threads < 1) {
-        std::cerr << "usage: " << argv[0] << " [--threads=N]  (N >= 1)\n";
-        std::exit(2);
-      }
+      threads = ParsePositiveFlag(arg, 10, argv[0], kBenchUsage);
+    } else if (arg.rfind("--num_servers=", 0) == 0) {
+      args.num_servers = ParsePositiveFlag(arg, 14, argv[0], kBenchUsage);
+    } else if (arg == "--smoke") {
+      args.smoke = true;
     } else {
       std::cerr << "warning: ignoring unknown argument '" << arg << "'\n";
     }
   }
-  if (threads > 0) return static_cast<std::size_t>(threads);
-  if (const char* env = std::getenv("SPECSYNC_BENCH_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  if (threads == 0) {
+    if (const char* env = std::getenv("SPECSYNC_BENCH_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed >= 1) threads = static_cast<std::size_t>(parsed);
+    }
   }
-  return ThreadPool::DefaultThreadCount();
+  args.threads = threads > 0 ? threads : ThreadPool::DefaultThreadCount();
+  return args;
+}
+
+std::size_t ParseThreads(int argc, char** argv) {
+  return ParseBenchArgs(argc, argv).threads;
 }
 
 std::size_t CellBatch::AddSeries(const Workload& workload,

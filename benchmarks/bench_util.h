@@ -68,6 +68,22 @@ std::vector<ExperimentResult> RunSeeds(const Workload& workload,
 // Prints the standard bench header.
 void PrintHeader(const std::string& figure, const std::string& paper_claim);
 
+// Common bench flags.
+//  --threads=N      worker threads for the cell grid (default: env
+//                   SPECSYNC_BENCH_THREADS, else hardware concurrency)
+//  --num_servers=N  parameter-server shard count for the simulated cluster
+//                   (default: 4, the paper-like testbed shape)
+//  --smoke          shrink the grid for a seconds-long CI sanity pass
+struct BenchArgs {
+  std::size_t threads = 1;
+  std::size_t num_servers = 4;
+  bool smoke = false;
+};
+
+// Parses the flags above; exits with usage on a malformed flag and warns on
+// unknown ones.
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
 // Thread count for a bench binary: --threads=N beats SPECSYNC_BENCH_THREADS
 // beats the host's hardware concurrency. Exits with usage on a bad flag.
 std::size_t ParseThreads(int argc, char** argv);

@@ -13,7 +13,8 @@ namespace specsync {
 // Cluster shape, mirroring the paper's testbeds (Sec. VI-A).
 struct ClusterSpec {
   std::size_t num_workers = 40;
-  std::size_t num_servers = 8;
+  // Parameter-server shard count (paper-like default: 4 server processes).
+  std::size_t num_servers = 4;
   // Log-normal sigma of per-iteration compute jitter. Homogeneous EC2 nodes
   // doing identical work vary by a few percent iteration to iteration; the
   // transient-straggler knob below supplies the heavy tail.

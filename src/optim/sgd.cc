@@ -15,27 +15,56 @@ SgdApplier::SgdApplier(std::shared_ptr<const LearningRateSchedule> schedule,
 
 void SgdApplier::Apply(const Gradient& grad, EpochId epoch,
                        std::span<double> params) const {
+  if (grad.is_sparse()) {
+    // Whole-vector apply: an index beyond the vector is a caller bug, not an
+    // entry for some other slice (slices filter; the full vector must not).
+    for (std::uint64_t index : grad.sparse().indices()) {
+      SPECSYNC_CHECK_LT(index, params.size());
+    }
+    ApplySparseSlice(grad.sparse(), epoch, 0, params);
+  } else {
+    ApplyDenseSlice(grad.dense(), epoch, params);
+  }
+}
+
+void SgdApplier::ApplyDenseSlice(std::span<const double> grad, EpochId epoch,
+                                 std::span<double> params) const {
+  SPECSYNC_CHECK_EQ(grad.size(), params.size());
   const double eta = schedule_->Rate(epoch);
   if (config_.clip == 0.0) {
-    grad.AddTo(-eta, params);
+    // params[i] += (-eta) * g[i], matching Gradient::AddTo bit for bit.
+    const double alpha = -eta;
+    for (std::size_t i = 0; i < grad.size(); ++i) {
+      params[i] += alpha * grad[i];
+    }
     return;
   }
-  // Clip elementwise without mutating the caller's gradient.
-  if (grad.is_sparse()) {
-    const auto indices = grad.sparse().indices();
-    const auto values = grad.sparse().values();
-    for (std::size_t i = 0; i < indices.size(); ++i) {
-      SPECSYNC_CHECK_LT(indices[i], params.size());
-      const double v = std::clamp(values[i], -config_.clip, config_.clip);
-      params[indices[i]] -= eta * v;
-    }
-  } else {
-    const auto& g = grad.dense();
-    SPECSYNC_CHECK_EQ(g.size(), params.size());
-    for (std::size_t i = 0; i < g.size(); ++i) {
-      params[i] -= eta * std::clamp(g[i], -config_.clip, config_.clip);
-    }
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    params[i] -= eta * std::clamp(grad[i], -config_.clip, config_.clip);
   }
+}
+
+std::size_t SgdApplier::ApplySparseSlice(const SparseUpdate& grad,
+                                         EpochId epoch, std::size_t offset,
+                                         std::span<double> params) const {
+  const double eta = schedule_->Rate(epoch);
+  const double alpha = -eta;
+  const auto indices = grad.indices();
+  const auto values = grad.values();
+  const std::size_t end = offset + params.size();
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto index = static_cast<std::size_t>(indices[i]);
+    if (index < offset || index >= end) continue;
+    if (config_.clip == 0.0) {
+      params[index - offset] += alpha * values[i];
+    } else {
+      params[index - offset] -=
+          eta * std::clamp(values[i], -config_.clip, config_.clip);
+    }
+    ++applied;
+  }
+  return applied;
 }
 
 }  // namespace specsync

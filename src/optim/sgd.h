@@ -30,6 +30,20 @@ class SgdApplier {
   void Apply(const Gradient& grad, EpochId epoch,
              std::span<double> params) const;
 
+  // Slice primitives for the sharded parameter store: each shard applies only
+  // its own contiguous slice of a full-dimension gradient.
+
+  // params -= Rate(epoch) * grad (elementwise over one dense slice).
+  void ApplyDenseSlice(std::span<const double> grad, EpochId epoch,
+                       std::span<double> params) const;
+
+  // Applies the entries of `grad` whose indices fall in
+  // [offset, offset + params.size()) onto the slice (params[i] holds full
+  // index offset + i). Returns the number of entries applied.
+  std::size_t ApplySparseSlice(const SparseUpdate& grad, EpochId epoch,
+                               std::size_t offset,
+                               std::span<double> params) const;
+
   double Rate(EpochId epoch) const { return schedule_->Rate(epoch); }
 
  private:

@@ -1,8 +1,10 @@
 #include "ps/param_store.h"
 
 #include <algorithm>
+#include <latch>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace specsync {
 
@@ -16,31 +18,82 @@ ParameterServer::ParameterServer(std::size_t dim, std::size_t num_shards,
   const std::size_t base = dim / num_shards;
   const std::size_t extra = dim % num_shards;
   std::size_t offset = 0;
+  shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    ShardInfo info;
-    info.offset = offset;
-    info.length = base + (s < extra ? 1 : 0);
-    shards_.push_back(info);
-    offset += info.length;
+    auto shard = std::make_unique<Shard>();
+    shard->offset = offset;
+    shard->length = base + (s < extra ? 1 : 0);
+    offset += shard->length;
+    shards_.push_back(std::move(shard));
   }
   SPECSYNC_CHECK_EQ(offset, dim);
 }
 
 void ParameterServer::Initialize(const Model& model, Rng& rng) {
   SPECSYNC_CHECK_EQ(model.param_dim(), dim_);
-  std::scoped_lock lock(mutex_);
+  // Whole-vector write: hold every shard lock (in shard order, the single
+  // global lock order — Push and Pull acquire at most one at a time).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
   model.InitParams(params_, rng);
 }
 
 void ParameterServer::SetParams(DenseVector params) {
   SPECSYNC_CHECK_EQ(params.size(), dim_);
-  std::scoped_lock lock(mutex_);
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) locks.emplace_back(shard->mutex);
   params_ = std::move(params);
 }
 
-PullResult ParameterServer::Pull() const {
-  std::scoped_lock lock(mutex_);
-  return PullResult{params_, version_};
+PullResult ParameterServer::Pull(ThreadPool* pool) const {
+  PullResult out;
+  out.params.resize(dim_);
+  if (pool == nullptr || shards_.size() == 1) {
+    for (const auto& shard : shards_) {
+      std::scoped_lock lock(shard->mutex);
+      std::copy_n(params_.begin() + static_cast<std::ptrdiff_t>(shard->offset),
+                  shard->length,
+                  out.params.begin() + static_cast<std::ptrdiff_t>(shard->offset));
+    }
+  } else {
+    // Fan the per-shard copies across the pool; each task writes a disjoint
+    // slice of `out.params`. The latch (not ThreadPool::Wait) scopes the wait
+    // to *this* pull, so concurrent pulls can share one pool.
+    std::latch done(static_cast<std::ptrdiff_t>(shards_.size()));
+    for (const auto& shard_ptr : shards_) {
+      const Shard* shard = shard_ptr.get();
+      double* dest = out.params.data();
+      pool->Submit([this, shard, dest, &done] {
+        {
+          std::scoped_lock lock(shard->mutex);
+          std::copy_n(params_.begin() + static_cast<std::ptrdiff_t>(shard->offset),
+                      shard->length, dest + shard->offset);
+        }
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+  out.version = version_.load(std::memory_order_acquire);
+  return out;
+}
+
+ShardPullResult ParameterServer::PullShard(std::size_t s) const {
+  SPECSYNC_CHECK_LT(s, shards_.size());
+  const Shard& shard = *shards_[s];
+  ShardPullResult out;
+  out.offset = shard.offset;
+  out.params.resize(shard.length);
+  {
+    std::scoped_lock lock(shard.mutex);
+    std::copy_n(params_.begin() + static_cast<std::ptrdiff_t>(shard.offset),
+                shard.length, out.params.begin());
+    out.shard_version = shard.version;
+  }
+  out.version = version_.load(std::memory_order_acquire);
+  return out;
 }
 
 std::size_t ParameterServer::ShardOf(std::size_t index) const {
@@ -48,38 +101,79 @@ std::size_t ParameterServer::ShardOf(std::size_t index) const {
   // Shards are near-equal; binary search over offsets.
   auto it = std::upper_bound(
       shards_.begin(), shards_.end(), index,
-      [](std::size_t idx, const ShardInfo& s) { return idx < s.offset; });
+      [](std::size_t idx, const std::unique_ptr<Shard>& s) {
+        return idx < s->offset;
+      });
   return static_cast<std::size_t>(std::distance(shards_.begin(), it)) - 1;
 }
 
-std::uint64_t ParameterServer::Push(const Gradient& grad, EpochId epoch) {
-  std::scoped_lock lock(mutex_);
-  applier_->Apply(grad, epoch, params_);
-  ++version_;
-  if (grad.is_sparse()) {
-    // Bump only the shards this sparse push touched.
-    std::vector<bool> touched(shards_.size(), false);
-    for (std::uint64_t index : grad.sparse().indices()) {
-      touched[ShardOf(static_cast<std::size_t>(index))] = true;
-    }
-    for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (touched[s]) ++shards_[s].version;
-    }
-  } else {
-    for (auto& shard : shards_) ++shard.version;
-  }
-  return version_;
+std::size_t ParameterServer::shard_bytes(std::size_t s) const {
+  SPECSYNC_CHECK_LT(s, shards_.size());
+  return shards_[s]->length * sizeof(double);
 }
 
-std::uint64_t ParameterServer::version() const {
-  std::scoped_lock lock(mutex_);
-  return version_;
+std::vector<ParameterServer::ShardRoute> ParameterServer::RouteGradient(
+    const Gradient& grad) const {
+  std::vector<ShardRoute> routes;
+  if (!grad.is_sparse()) {
+    SPECSYNC_CHECK_EQ(grad.dense().size(), dim_);
+    routes.reserve(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      routes.push_back(ShardRoute{s, shard_bytes(s)});
+    }
+    return routes;
+  }
+  std::vector<std::size_t> nnz(shards_.size(), 0);
+  for (std::uint64_t index : grad.sparse().indices()) {
+    ++nnz[ShardOf(static_cast<std::size_t>(index))];
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (nnz[s] > 0) routes.push_back(ShardRoute{s, nnz[s] * 16});
+  }
+  // An empty gradient still crosses the wire as one (empty) message, so the
+  // push protocol and version accounting see exactly one logical push.
+  if (routes.empty()) routes.push_back(ShardRoute{0, 0});
+  return routes;
+}
+
+bool ParameterServer::PushShard(std::size_t s, const Gradient& grad,
+                                EpochId epoch) {
+  SPECSYNC_CHECK_LT(s, shards_.size());
+  Shard& shard = *shards_[s];
+  std::scoped_lock lock(shard.mutex);
+  const std::span<double> slice(params_.data() + shard.offset, shard.length);
+  bool touched = false;
+  if (grad.is_sparse()) {
+    touched = applier_->ApplySparseSlice(grad.sparse(), epoch, shard.offset,
+                                         slice) > 0;
+  } else {
+    SPECSYNC_CHECK_EQ(grad.dense().size(), dim_);
+    applier_->ApplyDenseSlice(
+        std::span<const double>(grad.dense().data() + shard.offset,
+                                shard.length),
+        epoch, slice);
+    touched = shard.length > 0;
+  }
+  if (touched) ++shard.version;
+  return touched;
+}
+
+std::uint64_t ParameterServer::CommitPush() {
+  return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+}
+
+std::uint64_t ParameterServer::Push(const Gradient& grad, EpochId epoch) {
+  for (const ShardRoute& route : RouteGradient(grad)) {
+    PushShard(route.shard, grad, epoch);
+  }
+  return CommitPush();
 }
 
 ShardInfo ParameterServer::shard(std::size_t s) const {
   SPECSYNC_CHECK_LT(s, shards_.size());
-  std::scoped_lock lock(mutex_);
-  return shards_[s];
+  const Shard& shard = *shards_[s];
+  std::scoped_lock lock(shard.mutex);
+  return ShardInfo{shard.offset, shard.length, shard.version};
 }
 
 }  // namespace specsync

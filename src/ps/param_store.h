@@ -2,13 +2,23 @@
 // (paper Fig. 1).
 //
 // The canonical model parameters live here as one flat vector partitioned
-// into contiguous shards (each shard standing for one server process). Workers
-// Pull() snapshots and Push() gradients; the store applies pushes through an
-// SgdApplier exactly like MXNet's KVStore server-side updater. Every push
-// bumps a global version — the freshness bookkeeping that SpecSync reasons
-// about. Thread-safe: the threaded runtime shares one store across nodes.
+// into contiguous shards, each shard standing for one server process with its
+// *own* mutex and version counter. Workers Pull() composed snapshots (or
+// PullShard() individual shards) and Push() gradients; the store applies
+// pushes through an SgdApplier exactly like MXNet's KVStore server-side
+// updater. Sparse pushes route only to the shards that own their indices;
+// dense pushes update every shard. A monotone global counter tracks logical
+// pushes — the freshness bookkeeping that SpecSync reasons about.
+//
+// Consistency: each shard is internally consistent (its mutex covers both the
+// slice and its version), but a composed Pull() locks shards one at a time,
+// so under concurrent pushes the cross-shard snapshot may be torn — shard j
+// may reflect a push that shard i's slice predates. This mirrors a real
+// multi-server PS, where workers assemble their view from independent server
+// responses; the staleness machinery already tolerates (and measures) it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -21,9 +31,13 @@
 
 namespace specsync {
 
+class ThreadPool;
+
 struct PullResult {
   DenseVector params;
-  // Number of pushes applied before this snapshot was taken.
+  // Number of pushes committed before this snapshot was taken. (In the
+  // threaded runtime a push committing concurrently with the pull may or may
+  // not be counted — the version is sampled once, after the shard copies.)
   std::uint64_t version = 0;
 };
 
@@ -31,6 +45,15 @@ struct ShardInfo {
   std::size_t offset = 0;
   std::size_t length = 0;
   std::uint64_t version = 0;  // pushes that touched this shard
+};
+
+// One shard's snapshot: the slice [offset, offset + params.size()) of the
+// full parameter vector.
+struct ShardPullResult {
+  std::size_t offset = 0;
+  DenseVector params;
+  std::uint64_t shard_version = 0;  // pushes that touched this shard
+  std::uint64_t version = 0;        // global logical-push counter
 };
 
 class ParameterServer {
@@ -44,34 +67,79 @@ class ParameterServer {
   // Directly sets the parameters (tests, warm starts).
   void SetParams(DenseVector params);
 
-  // Snapshot of the full parameter vector plus its version.
-  PullResult Pull() const;
+  // Composed snapshot of the full parameter vector plus the global version.
+  // When `pool` is non-null the per-shard copies fan out across it (the
+  // runtime's concurrent pull path); shards write disjoint slices of the
+  // result. See the header note on torn cross-shard snapshots.
+  PullResult Pull(ThreadPool* pool = nullptr) const;
 
-  // Applies one worker's gradient with the learning rate of `epoch`;
-  // returns the new global version. Sparse gradients touch only the shards
-  // their indices fall into.
+  // Snapshot of one shard (internally consistent: slice + shard version are
+  // read under the shard's mutex).
+  ShardPullResult PullShard(std::size_t s) const;
+
+  // Applies one worker's gradient with the learning rate of `epoch`; returns
+  // the new global version. Routes to dirty shards only: sparse gradients
+  // touch just the shards owning their indices, dense gradients touch all.
+  // Equivalent to PushShard on every routed shard followed by CommitPush.
   std::uint64_t Push(const Gradient& grad, EpochId epoch);
 
-  std::uint64_t version() const;
+  // Applies only shard `s`'s slice of `grad` (the sim's per-shard push
+  // messages land here, each at its own arrival time). Bumps the shard
+  // version iff the slice was non-empty; never bumps the global version.
+  // Returns whether the slice touched the shard.
+  bool PushShard(std::size_t s, const Gradient& grad, EpochId epoch);
+
+  // Completes a logical push whose slices were applied via PushShard: bumps
+  // and returns the global version. A network-duplicated slice re-applied
+  // without a commit is intentionally not a new logical push.
+  std::uint64_t CommitPush();
+
+  // Global logical-push counter (monotone; equals the number of Push calls
+  // plus explicit CommitPush calls, independent of how many shards each
+  // touched).
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
   std::size_t dim() const { return dim_; }
   std::size_t num_shards() const { return shards_.size(); }
   ShardInfo shard(std::size_t s) const;
 
+  // Shard owning parameter `index` (offsets are immutable; lock-free).
+  std::size_t ShardOf(std::size_t index) const;
+
   // Bytes a full pull moves over the wire (8 bytes per parameter).
   std::size_t pull_bytes() const { return dim_ * sizeof(double); }
+  // Bytes the per-shard pull response for shard `s` carries.
+  std::size_t shard_bytes(std::size_t s) const;
+
+  // Wire routing of one push: the shards `grad` touches and the bytes each
+  // per-shard message carries (dense: every shard, slice bytes; sparse:
+  // owning shards, 16 bytes per entry). An empty gradient routes one empty
+  // message to shard 0 so a push is never silently message-free.
+  struct ShardRoute {
+    std::size_t shard = 0;
+    std::size_t bytes = 0;
+  };
+  std::vector<ShardRoute> RouteGradient(const Gradient& grad) const;
 
   // Copy of current parameters for evaluation (same as Pull().params).
   DenseVector Snapshot() const { return Pull().params; }
 
  private:
-  std::size_t ShardOf(std::size_t index) const;
+  struct Shard {
+    std::size_t offset = 0;
+    std::size_t length = 0;
+    mutable std::mutex mutex;
+    std::uint64_t version = 0;  // guarded by mutex
+  };
 
   const std::size_t dim_;
   std::shared_ptr<const SgdApplier> applier_;
-  mutable std::mutex mutex_;
+  // Shards guard disjoint slices of this flat vector; the vector itself is
+  // sized at construction and never reallocated.
   DenseVector params_;
-  std::vector<ShardInfo> shards_;
-  std::uint64_t version_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> version_{0};
 };
 
 }  // namespace specsync

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/adaptive_tuner.h"
 #include "data/sharding.h"
 #include "runtime/fault_mailbox.h"
@@ -88,6 +89,10 @@ struct RuntimeCluster::Impl {
   RuntimeConfig config;
 
   std::unique_ptr<ParameterServer> server;
+  // Shared pool for shard-concurrent pulls (null when shards or pull_threads
+  // make the inline path the right one). Pull() scopes its wait with a latch,
+  // so workers can fan out pulls through the same pool concurrently.
+  std::unique_ptr<ThreadPool> pull_pool;
   WallClock clock;
   FaultPlan faults;
   FaultMailbox<SchedulerMsg> scheduler_mailbox;
@@ -132,6 +137,15 @@ struct RuntimeCluster::Impl {
         model->param_dim(), config.num_servers, std::move(applier));
     Rng init_rng(config.seed);
     server->Initialize(*model, init_rng);
+
+    std::size_t pull_threads = config.pull_threads;
+    if (pull_threads == 0) {
+      pull_threads =
+          std::min(config.num_servers, ThreadPool::DefaultThreadCount());
+    }
+    if (pull_threads > 1 && config.num_servers > 1) {
+      pull_pool = std::make_unique<ThreadPool>(pull_threads);
+    }
 
     const bool speculation_on = config.adaptive || config.fixed_params.enabled();
     if (speculation_on) {
@@ -266,7 +280,9 @@ struct RuntimeCluster::Impl {
       bool pushed = false;
       while (!pushed) {
         if (crash_due() && handle_crash()) return;
-        PullResult snapshot = server->Pull();
+        // Shard pulls fan out across the shared pool (a real worker requests
+        // every server concurrently and resumes when the slowest responds).
+        PullResult snapshot = server->Pull(pull_pool.get());
         if (scheduler) scheduler_mailbox.Send(SchedulerMsg{PullMsg{w}});
 
         const std::vector<std::size_t> batch = sampler.NextBatch();

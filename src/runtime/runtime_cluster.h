@@ -37,6 +37,10 @@ struct RuntimeConfig {
   bool adaptive = false;
   SpeculationParams fixed_params;
   std::size_t num_servers = 4;
+  // Threads used to pull shards concurrently (one in-process pool shared by
+  // all workers). 0 = auto: min(num_servers, hardware threads). 1 = pull
+  // shards inline on the worker thread.
+  std::size_t pull_threads = 0;
   double sgd_clip = 0.0;
   std::uint64_t seed = 123;
   // Fault injection: control-link faults apply to the scheduler mailbox and

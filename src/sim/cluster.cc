@@ -191,6 +191,19 @@ struct ClusterSim::Impl {
 
   // --- worker lifecycle ----------------------------------------------------
 
+  // One in-flight pull or push: the countdown of per-shard messages not yet
+  // resolved. Shared by the shard-message events of a single attempt; a
+  // crash-interrupted attempt simply never reaches zero (the rejoin starts a
+  // fresh one).
+  struct PullAttempt {
+    std::size_t pending = 0;
+  };
+  struct PushAttempt {
+    std::shared_ptr<Gradient> grad;
+    std::size_t pending = 0;
+    bool any_landed = false;  // at least one shard message reached the server
+  };
+
   void TryBeginIteration(WorkerId w) {
     if (stopped || workers[w].crashed) return;
     WorkerState& worker = workers[w];
@@ -207,31 +220,59 @@ struct ClusterSim::Impl {
     }
   }
 
+  // A pull fans out as `num_servers` concurrent per-shard requests, planned
+  // in shard order from the worker's stream — a deterministic (worker, shard)
+  // keyed draw sequence that degenerates to exactly the legacy single draw at
+  // num_servers = 1. The iteration resumes at the max per-shard arrival.
   void BeginPull(WorkerId w) {
     if (stopped || workers[w].crashed) return;
+    auto attempt = std::make_shared<PullAttempt>();
+    attempt->pending = server->num_shards();
+    for (std::size_t s = 0; s < server->num_shards(); ++s) {
+      RequestShard(w, s, attempt);
+    }
+  }
+
+  void RequestShard(WorkerId w, std::size_t s,
+                    std::shared_ptr<PullAttempt> attempt) {
+    if (stopped || workers[w].crashed) return;
     const NetworkModel::TransferPlan plan = network.PlanTransfer(
-        server->pull_bytes(), LinkClass::kData, workers[w].rng, &faults);
+        server->shard_bytes(s), LinkClass::kData, workers[w].rng, &faults);
     if (plan.drop) {
-      // Lost pull request/response: the worker times out and retries.
-      // (Duplicated pulls are idempotent reads and need no special case.)
+      // Lost shard request/response: the worker times out and re-requests
+      // just that shard. (Duplicated pulls are idempotent reads and need no
+      // special case.)
       sim.ScheduleAfter(plan.delay + faults.config().pull_retry_timeout,
-                        [this, w] { BeginPull(w); });
+                        [this, w, s, attempt = std::move(attempt)] {
+                          RequestShard(w, s, attempt);
+                        });
       return;
     }
-    // A stalled server cannot serve the pull; the response is batched with
+    // A stalled server cannot serve the shard; the response is batched with
     // everything else the stall delayed.
     const SimTime arrival = stalls.Defer(sim.now() + plan.delay);
-    sim.ScheduleAt(arrival, [this, w] { OnPullComplete(w); });
+    sim.ScheduleAt(arrival, [this, w, s, attempt = std::move(attempt)] {
+      OnShardPullArrive(w, s, attempt);
+    });
+  }
+
+  void OnShardPullArrive(WorkerId w, std::size_t s,
+                         const std::shared_ptr<PullAttempt>& attempt) {
+    if (stopped || workers[w].crashed) return;
+    transfers.Charge(TransferCategory::kPullParams, server->shard_bytes(s),
+                     sim.now(), s);
+    if (--attempt->pending > 0) return;
+    OnPullComplete(w);  // the last arrival is the max arrival
   }
 
   void OnPullComplete(WorkerId w) {
-    if (stopped || workers[w].crashed) return;
     WorkerState& worker = workers[w];
+    // The snapshot is composed when the slowest shard response lands; in the
+    // single-threaded sim this is never torn (see param_store.h for the
+    // threaded runtime's semantics).
     PullResult pulled = server->Pull();
     worker.snapshot = std::move(pulled.params);
     worker.snapshot_version = pulled.version;
-    transfers.Charge(TransferCategory::kPullParams, server->pull_bytes(),
-                     sim.now());
     trace.RecordPull(w, sim.now(), pulled.version);
     if (scheduler) scheduler->HandlePull(w, sim.now());
     StartCompute(w);
@@ -263,69 +304,103 @@ struct ClusterSim::Impl {
     auto grad = std::make_shared<Gradient>();
     const std::vector<std::size_t> batch = worker.sampler->NextBatch();
     model->LossAndGradient(worker.snapshot, batch, *grad);
-    const NetworkModel::TransferPlan plan = network.PlanTransfer(
-        grad->wire_bytes(), LinkClass::kData, worker.rng, &faults);
-    if (plan.drop) {
-      // The gradient vanishes on the wire, but the worker cannot know: it
-      // proceeds (and notifies) as if the push landed. No stall defer — the
-      // message never reaches the server.
-      sim.ScheduleAfter(plan.delay, [this, w] { OnPushLost(w); });
-      return;
-    }
-    const SimTime arrival = stalls.Defer(sim.now() + plan.delay);
-    sim.ScheduleAt(arrival, [this, w, grad] { OnPushArrive(w, *grad); });
-    if (plan.duplicate) {
-      // Network-level replay: the gradient is applied a second time, but the
-      // worker-side bookkeeping (completed, notify) happens only once.
-      sim.ScheduleAt(arrival, [this, w, grad] { OnDuplicatePush(w, *grad); });
+    // The push fans out as one message per dirty shard (sparse gradients
+    // route only to the shards owning their indices); each slice applies at
+    // its own arrival, and the worker proceeds once every message resolved.
+    const auto routes = server->RouteGradient(*grad);
+    auto attempt = std::make_shared<PushAttempt>();
+    attempt->grad = grad;
+    attempt->pending = routes.size();
+    for (const ParameterServer::ShardRoute& route : routes) {
+      const NetworkModel::TransferPlan plan = network.PlanTransfer(
+          route.bytes, LinkClass::kData, worker.rng, &faults);
+      if (plan.drop) {
+        // The slice vanishes on the wire, but the worker cannot know: it
+        // proceeds (and notifies) as if the push landed. No stall defer — the
+        // message never reaches the server.
+        sim.ScheduleAfter(plan.delay,
+                          [this, w, attempt] { OnShardPushLost(w, attempt); });
+        continue;
+      }
+      const SimTime arrival = stalls.Defer(sim.now() + plan.delay);
+      sim.ScheduleAt(arrival, [this, w, route, attempt] {
+        OnShardPushArrive(w, route, attempt);
+      });
+      if (plan.duplicate) {
+        // Network-level replay: the slice is applied a second time, but the
+        // worker-side bookkeeping (completed, notify) happens only once and
+        // no second logical push is committed.
+        sim.ScheduleAt(arrival, [this, route, attempt] {
+          OnDuplicateShardPush(route, attempt);
+        });
+      }
     }
   }
 
-  void OnPushArrive(WorkerId w, const Gradient& grad) {
+  void OnShardPushArrive(WorkerId w, ParameterServer::ShardRoute route,
+                         const std::shared_ptr<PushAttempt>& attempt) {
     if (stopped) return;
-    WorkerState& worker = workers[w];
-    const std::uint64_t version = server->Push(grad, GlobalEpoch());
-    const std::uint64_t missed = version - 1 - worker.snapshot_version;
-    transfers.Charge(TransferCategory::kPushGrads, grad.wire_bytes(),
-                     sim.now());
-    const IterationId iteration = worker.completed;
-    trace.RecordPush(w, sim.now(), iteration, version, missed);
-    controller->OnPush(w, iteration);
-    worker.completed = iteration + 1;
-
-    if (config.max_pushes != 0 && TotalPushes() >= config.max_pushes) {
-      stopped = true;
-      sim.RequestStop();
-      return;
-    }
-
-    // A push from a worker that crashed while the message was in flight
-    // still lands on the server, but the worker is gone: no notify, no next
-    // iteration. Its push may still unblock others under BSP/SSP.
-    if (!worker.crashed) SendNotify(w, iteration);
-    ReleaseBlockedWorkers();
-    if (!worker.crashed) TryBeginIteration(w);
+    server->PushShard(route.shard, *attempt->grad, GlobalEpoch());
+    transfers.Charge(TransferCategory::kPushGrads, route.bytes, sim.now(),
+                     route.shard);
+    attempt->any_landed = true;
+    if (--attempt->pending > 0) return;
+    FinalizePush(w, attempt->any_landed);
   }
 
-  // A push whose gradient was dropped in transit: the server never sees it,
-  // but the worker-side protocol proceeds exactly as after a real push.
-  void OnPushLost(WorkerId w) {
-    if (stopped || workers[w].crashed) return;
+  // A slice dropped in transit: the server never sees it (partial pushes are
+  // real in a multi-server PS), but the worker-side protocol proceeds once
+  // all slices resolved.
+  void OnShardPushLost(WorkerId w, const std::shared_ptr<PushAttempt>& attempt) {
+    if (stopped) return;
+    if (--attempt->pending > 0) return;
+    FinalizePush(w, attempt->any_landed);
+  }
+
+  // Second delivery of a duplicated slice: server-side effect only.
+  void OnDuplicateShardPush(ParameterServer::ShardRoute route,
+                            const std::shared_ptr<PushAttempt>& attempt) {
+    if (stopped) return;
+    server->PushShard(route.shard, *attempt->grad, GlobalEpoch());
+    transfers.Charge(TransferCategory::kPushGrads, route.bytes, sim.now(),
+                     route.shard);
+  }
+
+  // Every shard message of a push resolved (landed or lost); the worker's
+  // protocol step happens exactly once, at the max resolution time.
+  void FinalizePush(WorkerId w, bool any_landed) {
     WorkerState& worker = workers[w];
+    if (any_landed) {
+      const std::uint64_t version = server->CommitPush();
+      const std::uint64_t missed = version - 1 - worker.snapshot_version;
+      const IterationId iteration = worker.completed;
+      trace.RecordPush(w, sim.now(), iteration, version, missed);
+      controller->OnPush(w, iteration);
+      worker.completed = iteration + 1;
+
+      if (config.max_pushes != 0 && TotalPushes() >= config.max_pushes) {
+        stopped = true;
+        sim.RequestStop();
+        return;
+      }
+
+      // A push from a worker that crashed while the message was in flight
+      // still lands on the server, but the worker is gone: no notify, no next
+      // iteration. Its push may still unblock others under BSP/SSP.
+      if (!worker.crashed) SendNotify(w, iteration);
+      ReleaseBlockedWorkers();
+      if (!worker.crashed) TryBeginIteration(w);
+      return;
+    }
+    // Every slice was dropped: the server saw nothing, but the worker
+    // proceeds exactly as after a real push.
+    if (worker.crashed) return;
     const IterationId iteration = worker.completed;
     controller->OnPush(w, iteration);
     worker.completed = iteration + 1;
     SendNotify(w, iteration);
     ReleaseBlockedWorkers();
     TryBeginIteration(w);
-  }
-
-  // Second delivery of a duplicated gradient: server-side effect only.
-  void OnDuplicatePush(WorkerId w, const Gradient& grad) {
-    if (stopped) return;
-    server->Push(grad, GlobalEpoch());
-    transfers.Charge(TransferCategory::kPushGrads, grad.wire_bytes(),
-                     sim.now());
   }
 
   void SendNotify(WorkerId w, IterationId iteration) {

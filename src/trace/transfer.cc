@@ -23,12 +23,17 @@ const char* TransferCategoryName(TransferCategory category) {
 }
 
 void TransferAccountant::Charge(TransferCategory category, std::uint64_t bytes,
-                                SimTime time) {
+                                SimTime time,
+                                std::optional<std::size_t> shard) {
   const auto index = static_cast<std::size_t>(category);
   SPECSYNC_CHECK_LT(index, kNumTransferCategories);
   SPECSYNC_CHECK(events_.empty() || events_.back().time <= time)
       << "transfer events must be charged in time order";
   by_category_[index] += bytes;
+  if (shard.has_value()) {
+    if (*shard >= by_shard_.size()) by_shard_.resize(*shard + 1);
+    by_shard_[*shard][index] += bytes;
+  }
   events_.push_back(Event{time, bytes});
 }
 
@@ -40,6 +45,27 @@ std::uint64_t TransferAccountant::total_bytes() const {
 
 std::uint64_t TransferAccountant::bytes(TransferCategory category) const {
   return by_category_[static_cast<std::size_t>(category)];
+}
+
+std::uint64_t TransferAccountant::shard_bytes(TransferCategory category,
+                                              std::size_t shard) const {
+  if (shard >= by_shard_.size()) return 0;
+  return by_shard_[shard][static_cast<std::size_t>(category)];
+}
+
+std::uint64_t TransferAccountant::shard_total_bytes(std::size_t shard) const {
+  if (shard >= by_shard_.size()) return 0;
+  std::uint64_t total = 0;
+  for (std::uint64_t b : by_shard_[shard]) total += b;
+  return total;
+}
+
+std::uint64_t TransferAccountant::unsharded_bytes() const {
+  std::uint64_t sharded = 0;
+  for (const CategoryBytes& shard : by_shard_) {
+    for (std::uint64_t b : shard) sharded += b;
+  }
+  return total_bytes() - sharded;
 }
 
 double TransferAccountant::fraction(TransferCategory category) const {

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,13 +31,29 @@ class TransferAccountant {
  public:
   TransferAccountant() = default;
 
-  void Charge(TransferCategory category, std::uint64_t bytes, SimTime time);
+  // Charges one message. Data-plane messages (pulls, pushes) carry the server
+  // shard they moved to/from, so Fig. 12's per-server breakdown can be read
+  // straight off the ledger; control-plane messages pass no shard.
+  void Charge(TransferCategory category, std::uint64_t bytes, SimTime time,
+              std::optional<std::size_t> shard = std::nullopt);
 
   std::uint64_t total_bytes() const;
   std::uint64_t bytes(TransferCategory category) const;
 
   // Fraction of total transfer attributable to `category` (0 if no traffic).
   double fraction(TransferCategory category) const;
+
+  // --- per-shard (per-server) accounting ------------------------------------
+
+  // Highest shard index charged so far + 1 (0 when no sharded traffic).
+  std::size_t num_shards_seen() const { return by_shard_.size(); }
+  // Bytes charged against `shard` in `category` / across all categories.
+  // Shards beyond num_shards_seen() report 0.
+  std::uint64_t shard_bytes(TransferCategory category,
+                            std::size_t shard) const;
+  std::uint64_t shard_total_bytes(std::size_t shard) const;
+  // Bytes charged with no shard attribution (control-plane traffic).
+  std::uint64_t unsharded_bytes() const;
 
   struct TimelinePoint {
     SimTime time;
@@ -52,8 +69,10 @@ class TransferAccountant {
     SimTime time;
     std::uint64_t bytes = 0;
   };
-  std::array<std::uint64_t, kNumTransferCategories> by_category_{};
-  std::vector<Event> events_;  // time-ordered
+  using CategoryBytes = std::array<std::uint64_t, kNumTransferCategories>;
+  CategoryBytes by_category_{};
+  std::vector<CategoryBytes> by_shard_;  // grown to the highest shard charged
+  std::vector<Event> events_;            // time-ordered
 };
 
 }  // namespace specsync

@@ -1,13 +1,24 @@
-// Golden-trace determinism test: a fixed-seed 8-worker SpecSync-Adaptive
+// Golden-trace determinism tests: a fixed-seed 8-worker SpecSync-Adaptive
 // simulation must reproduce one exact event history, pinned here as an FNV
 // digest of the ordered pull/push/abort/loss trace. Any change to event
 // ordering, RNG consumption, scheduler decisions, or gradient math shows up
 // as a digest mismatch — deliberate changes must re-pin the constant.
 //
+// Two pins, one per shard count:
+//  - num_servers=1 degenerates the per-shard transfer fan-out to exactly one
+//    message per pull/push, so its digest is pinned to the value the
+//    *pre-sharding* simulator produced. This is the refactor's backward
+//    compatibility contract: one shard == the legacy single-server model,
+//    bit for bit.
+//  - num_servers=2 exercises the sharded path (two transfer draws per pull
+//    and per dense push, iteration resuming at the max shard arrival) and
+//    pins its own history.
+//
 // To regenerate after an intentional behavior change:
 //   run this test and copy the "Actual" digest from the failure message
 //   (or print TraceDigest(result.sim.trace) from any driver with the exact
-//   config below).
+//   config below). The num_servers=1 pin should only ever change together
+//   with the legacy single-server semantics themselves.
 #include <gtest/gtest.h>
 
 #include "harness/experiment.h"
@@ -17,14 +28,14 @@
 namespace specsync {
 namespace {
 
-ExperimentResult RunGoldenSim() {
+ExperimentResult RunGoldenSim(std::size_t num_servers) {
   // Convex workload: unique optimum, no divergence at 8 async workers, so
   // the pinned history stays meaningful (the MF proxy can blow up at this
   // worker count and NaN losses compare unequal to themselves).
   const Workload workload = MakeConvexWorkload(/*seed=*/1, /*scale=*/0.2);
   ExperimentConfig config;
   config.cluster = ClusterSpec::Homogeneous(8);
-  config.cluster.num_servers = 2;
+  config.cluster.num_servers = num_servers;
   config.scheme = SchemeSpec::Adaptive();
   config.max_time = SimTime::FromSeconds(240.0);
   config.stop_on_convergence = false;
@@ -32,24 +43,44 @@ ExperimentResult RunGoldenSim() {
   return RunExperiment(workload, config);
 }
 
-// Pinned digest of the golden run's trace. See the header comment for how to
-// regenerate when a change is intentional.
-constexpr std::uint64_t kGoldenDigest = 9468566950707090850ULL;
+// Pinned digest of the single-shard golden run — identical to the digest the
+// simulator produced before pulls and pushes were modeled as per-shard
+// messages. See the header comment.
+constexpr std::uint64_t kGoldenDigestOneServer = 9468566950707090850ULL;
+// Pinned digest of the same experiment at num_servers=2.
+constexpr std::uint64_t kGoldenDigestTwoServers = 18067104914765609640ULL;
 
-TEST(GoldenTraceTest, AdaptiveEightWorkerTraceDigestIsPinned) {
-  const ExperimentResult result = RunGoldenSim();
+void ExpectProtocolPathsExercised(const ExperimentResult& result) {
   // The run must exercise the interesting protocol paths, or the pin proves
   // nothing about speculation.
   EXPECT_GT(result.sim.trace.total_pushes(), 100u);
   EXPECT_GT(result.sim.trace.total_aborts(), 0u);
   EXPECT_GT(result.sim.scheduler_stats.resyncs_issued, 0u);
   EXPECT_GT(result.sim.scheduler_stats.retunes, 0u);
-  EXPECT_EQ(TraceDigest(result.sim.trace), kGoldenDigest);
+}
+
+TEST(GoldenTraceTest, OneServerTraceMatchesPreShardingDigest) {
+  const ExperimentResult result = RunGoldenSim(1);
+  ExpectProtocolPathsExercised(result);
+  EXPECT_EQ(TraceDigest(result.sim.trace), kGoldenDigestOneServer);
+}
+
+TEST(GoldenTraceTest, AdaptiveEightWorkerTraceDigestIsPinned) {
+  const ExperimentResult result = RunGoldenSim(2);
+  ExpectProtocolPathsExercised(result);
+  EXPECT_EQ(TraceDigest(result.sim.trace), kGoldenDigestTwoServers);
+}
+
+TEST(GoldenTraceTest, ShardCountChangesTheScheduleDeliberately) {
+  // Sharding is modeled, not cosmetic: with more than one server the network
+  // draw sequence and arrival times genuinely differ from the single-server
+  // run. (If these ever collide, the fan-out silently stopped mattering.)
+  EXPECT_NE(kGoldenDigestOneServer, kGoldenDigestTwoServers);
 }
 
 TEST(GoldenTraceTest, RerunningTheGoldenSimIsBitIdentical) {
-  const ExperimentResult a = RunGoldenSim();
-  const ExperimentResult b = RunGoldenSim();
+  const ExperimentResult a = RunGoldenSim(2);
+  const ExperimentResult b = RunGoldenSim(2);
   EXPECT_EQ(TraceDigest(a.sim.trace), TraceDigest(b.sim.trace));
   EXPECT_EQ(a.final_loss, b.final_loss);
   EXPECT_EQ(a.sim.scheduler_stats.resyncs_issued,

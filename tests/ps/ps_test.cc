@@ -69,6 +69,132 @@ TEST(ParamStoreTest, SparsePushTouchesOnlyItsShards) {
   EXPECT_EQ(server.version(), 2u);
 }
 
+TEST(ParamStoreTest, PullShardReturnsInternallyConsistentSlice) {
+  ParameterServer server(10, 3, UnitApplier());  // lengths 4, 3, 3
+  DenseVector params(10);
+  std::iota(params.begin(), params.end(), 0.0);
+  server.SetParams(std::move(params));
+  const ShardPullResult pulled = server.PullShard(1);
+  EXPECT_EQ(pulled.offset, 4u);
+  EXPECT_EQ(pulled.params, (std::vector<double>{4.0, 5.0, 6.0}));
+  EXPECT_EQ(pulled.shard_version, 0u);
+  EXPECT_EQ(pulled.version, 0u);
+  EXPECT_THROW(server.PullShard(3), CheckError);
+}
+
+TEST(ParamStoreTest, ShardOfMapsIndicesToOwners) {
+  ParameterServer server(10, 3, UnitApplier());  // [0,4) [4,7) [7,10)
+  EXPECT_EQ(server.ShardOf(0), 0u);
+  EXPECT_EQ(server.ShardOf(3), 0u);
+  EXPECT_EQ(server.ShardOf(4), 1u);
+  EXPECT_EQ(server.ShardOf(6), 1u);
+  EXPECT_EQ(server.ShardOf(7), 2u);
+  EXPECT_EQ(server.ShardOf(9), 2u);
+  EXPECT_THROW(server.ShardOf(10), CheckError);
+}
+
+TEST(ParamStoreTest, RouteGradientDenseHitsEveryShard) {
+  ParameterServer server(10, 3, UnitApplier());
+  Gradient g = Gradient::Dense(10);
+  const auto routes = server.RouteGradient(g);
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].shard, 0u);
+  EXPECT_EQ(routes[0].bytes, 4u * sizeof(double));
+  EXPECT_EQ(routes[1].bytes, 3u * sizeof(double));
+  EXPECT_EQ(routes[2].bytes, 3u * sizeof(double));
+}
+
+TEST(ParamStoreTest, RouteGradientSparseHitsOnlyOwningShards) {
+  ParameterServer server(10, 3, UnitApplier());  // [0,4) [4,7) [7,10)
+  Gradient g = Gradient::Sparse();
+  g.sparse().Add(1, 1.0);
+  g.sparse().Add(2, 1.0);
+  g.sparse().Add(8, 1.0);
+  const auto routes = server.RouteGradient(g);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0].shard, 0u);
+  EXPECT_EQ(routes[0].bytes, 2u * 16u);  // two (index, value) entries
+  EXPECT_EQ(routes[1].shard, 2u);
+  EXPECT_EQ(routes[1].bytes, 16u);
+}
+
+TEST(ParamStoreTest, RouteGradientEmptyStillSendsOneMessage) {
+  // An empty push must remain one logical push (one wire message, one
+  // version bump), not silently vanish from the protocol.
+  ParameterServer server(10, 3, UnitApplier());
+  Gradient g = Gradient::Sparse();
+  const auto routes = server.RouteGradient(g);
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].shard, 0u);
+  EXPECT_EQ(routes[0].bytes, 0u);
+}
+
+TEST(ParamStoreTest, PushShardAppliesSliceWithoutCommitting) {
+  ParameterServer server(10, 2, UnitApplier());  // [0,5) [5,10)
+  server.SetParams(DenseVector(10, 0.0));
+  Gradient g = Gradient::Dense(10);
+  for (double& v : g.dense()) v = -1.0;  // each apply adds +1
+  EXPECT_TRUE(server.PushShard(0, g, 0));
+  // The slice landed, but no logical push committed yet.
+  EXPECT_EQ(server.version(), 0u);
+  EXPECT_EQ(server.shard(0).version, 1u);
+  EXPECT_EQ(server.shard(1).version, 0u);
+  const PullResult mid = server.Pull();
+  EXPECT_DOUBLE_EQ(mid.params[0], 1.0);
+  EXPECT_DOUBLE_EQ(mid.params[5], 0.0);  // other shard untouched
+
+  EXPECT_TRUE(server.PushShard(1, g, 0));
+  EXPECT_EQ(server.CommitPush(), 1u);
+  EXPECT_EQ(server.version(), 1u);
+
+  // A duplicated slice (network replay) re-applies without a new commit.
+  EXPECT_TRUE(server.PushShard(0, g, 0));
+  EXPECT_EQ(server.version(), 1u);
+  EXPECT_EQ(server.shard(0).version, 2u);
+}
+
+TEST(ParamStoreTest, PushShardSkipsForeignSparseEntries) {
+  ParameterServer server(10, 2, UnitApplier());  // [0,5) [5,10)
+  server.SetParams(DenseVector(10, 0.0));
+  Gradient g = Gradient::Sparse();
+  g.sparse().Add(7, -1.0);
+  // Shard 0 owns none of the entries: nothing applies, no version bump.
+  EXPECT_FALSE(server.PushShard(0, g, 0));
+  EXPECT_EQ(server.shard(0).version, 0u);
+  EXPECT_TRUE(server.PushShard(1, g, 0));
+  EXPECT_EQ(server.shard(1).version, 1u);
+  const PullResult pulled = server.Pull();
+  EXPECT_DOUBLE_EQ(pulled.params[7], 1.0);
+}
+
+// Regression for the version contract: version() counts logical pushes, not
+// shard touches. A sparse push routed to one of four shards must advance the
+// global counter by exactly 1 (it used to be easy to conflate the two).
+TEST(ParamStoreTest, SparsePushBumpsGlobalVersionByOne) {
+  ParameterServer server(16, 4, UnitApplier());
+  Gradient narrow = Gradient::Sparse();
+  narrow.sparse().Add(0, 1.0);
+  EXPECT_EQ(server.Push(narrow, 0), 1u);
+  EXPECT_EQ(server.version(), 1u);
+  Gradient wide = Gradient::Dense(16);
+  EXPECT_EQ(server.Push(wide, 0), 2u);
+  EXPECT_EQ(server.version(), 2u);
+  // Shard versions record touches: shard 0 saw both pushes, others only the
+  // dense one.
+  EXPECT_EQ(server.shard(0).version, 2u);
+  EXPECT_EQ(server.shard(1).version, 1u);
+  EXPECT_EQ(server.shard(3).version, 1u);
+}
+
+TEST(ParamStoreTest, ShardBytesCoverPullBytes) {
+  ParameterServer server(10, 3, UnitApplier());
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < server.num_shards(); ++s) {
+    total += server.shard_bytes(s);
+  }
+  EXPECT_EQ(total, server.pull_bytes());
+}
+
 TEST(ParamStoreTest, InitializeUsesModel) {
   Rng data_rng(1);
   ClassificationSpec spec;
