@@ -82,7 +82,8 @@ void PrintPanel(const bench::CellBatch& batch, const PanelSpec& spec) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = bench::ParseThreads(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const std::size_t threads = args.threads;
   bench::PrintHeader(
       "Fig. 8 — SpecSync effectiveness (loss vs time, runtime to target)",
       "up to 2.97x (MF) / 2.25x (CIFAR-10) / 3x (ImageNet) speedup over "
@@ -104,5 +105,16 @@ int main(int argc, char** argv) {
   bench::BenchReporter reporter("bench_fig8_effectiveness");
   reporter.AddBatch(batch);
   reporter.WriteJson();
+
+  // --metrics_out/--trace_out: one instrumented Adaptive run of the MF panel.
+  {
+    ExperimentConfig obs_config;
+    obs_config.cluster = ClusterSpec::Homogeneous(panels[0].num_workers);
+    obs_config.scheme = SchemeSpec::Adaptive();
+    obs_config.max_time = panels[0].horizon;
+    obs_config.stop_on_convergence = false;
+    obs_config.seed = bench::kBenchRootSeed;
+    bench::EmitObsArtifacts(args, panels[0].workload, obs_config);
+  }
   return 0;
 }

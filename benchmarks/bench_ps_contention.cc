@@ -226,5 +226,19 @@ int main(int argc, char** argv) {
   // parallelism under test is inside each cell.
   reporter.SetRun(threads, total_wall, total_wall);
   reporter.WriteJson();
+
+  // --metrics_out/--trace_out: one instrumented SpecSync-Adaptive run on the
+  // same workload (speculation on, so the audit log and abort spans are
+  // populated), separate from the measured sweeps above.
+  {
+    ExperimentConfig obs_config;
+    obs_config.cluster = ClusterSpec::Homogeneous(8);
+    obs_config.cluster.num_servers = args.num_servers;
+    obs_config.scheme = SchemeSpec::Adaptive();
+    obs_config.max_time = horizon;
+    obs_config.stop_on_convergence = false;
+    obs_config.seed = 7;
+    bench::EmitObsArtifacts(args, workload, obs_config);
+  }
   return 0;
 }

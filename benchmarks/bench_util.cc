@@ -10,6 +10,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace specsync::bench {
 
@@ -88,7 +89,19 @@ std::size_t ParsePositiveFlag(const std::string& arg, std::size_t prefix_len,
 }
 
 constexpr const char* kBenchUsage =
-    "[--threads=N] [--num_servers=N] [--smoke]  (N >= 1)";
+    "[--threads=N] [--num_servers=N] [--smoke] [--metrics_out=PATH] "
+    "[--trace_out=PATH]  (N >= 1)";
+
+// Parses the value of a `--flag=PATH` argument; exits with usage when empty.
+std::string ParsePathFlag(const std::string& arg, std::size_t prefix_len,
+                          const char* program, const char* usage) {
+  std::string path = arg.substr(prefix_len);
+  if (path.empty()) {
+    std::cerr << "usage: " << program << " " << usage << "\n";
+    std::exit(2);
+  }
+  return path;
+}
 
 }  // namespace
 
@@ -103,6 +116,10 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.num_servers = ParsePositiveFlag(arg, 14, argv[0], kBenchUsage);
     } else if (arg == "--smoke") {
       args.smoke = true;
+    } else if (arg.rfind("--metrics_out=", 0) == 0) {
+      args.metrics_out = ParsePathFlag(arg, 14, argv[0], kBenchUsage);
+    } else if (arg.rfind("--trace_out=", 0) == 0) {
+      args.trace_out = ParsePathFlag(arg, 12, argv[0], kBenchUsage);
     } else {
       std::cerr << "warning: ignoring unknown argument '" << arg << "'\n";
     }
@@ -119,6 +136,23 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
 
 std::size_t ParseThreads(int argc, char** argv) {
   return ParseBenchArgs(argc, argv).threads;
+}
+
+void EmitObsArtifacts(const BenchArgs& args, const Workload& workload,
+                      ExperimentConfig config) {
+  if (args.metrics_out.empty() && args.trace_out.empty()) return;
+  obs::ObsContext ctx;
+  config.obs = &ctx;
+  (void)RunExperiment(workload, config);
+  if (!args.metrics_out.empty() &&
+      obs::WriteMetricsJsonFile(ctx, args.metrics_out)) {
+    std::cout << "[obs] metrics snapshot -> " << args.metrics_out << "\n";
+  }
+  if (!args.trace_out.empty() &&
+      obs::WriteChromeTraceFile(ctx.spans, args.trace_out)) {
+    std::cout << "[obs] Chrome trace (" << ctx.spans.event_count()
+              << " events) -> " << args.trace_out << "\n";
+  }
 }
 
 std::size_t CellBatch::AddSeries(const Workload& workload,

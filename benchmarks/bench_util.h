@@ -69,15 +69,20 @@ std::vector<ExperimentResult> RunSeeds(const Workload& workload,
 void PrintHeader(const std::string& figure, const std::string& paper_claim);
 
 // Common bench flags.
-//  --threads=N      worker threads for the cell grid (default: env
-//                   SPECSYNC_BENCH_THREADS, else hardware concurrency)
-//  --num_servers=N  parameter-server shard count for the simulated cluster
-//                   (default: 4, the paper-like testbed shape)
-//  --smoke          shrink the grid for a seconds-long CI sanity pass
+//  --threads=N        worker threads for the cell grid (default: env
+//                     SPECSYNC_BENCH_THREADS, else hardware concurrency)
+//  --num_servers=N    parameter-server shard count for the simulated cluster
+//                     (default: 4, the paper-like testbed shape)
+//  --smoke            shrink the grid for a seconds-long CI sanity pass
+//  --metrics_out=P    write an observability snapshot (metrics.json schema,
+//                     see EXPERIMENTS.md) from one instrumented run
+//  --trace_out=P      write a Chrome/Perfetto trace from the same run
 struct BenchArgs {
   std::size_t threads = 1;
   std::size_t num_servers = 4;
   bool smoke = false;
+  std::string metrics_out;
+  std::string trace_out;
 };
 
 // Parses the flags above; exits with usage on a malformed flag and warns on
@@ -87,6 +92,16 @@ BenchArgs ParseBenchArgs(int argc, char** argv);
 // Thread count for a bench binary: --threads=N beats SPECSYNC_BENCH_THREADS
 // beats the host's hardware concurrency. Exits with usage on a bad flag.
 std::size_t ParseThreads(int argc, char** argv);
+
+// When --metrics_out/--trace_out was given, re-runs one representative
+// (workload, config) cell with a full ObsContext attached and writes the
+// requested artifacts: a metrics.json snapshot (counters, gauges, latency
+// histograms, scheduler decision-audit log) and/or a Chrome trace-event JSON
+// loadable in Perfetto / chrome://tracing. A no-op when neither flag is set,
+// so benches can call it unconditionally. The instrumented run is separate
+// from the bench's measured cells — bench numbers stay untouched.
+void EmitObsArtifacts(const BenchArgs& args, const Workload& workload,
+                      ExperimentConfig config);
 
 // A bench's full grid of cells, keyed into series. Build every series first,
 // Run() once (one ParallelRunner pass over the whole grid maximizes

@@ -2,8 +2,9 @@
 # Builds and runs the concurrency-sensitive test suites under ThreadSanitizer
 # and AddressSanitizer. These are the suites that exercise real threads
 # (runtime, chaos, parameter server, the experiment thread pool and the
-# ParallelRunner built on it) plus the fault plan itself; the rest of the
-# repo is single-threaded sim code covered by the plain build.
+# ParallelRunner built on it, plus the lock-free obs instruments recorded
+# from those threads) and the fault plan itself; the rest of the repo is
+# single-threaded sim code covered by the plain build.
 #
 # Usage: scripts/sanitize.sh [thread|address|all]   (default: all)
 set -euo pipefail
@@ -11,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUITES=(runtime_test runtime_chaos_test ps_test fault_test thread_pool_test
-        parallel_runner_test)
+        parallel_runner_test obs_test)
 MODE="${1:-all}"
 
 run_mode() {

@@ -5,6 +5,8 @@
 // for cross-thread message ordering guarantees beyond line atomicity.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -57,8 +59,37 @@ class LogMessage {
   std::ostringstream stream_;
 };
 
+// Discards everything streamed into it (the suppressed occurrences of
+// SPECSYNC_LOG_EVERY_N).
+class NullLogMessage {
+ public:
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Occurrence gate for SPECSYNC_LOG_EVERY_N: returns true on the 1st, N+1-th,
+// 2N+1-th, ... call. Thread-safe; each call site owns one counter.
+inline bool ShouldLogEveryN(std::atomic<std::uint64_t>& counter,
+                            std::uint64_t n) {
+  return counter.fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
 }  // namespace internal
 }  // namespace specsync
 
 #define SPECSYNC_LOG(level) \
   ::specsync::internal::LogMessage(::specsync::LogLevel::level)
+
+// Rate-limited logging for per-event warnings that would otherwise flood the
+// sink (dropped messages, failed metric writes): emits the first occurrence
+// and every n-th after it, counting per call site.
+//
+//   SPECSYNC_LOG_EVERY_N(kWarning, 100) << "queue overflow, dropped " << k;
+#define SPECSYNC_LOG_EVERY_N(level, n)                                        \
+  if (static std::atomic<std::uint64_t> specsync_log_occurrences_{0};         \
+      !::specsync::internal::ShouldLogEveryN(specsync_log_occurrences_, (n))) \
+    ::specsync::internal::NullLogMessage();                                   \
+  else                                                                        \
+    ::specsync::internal::LogMessage(::specsync::LogLevel::level)

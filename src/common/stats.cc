@@ -113,6 +113,36 @@ void Histogram::Add(double x) {
   ++total_;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  SPECSYNC_CHECK_EQ(counts_.size(), other.counts_.size())
+      << "histogram merge with mismatched bucket count";
+  SPECSYNC_CHECK(lo_ == other.lo_ && hi_ == other.hi_)
+      << "histogram merge with mismatched range [" << other.lo_ << ", "
+      << other.hi_ << ") into [" << lo_ << ", " << hi_ << ")";
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
+double Histogram::ApproxQuantile(double q) const {
+  SPECSYNC_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  if (total_ == 0) return 0.0;
+  // Rank of the target observation (1-based, clamped into [1, total]).
+  const double rank = std::max(1.0, q * static_cast<double>(total_));
+  std::size_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    // Interpolate within the bucket by the rank's position among its counts.
+    const double frac = (rank - before) / static_cast<double>(counts_[b]);
+    return bucket_lo(b) + width_ * frac;
+  }
+  return hi_;  // unreachable with consistent counts; safe fallback
+}
+
 std::size_t Histogram::count(std::size_t bucket) const {
   SPECSYNC_CHECK_LT(bucket, counts_.size());
   return counts_[bucket];

@@ -60,6 +60,14 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t buckets);
 
   void Add(double x);
+  // Bucket-wise sum of another histogram with the identical layout (same lo,
+  // hi, bucket count) — per-thread or per-cell histograms roll up into one.
+  // Mismatched layouts are a programming error (checked).
+  void Merge(const Histogram& other);
+  // Quantile estimated from the bucket counts (q in [0,1]): finds the bucket
+  // holding the q-th observation and interpolates linearly within it. 0 for
+  // an empty histogram.
+  double ApproxQuantile(double q) const;
   std::size_t bucket_count() const { return counts_.size(); }
   std::size_t count(std::size_t bucket) const;
   std::size_t total() const { return total_; }

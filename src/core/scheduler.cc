@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace specsync {
 
@@ -28,10 +29,28 @@ SpecSyncScheduler::SpecSyncScheduler(SchedulerConfig config,
   SPECSYNC_CHECK_GE(config_.late_check_slack.seconds(), 0.0);
 }
 
+void SpecSyncScheduler::AttachObservability(obs::ObsContext* obs,
+                                            std::uint32_t span_track) {
+  obs_ = obs;
+  obs_track_ = span_track;
+  if (obs_ == nullptr) {
+    notify_counter_ = duplicate_counter_ = check_counter_ = stale_counter_ =
+        resync_counter_ = retune_counter_ = nullptr;
+    return;
+  }
+  notify_counter_ = &obs_->metrics.counter("scheduler.notifies");
+  duplicate_counter_ = &obs_->metrics.counter("scheduler.duplicate_notifies");
+  check_counter_ = &obs_->metrics.counter("scheduler.checks");
+  stale_counter_ = &obs_->metrics.counter("scheduler.stale_checks");
+  resync_counter_ = &obs_->metrics.counter("scheduler.resyncs");
+  retune_counter_ = &obs_->metrics.counter("scheduler.retunes");
+}
+
 std::optional<SpecSyncScheduler::CheckRequest> SpecSyncScheduler::HandleNotify(
     WorkerId worker, IterationId iteration, SimTime now) {
   SPECSYNC_CHECK_LT(worker, config_.num_workers);
   ++stats_.notifies_received;
+  if (notify_counter_ != nullptr) notify_counter_->Increment();
 
   // Faulty links may replay or reorder notifies. Each worker's iterations
   // are monotone, so anything at or below its highest recorded iteration is
@@ -40,6 +59,7 @@ std::optional<SpecSyncScheduler::CheckRequest> SpecSyncScheduler::HandleNotify(
   const std::optional<IterationId> last = history_.LastIteration(worker);
   if (last.has_value() && iteration <= *last) {
     ++stats_.duplicate_notifies;
+    if (duplicate_counter_ != nullptr) duplicate_counter_->Increment();
     return std::nullopt;
   }
   history_.RecordPush(worker, iteration, now);
@@ -86,6 +106,15 @@ bool SpecSyncScheduler::HandleCheckTimer(WorkerId worker, std::uint64_t token,
     // The worker has since pushed again (window superseded) or speculation
     // was disabled — "too late" (Sec. IV-A).
     ++stats_.stale_checks_skipped;
+    if (obs_ != nullptr) {
+      stale_counter_->Increment();
+      obs::CheckRecord rec;
+      rec.worker = worker;
+      rec.token = token;
+      rec.fired_at = now;
+      rec.outcome = obs::CheckOutcome::kStale;
+      obs_->audit.RecordCheck(rec);
+    }
     return false;
   }
   check.active = false;
@@ -96,20 +125,51 @@ bool SpecSyncScheduler::HandleCheckTimer(WorkerId worker, std::uint64_t token,
   // delayed timer (jittery wall clock, fault-injected control link) is
   // clamped back to the deadline so pushes landing after the intended
   // window can never trigger a re-sync for a stale window.
+  bool late = false;
   SimTime window_end = now;
   if (now > check.deadline) {
     window_end = check.deadline;
-    if (now - check.deadline > config_.late_check_slack) ++stats_.late_checks;
+    if (now - check.deadline > config_.late_check_slack) {
+      ++stats_.late_checks;
+      late = true;
+    }
   }
+  const std::size_t active_workers = ActiveWorkerCount();
+  const double abort_rate = params_.RateFor(worker);
   const std::size_t count =
       history_.CountPushesInWindow(check.window_begin, window_end, worker);
-  const double threshold =
-      static_cast<double>(ActiveWorkerCount()) * params_.RateFor(worker);
-  if (static_cast<double>(count) >= threshold) {
-    ++stats_.resyncs_issued;
-    return true;
+  const double threshold = static_cast<double>(active_workers) * abort_rate;
+  const bool resync = static_cast<double>(count) >= threshold;
+  if (resync) ++stats_.resyncs_issued;
+
+  if (obs_ != nullptr) {
+    check_counter_->Increment();
+    if (resync) resync_counter_->Increment();
+    obs::CheckRecord rec;
+    rec.worker = worker;
+    rec.token = token;
+    rec.fired_at = now;
+    rec.outcome =
+        resync ? obs::CheckOutcome::kResync : obs::CheckOutcome::kKeep;
+    rec.window_begin = check.window_begin;
+    rec.window_end = window_end;
+    rec.armed_deadline = check.deadline;
+    rec.pushes_seen = count;
+    rec.abort_time = check.deadline - check.window_begin;
+    rec.abort_rate = abort_rate;
+    rec.threshold = threshold;
+    rec.active_workers = active_workers;
+    rec.late = late;
+    obs_->audit.RecordCheck(rec);
+    if (resync) {
+      obs_->spans.AddInstant(
+          "resync_decision", "scheduler", obs_track_, now,
+          {{"worker", std::to_string(worker)},
+           {"pushes_seen", std::to_string(count)},
+           {"threshold", std::to_string(threshold)}});
+    }
   }
-  return false;
+  return resync;
 }
 
 void SpecSyncScheduler::OnWorkerDown(WorkerId worker, SimTime now) {
@@ -163,6 +223,21 @@ void SpecSyncScheduler::MaybeFinishEpoch(SimTime now) {
   SPECSYNC_LOG(kDebug) << "epoch " << epoch_ << " finished at " << now
                        << "; retuned abort_time=" << params_.abort_time
                        << " abort_rate=" << params_.abort_rate;
+  if (obs_ != nullptr) {
+    retune_counter_->Increment();
+    obs::RetuneRecord rec;
+    rec.epoch = epoch_;
+    rec.at = now;
+    rec.abort_time = params_.abort_time;
+    rec.abort_rate = params_.abort_rate;
+    rec.epoch_pushes = inputs.pushes.size();
+    obs_->audit.RecordRetune(rec);
+    obs_->spans.AddInstant(
+        "retune", "scheduler", obs_track_, now,
+        {{"epoch", std::to_string(epoch_)},
+         {"abort_time_s", std::to_string(params_.abort_time.seconds())},
+         {"abort_rate", std::to_string(params_.abort_rate)}});
+  }
 
   ++epoch_;
   epoch_begin_ = now;

@@ -23,6 +23,11 @@
 
 namespace specsync {
 
+namespace obs {
+struct ObsContext;
+class Counter;
+}  // namespace obs
+
 struct SchedulerConfig {
   std::size_t num_workers = 0;
   // Parameters in force before the first epoch finishes (no history yet).
@@ -67,6 +72,16 @@ class SpecSyncScheduler {
     std::uint64_t token = 0;
     Duration delay = Duration::Zero();
   };
+
+  // Attaches observability instruments (src/obs): every HandleCheckTimer call
+  // appends one structured record to the context's DecisionAuditLog (the
+  // recorded ABORT_TIME is the armed window length, i.e. what the decision
+  // actually used), epoch retunes append RetuneRecords plus an instant event
+  // on SpanRecorder track `span_track`, and protocol counters mirror
+  // SchedulerStats into the MetricsRegistry. Null detaches. Attach before
+  // driving events; the scheduler only ever records — observability on or
+  // off never changes a decision.
+  void AttachObservability(obs::ObsContext* obs, std::uint32_t span_track = 0);
 
   // Worker finished an iteration and pushed (Algorithm 2 HandleNotification).
   // Returns a check request when speculation is currently enabled.
@@ -132,6 +147,17 @@ class SpecSyncScheduler {
   };
   std::vector<PendingCheck> pending_;
   std::uint64_t next_token_ = 1;
+
+  // Observability (null = off). Counters are resolved once at attach so the
+  // per-event cost is one branch plus a relaxed atomic increment.
+  obs::ObsContext* obs_ = nullptr;
+  std::uint32_t obs_track_ = 0;
+  obs::Counter* notify_counter_ = nullptr;
+  obs::Counter* duplicate_counter_ = nullptr;
+  obs::Counter* check_counter_ = nullptr;
+  obs::Counter* stale_counter_ = nullptr;
+  obs::Counter* resync_counter_ = nullptr;
+  obs::Counter* retune_counter_ = nullptr;
 };
 
 }  // namespace specsync

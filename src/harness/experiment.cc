@@ -58,6 +58,7 @@ ExperimentResult RunExperiment(const Workload& workload,
   sim_config.max_pushes = config.max_pushes;
   sim_config.seed = config.seed;
   sim_config.sgd_clip = workload.sgd_clip;
+  sim_config.obs = config.obs;
   if (config.cluster.enable_stalls) {
     sim_config.stalls.enabled = true;
     sim_config.stalls.mean_gap =

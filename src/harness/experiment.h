@@ -68,6 +68,8 @@ struct ExperimentConfig {
   bool stop_on_convergence = true;
   // Override the workload's loss target (<=0 keeps the workload's own).
   double loss_target_override = 0.0;
+  // Optional observability context, forwarded to ClusterSimConfig::obs.
+  obs::ObsContext* obs = nullptr;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,78 @@
+#include "obs/audit_log.h"
+
+#include "obs/json.h"
+
+namespace specsync::obs {
+
+using internal::JsonNumber;
+
+const char* CheckOutcomeName(CheckOutcome outcome) {
+  switch (outcome) {
+    case CheckOutcome::kStale:
+      return "stale";
+    case CheckOutcome::kKeep:
+      return "keep";
+    case CheckOutcome::kResync:
+      return "resync";
+  }
+  return "?";
+}
+
+void DecisionAuditLog::RecordCheck(const CheckRecord& record) {
+  std::scoped_lock lock(mutex_);
+  checks_.push_back(record);
+}
+
+void DecisionAuditLog::RecordRetune(const RetuneRecord& record) {
+  std::scoped_lock lock(mutex_);
+  retunes_.push_back(record);
+}
+
+std::vector<CheckRecord> DecisionAuditLog::checks() const {
+  std::scoped_lock lock(mutex_);
+  return checks_;
+}
+
+std::vector<RetuneRecord> DecisionAuditLog::retunes() const {
+  std::scoped_lock lock(mutex_);
+  return retunes_;
+}
+
+std::size_t DecisionAuditLog::check_count() const {
+  std::scoped_lock lock(mutex_);
+  return checks_.size();
+}
+
+void DecisionAuditLog::ExportJson(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  os << "{\"checks\":[";
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    const CheckRecord& c = checks_[i];
+    if (i > 0) os << ",";
+    os << "{\"worker\":" << c.worker << ",\"token\":" << c.token
+       << ",\"fired_at_s\":" << JsonNumber(c.fired_at.seconds())
+       << ",\"outcome\":\"" << CheckOutcomeName(c.outcome) << "\""
+       << ",\"window_begin_s\":" << JsonNumber(c.window_begin.seconds())
+       << ",\"window_end_s\":" << JsonNumber(c.window_end.seconds())
+       << ",\"armed_deadline_s\":" << JsonNumber(c.armed_deadline.seconds())
+       << ",\"pushes_seen\":" << c.pushes_seen
+       << ",\"abort_time_s\":" << JsonNumber(c.abort_time.seconds())
+       << ",\"abort_rate\":" << JsonNumber(c.abort_rate)
+       << ",\"threshold\":" << JsonNumber(c.threshold)
+       << ",\"active_workers\":" << c.active_workers
+       << ",\"late\":" << (c.late ? "true" : "false") << "}";
+  }
+  os << "],\"retunes\":[";
+  for (std::size_t i = 0; i < retunes_.size(); ++i) {
+    const RetuneRecord& r = retunes_[i];
+    if (i > 0) os << ",";
+    os << "{\"epoch\":" << r.epoch
+       << ",\"at_s\":" << JsonNumber(r.at.seconds())
+       << ",\"abort_time_s\":" << JsonNumber(r.abort_time.seconds())
+       << ",\"abort_rate\":" << JsonNumber(r.abort_rate)
+       << ",\"epoch_pushes\":" << r.epoch_pushes << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace specsync::obs

@@ -1,0 +1,74 @@
+// Scheduler decision audit log.
+//
+// One structured record per speculation check (Algorithm 2 CheckResync) with
+// everything the decision read — the pushes counted in the window, the
+// ABORT_TIME / ABORT_RATE in force, the derived threshold, window bounds and
+// fire time — plus one record per epoch retune. The log answers "why did the
+// scheduler abort (or not) at t" without printf archaeology, is queryable in
+// tests, and is dumped alongside the metrics snapshot.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+
+namespace specsync::obs {
+
+// Outcome of one HandleCheckTimer call.
+enum class CheckOutcome {
+  kStale,   // superseded/unknown token: counted, no decision made
+  kKeep,    // window checked, push count under threshold, keep computing
+  kResync,  // push count met threshold: abort and re-synchronize
+};
+
+const char* CheckOutcomeName(CheckOutcome outcome);
+
+struct CheckRecord {
+  WorkerId worker = kInvalidWorker;
+  std::uint64_t token = 0;
+  SimTime fired_at;
+  CheckOutcome outcome = CheckOutcome::kStale;
+  // The inputs below are meaningful only when outcome != kStale (a stale
+  // check never reads its window).
+  SimTime window_begin;
+  SimTime window_end;       // clamped to the armed deadline when late
+  SimTime armed_deadline;
+  std::uint64_t pushes_seen = 0;   // pushes from others inside the window
+  Duration abort_time;             // ABORT_TIME in force at this check
+  double abort_rate = 0.0;         // (per-worker) ABORT_RATE in force
+  double threshold = 0.0;          // active_workers * abort_rate
+  std::size_t active_workers = 0;
+  bool late = false;               // fired past deadline + slack
+};
+
+struct RetuneRecord {
+  EpochId epoch = 0;  // the epoch that just finished
+  SimTime at;
+  Duration abort_time;  // newly tuned parameters
+  double abort_rate = 0.0;
+  std::uint64_t epoch_pushes = 0;  // pushes the tuner saw for this epoch
+};
+
+class DecisionAuditLog {
+ public:
+  void RecordCheck(const CheckRecord& record);
+  void RecordRetune(const RetuneRecord& record);
+
+  std::vector<CheckRecord> checks() const;
+  std::vector<RetuneRecord> retunes() const;
+  std::size_t check_count() const;
+
+  // JSON dump: {"checks":[...],"retunes":[...]}.
+  void ExportJson(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<CheckRecord> checks_;
+  std::vector<RetuneRecord> retunes_;
+};
+
+}  // namespace specsync::obs

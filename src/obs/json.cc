@@ -1,0 +1,62 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace specsync::obs::internal {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream out;
+  out.precision(12);
+  out << v;
+  return out.str();
+}
+
+bool IsJsonNumber(const std::string& s) {
+  if (s.empty()) return false;
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + s.size()) return false;
+  if (!std::isfinite(v)) return false;
+  // strtod accepts leading whitespace and forms like ".5" or "0x1p3" that are
+  // not valid JSON tokens; require a digit or minus up front and no hex.
+  if (!(s[0] == '-' || (s[0] >= '0' && s[0] <= '9'))) return false;
+  if (s.find_first_of("xXpP") != std::string::npos) return false;
+  return true;
+}
+
+}  // namespace specsync::obs::internal

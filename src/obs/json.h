@@ -1,0 +1,20 @@
+// Tiny JSON serialization helpers shared by the obs exporters. Write-only:
+// the repo never parses JSON, it only emits it for external tools.
+#pragma once
+
+#include <string>
+
+namespace specsync::obs::internal {
+
+// Escapes quotes, backslashes, and control characters for a JSON string.
+std::string JsonEscape(const std::string& s);
+
+// Formats a double as a JSON-safe number (finite values round-trip at 12
+// significant digits; NaN/inf become null, which json.tool accepts).
+std::string JsonNumber(double v);
+
+// True when `s` is already a valid bare JSON number token, so arg values can
+// be emitted unquoted.
+bool IsJsonNumber(const std::string& s);
+
+}  // namespace specsync::obs::internal

@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace specsync::obs {
+
+std::size_t LatencyHistogram::BucketFor(double seconds) {
+  if (!(seconds > kFirstUpperBoundSeconds)) return 0;  // NaN and tiny -> 0
+  const double doublings = std::log2(seconds / kFirstUpperBoundSeconds);
+  const auto bucket = static_cast<std::size_t>(std::ceil(doublings));
+  return std::min(bucket, kBuckets - 1);
+}
+
+double LatencyHistogram::UpperBoundSeconds(std::size_t bucket) {
+  SPECSYNC_CHECK_LT(bucket, kBuckets);
+  if (bucket == kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kFirstUpperBoundSeconds * std::exp2(static_cast<double>(bucket));
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (seconds < 0.0) {
+    // A non-monotonic timestamp source; per-sample logging would flood.
+    SPECSYNC_LOG_EVERY_N(kWarning, 1000)
+        << "obs: negative latency sample " << seconds << "s clamped to 0";
+    seconds = 0.0;
+  }
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + seconds,
+                                     std::memory_order_relaxed)) {
+  }
+  double max = max_.load(std::memory_order_relaxed);
+  while (seconds > max && !max_.compare_exchange_weak(
+                              max, seconds, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].fetch_add(other.buckets_[b].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  const double add = other.sum_seconds();
+  while (!sum_.compare_exchange_weak(sum, sum + add,
+                                     std::memory_order_relaxed)) {
+  }
+  double max = max_.load(std::memory_order_relaxed);
+  const double other_max = other.max_seconds();
+  while (other_max > max && !max_.compare_exchange_weak(
+                                max, other_max, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::mean_seconds() const {
+  const std::uint64_t n = count();
+  return n > 0 ? sum_seconds() / static_cast<double>(n) : 0.0;
+}
+
+std::uint64_t LatencyHistogram::bucket_count(std::size_t bucket) const {
+  SPECSYNC_CHECK_LT(bucket, kBuckets);
+  return buckets_[bucket].load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::ApproxQuantileSeconds(double q) const {
+  SPECSYNC_CHECK(q >= 0.0 && q <= 1.0) << "q=" << q;
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = bucket_count(b);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) < rank) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // Log-interpolate within the bucket; the open-ended last bucket and the
+    // sub-1us first bucket report their finite edge.
+    const double hi = b == kBuckets - 1 ? max_seconds() : UpperBoundSeconds(b);
+    if (b == 0) return std::min(hi, kFirstUpperBoundSeconds);
+    const double lo = UpperBoundSeconds(b - 1);
+    const double frac =
+        (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+    return lo * std::pow(std::max(hi, lo) / lo, std::min(1.0, std::max(0.0, frac)));
+  }
+  return max_seconds();
+}
+
+std::uint64_t WallNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ScopedTimer::ScopedTimer(LatencyHistogram* histogram) : histogram_(histogram) {
+  if (histogram_ != nullptr) start_ns_ = WallNanos();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  histogram_->Record(static_cast<double>(WallNanos() - start_ns_) * 1e-9);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::CounterValues() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::GaugeValues()
+    const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->value());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const LatencyHistogram*>>
+MetricsRegistry::Histograms() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::pair<std::string, const LatencyHistogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+}  // namespace specsync::obs

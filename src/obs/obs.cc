@@ -1,0 +1,126 @@
+#include "obs/obs.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "obs/json.h"
+
+namespace specsync::obs {
+
+namespace {
+
+using internal::JsonEscape;
+using internal::JsonNumber;
+
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void WriteHistogramJson(const LatencyHistogram& h, std::ostream& os) {
+  os << "{\"count\":" << h.count()
+     << ",\"sum_s\":" << JsonNumber(h.sum_seconds())
+     << ",\"mean_s\":" << JsonNumber(h.mean_seconds())
+     << ",\"max_s\":" << JsonNumber(h.max_seconds())
+     << ",\"p50_s\":" << JsonNumber(h.ApproxQuantileSeconds(0.50))
+     << ",\"p95_s\":" << JsonNumber(h.ApproxQuantileSeconds(0.95))
+     << ",\"p99_s\":" << JsonNumber(h.ApproxQuantileSeconds(0.99))
+     << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    const std::uint64_t count = h.bucket_count(b);
+    if (count == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"le_s\":" << JsonNumber(LatencyHistogram::UpperBoundSeconds(b))
+       << ",\"count\":" << count << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+void WriteMetricsJson(const ObsContext& obs, std::ostream& os) {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : obs.metrics.CounterValues()) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << JsonEscape(name) << "\":" << value;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : obs.metrics.GaugeValues()) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << JsonEscape(name) << "\":" << JsonNumber(value);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : obs.metrics.Histograms()) {
+    if (!first) os << ",";
+    first = false;
+    os << '"' << JsonEscape(name) << "\":";
+    WriteHistogramJson(*histogram, os);
+  }
+  os << "},\"span_events\":" << obs.spans.event_count()
+     << ",\"decision_audit\":";
+  obs.audit.ExportJson(os);
+  os << "}\n";
+}
+
+void WriteMetricsPrometheus(const MetricsRegistry& metrics, std::ostream& os) {
+  for (const auto& [name, value] : metrics.CounterValues()) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : metrics.GaugeValues()) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n"
+       << prom << " " << JsonNumber(value) << "\n";
+  }
+  for (const auto& [name, histogram] : metrics.Histograms()) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b + 1 < LatencyHistogram::kBuckets; ++b) {
+      const std::uint64_t count = histogram->bucket_count(b);
+      if (count == 0) continue;
+      cumulative += count;
+      os << prom << "_bucket{le=\""
+         << JsonNumber(LatencyHistogram::UpperBoundSeconds(b)) << "\"} "
+         << cumulative << "\n";
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << histogram->count() << "\n"
+       << prom << "_sum " << JsonNumber(histogram->sum_seconds()) << "\n"
+       << prom << "_count " << histogram->count() << "\n";
+  }
+}
+
+bool WriteMetricsJsonFile(const ObsContext& obs, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SPECSYNC_LOG(kWarning) << "obs: cannot open metrics path " << path;
+    return false;
+  }
+  WriteMetricsJson(obs, out);
+  return true;
+}
+
+bool WriteChromeTraceFile(const SpanRecorder& spans, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    SPECSYNC_LOG(kWarning) << "obs: cannot open trace path " << path;
+    return false;
+  }
+  spans.ExportChromeTrace(out);
+  return true;
+}
+
+}  // namespace specsync::obs

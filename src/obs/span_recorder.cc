@@ -1,0 +1,111 @@
+#include "obs/span_recorder.h"
+
+#include "obs/json.h"
+
+namespace specsync::obs {
+
+namespace {
+
+using internal::IsJsonNumber;
+using internal::JsonEscape;
+using internal::JsonNumber;
+
+void WriteArgs(std::ostream& os, const SpanArgs& args) {
+  os << "{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) os << ",";
+    os << '"' << JsonEscape(args[i].first) << "\":";
+    if (IsJsonNumber(args[i].second)) {
+      os << args[i].second;
+    } else {
+      os << '"' << JsonEscape(args[i].second) << '"';
+    }
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void SpanRecorder::SetTrackName(std::uint32_t track, std::string name) {
+  std::scoped_lock lock(mutex_);
+  for (auto& [id, existing] : track_names_) {
+    if (id == track) {
+      existing = std::move(name);
+      return;
+    }
+  }
+  track_names_.emplace_back(track, std::move(name));
+}
+
+void SpanRecorder::AddSpan(std::string name, std::string category,
+                           std::uint32_t track, SimTime begin, SimTime end,
+                           SpanArgs args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kSpan;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = track;
+  event.begin = begin;
+  event.duration = end - begin;
+  event.args = std::move(args);
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+void SpanRecorder::AddInstant(std::string name, std::string category,
+                              std::uint32_t track, SimTime time,
+                              SpanArgs args) {
+  TraceEvent event;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.track = track;
+  event.begin = time;
+  event.args = std::move(args);
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
+std::size_t SpanRecorder::event_count() const {
+  std::scoped_lock lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> SpanRecorder::Events() const {
+  std::scoped_lock lock(mutex_);
+  return events_;
+}
+
+void SpanRecorder::ExportChromeTrace(std::ostream& os) const {
+  std::scoped_lock lock(mutex_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [track, name] : track_names_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+       << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
+  for (const TraceEvent& event : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
+       << JsonEscape(event.category) << "\",\"ph\":\""
+       << (event.phase == TraceEvent::Phase::kSpan ? "X" : "i")
+       << "\",\"pid\":1,\"tid\":" << event.track
+       << ",\"ts\":" << JsonNumber(event.begin.seconds() * 1e6);
+    if (event.phase == TraceEvent::Phase::kSpan) {
+      os << ",\"dur\":" << JsonNumber(event.duration.seconds() * 1e6);
+    } else {
+      os << ",\"s\":\"t\"";  // instant scoped to its thread/track
+    }
+    if (!event.args.empty()) {
+      os << ",\"args\":";
+      WriteArgs(os, event.args);
+    }
+    os << "}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace specsync::obs

@@ -1,0 +1,69 @@
+// Per-worker timeline capture with Chrome trace-event export.
+//
+// The engines record spans (compute, per-shard pull, push, aborted compute)
+// and instant events (notify, re-sync decision, retune) against named tracks
+// — one track per worker plus one for the scheduler. Times ride the SimTime
+// axis: virtual seconds in the simulator, wall seconds since run start in the
+// threaded runtime, so the exact timelines the paper reads its argument off
+// (Fig. 2, Fig. 13) come out of either engine and load directly in
+// ui.perfetto.dev or chrome://tracing.
+//
+// Recording only appends under a mutex and never feeds anything back into
+// the engines, so a recorder can be attached to a deterministic run without
+// changing its trace digest.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace specsync::obs {
+
+// One key -> preformatted value pair serialized into the event's "args".
+// Values are emitted verbatim when they parse as plain JSON numbers and
+// quoted otherwise, so callers just stringify.
+using SpanArgs = std::vector<std::pair<std::string, std::string>>;
+
+struct TraceEvent {
+  enum class Phase { kSpan, kInstant };
+  Phase phase = Phase::kSpan;
+  std::string name;
+  std::string category;
+  std::uint32_t track = 0;  // "tid" in the exported trace
+  SimTime begin;
+  Duration duration = Duration::Zero();  // zero for instants
+  SpanArgs args;
+
+  SimTime end() const { return begin + duration; }
+};
+
+class SpanRecorder {
+ public:
+  // Human-readable track label ("worker 3", "scheduler") shown by Perfetto.
+  void SetTrackName(std::uint32_t track, std::string name);
+
+  void AddSpan(std::string name, std::string category, std::uint32_t track,
+               SimTime begin, SimTime end, SpanArgs args = {});
+  void AddInstant(std::string name, std::string category, std::uint32_t track,
+                  SimTime time, SpanArgs args = {});
+
+  std::size_t event_count() const;
+  // Copy of all events in recording order (tests, post-run analysis).
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}) loadable in
+  // ui.perfetto.dev and chrome://tracing. Timestamps are microseconds.
+  void ExportChromeTrace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+};
+
+}  // namespace specsync::obs

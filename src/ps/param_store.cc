@@ -3,10 +3,57 @@
 #include <algorithm>
 #include <latch>
 
+#include <string>
+
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace specsync {
+
+namespace {
+
+// scoped_lock that measures time-to-acquire and time-held into the shard's
+// attached histograms. With both instruments detached it degenerates to a
+// plain lock with no clock reads, so uninstrumented runs pay only the null
+// checks.
+class TimedShardLock {
+ public:
+  TimedShardLock(std::mutex& mutex, obs::LatencyHistogram* wait,
+                 obs::LatencyHistogram* hold)
+      : mutex_(mutex), hold_(hold) {
+    if (wait == nullptr && hold == nullptr) {
+      mutex_.lock();
+      return;
+    }
+    const std::uint64_t begin_ns = obs::WallNanos();
+    mutex_.lock();
+    acquired_ns_ = obs::WallNanos();
+    if (wait != nullptr) wait->Record(1e-9 * static_cast<double>(
+                                                 acquired_ns_ - begin_ns));
+  }
+
+  ~TimedShardLock() {
+    if (hold_ == nullptr) {
+      mutex_.unlock();
+      return;
+    }
+    const double held =
+        1e-9 * static_cast<double>(obs::WallNanos() - acquired_ns_);
+    mutex_.unlock();
+    hold_->Record(held);
+  }
+
+  TimedShardLock(const TimedShardLock&) = delete;
+  TimedShardLock& operator=(const TimedShardLock&) = delete;
+
+ private:
+  std::mutex& mutex_;
+  obs::LatencyHistogram* hold_;
+  std::uint64_t acquired_ns_ = 0;
+};
+
+}  // namespace
 
 ParameterServer::ParameterServer(std::size_t dim, std::size_t num_shards,
                                  std::shared_ptr<const SgdApplier> applier)
@@ -29,6 +76,22 @@ ParameterServer::ParameterServer(std::size_t dim, std::size_t num_shards,
   SPECSYNC_CHECK_EQ(offset, dim);
 }
 
+void ParameterServer::AttachMetrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    pull_hist_ = push_hist_ = queue_wait_hist_ = nullptr;
+    for (auto& shard : shards_) shard->lock_wait = shard->lock_hold = nullptr;
+    return;
+  }
+  pull_hist_ = &metrics->histogram("ps.pull_s");
+  push_hist_ = &metrics->histogram("ps.push_s");
+  queue_wait_hist_ = &metrics->histogram("ps.pull_queue_wait_s");
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::string prefix = "ps.shard" + std::to_string(s);
+    shards_[s]->lock_wait = &metrics->histogram(prefix + ".lock_wait_s");
+    shards_[s]->lock_hold = &metrics->histogram(prefix + ".lock_hold_s");
+  }
+}
+
 void ParameterServer::Initialize(const Model& model, Rng& rng) {
   SPECSYNC_CHECK_EQ(model.param_dim(), dim_);
   // Whole-vector write: hold every shard lock (in shard order, the single
@@ -48,11 +111,12 @@ void ParameterServer::SetParams(DenseVector params) {
 }
 
 PullResult ParameterServer::Pull(ThreadPool* pool) const {
+  obs::ScopedTimer pull_timer(pull_hist_);
   PullResult out;
   out.params.resize(dim_);
   if (pool == nullptr || shards_.size() == 1) {
     for (const auto& shard : shards_) {
-      std::scoped_lock lock(shard->mutex);
+      TimedShardLock lock(shard->mutex, shard->lock_wait, shard->lock_hold);
       std::copy_n(params_.begin() + static_cast<std::ptrdiff_t>(shard->offset),
                   shard->length,
                   out.params.begin() + static_cast<std::ptrdiff_t>(shard->offset));
@@ -65,9 +129,16 @@ PullResult ParameterServer::Pull(ThreadPool* pool) const {
     for (const auto& shard_ptr : shards_) {
       const Shard* shard = shard_ptr.get();
       double* dest = out.params.data();
-      pool->Submit([this, shard, dest, &done] {
+      const std::uint64_t submit_ns =
+          queue_wait_hist_ != nullptr ? obs::WallNanos() : 0;
+      pool->Submit([this, shard, dest, submit_ns, &done] {
+        if (queue_wait_hist_ != nullptr) {
+          queue_wait_hist_->Record(
+              1e-9 * static_cast<double>(obs::WallNanos() - submit_ns));
+        }
         {
-          std::scoped_lock lock(shard->mutex);
+          TimedShardLock lock(shard->mutex, shard->lock_wait,
+                              shard->lock_hold);
           std::copy_n(params_.begin() + static_cast<std::ptrdiff_t>(shard->offset),
                       shard->length, dest + shard->offset);
         }
@@ -87,7 +158,7 @@ ShardPullResult ParameterServer::PullShard(std::size_t s) const {
   out.offset = shard.offset;
   out.params.resize(shard.length);
   {
-    std::scoped_lock lock(shard.mutex);
+    TimedShardLock lock(shard.mutex, shard.lock_wait, shard.lock_hold);
     std::copy_n(params_.begin() + static_cast<std::ptrdiff_t>(shard.offset),
                 shard.length, out.params.begin());
     out.shard_version = shard.version;
@@ -140,7 +211,7 @@ bool ParameterServer::PushShard(std::size_t s, const Gradient& grad,
                                 EpochId epoch) {
   SPECSYNC_CHECK_LT(s, shards_.size());
   Shard& shard = *shards_[s];
-  std::scoped_lock lock(shard.mutex);
+  TimedShardLock lock(shard.mutex, shard.lock_wait, shard.lock_hold);
   const std::span<double> slice(params_.data() + shard.offset, shard.length);
   bool touched = false;
   if (grad.is_sparse()) {
@@ -163,6 +234,7 @@ std::uint64_t ParameterServer::CommitPush() {
 }
 
 std::uint64_t ParameterServer::Push(const Gradient& grad, EpochId epoch) {
+  obs::ScopedTimer push_timer(push_hist_);
   for (const ShardRoute& route : RouteGradient(grad)) {
     PushShard(route.shard, grad, epoch);
   }

@@ -33,6 +33,11 @@ namespace specsync {
 
 class ThreadPool;
 
+namespace obs {
+class LatencyHistogram;
+class MetricsRegistry;
+}  // namespace obs
+
 struct PullResult {
   DenseVector params;
   // Number of pushes committed before this snapshot was taken. (In the
@@ -61,6 +66,14 @@ class ParameterServer {
   // Splits `dim` parameters into `num_shards` near-equal contiguous shards.
   ParameterServer(std::size_t dim, std::size_t num_shards,
                   std::shared_ptr<const SgdApplier> applier);
+
+  // Attaches latency instrumentation (src/obs): whole-operation histograms
+  // "ps.pull_s" / "ps.push_s", pool fan-out queue wait "ps.pull_queue_wait_s",
+  // and per-shard lock contention "ps.shard<k>.lock_wait_s" /
+  // "ps.shard<k>.lock_hold_s". Resolve-once: the hot paths pay a null check
+  // when detached and two clock reads per timed section when attached.
+  // Attach before concurrent use; null detaches.
+  void AttachMetrics(obs::MetricsRegistry* metrics);
 
   // Writes the model's initialization into the store (version stays 0).
   void Initialize(const Model& model, Rng& rng);
@@ -131,6 +144,9 @@ class ParameterServer {
     std::size_t length = 0;
     mutable std::mutex mutex;
     std::uint64_t version = 0;  // guarded by mutex
+    // Contention instruments (null = off); set once by AttachMetrics.
+    obs::LatencyHistogram* lock_wait = nullptr;
+    obs::LatencyHistogram* lock_hold = nullptr;
   };
 
   const std::size_t dim_;
@@ -140,6 +156,11 @@ class ParameterServer {
   DenseVector params_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> version_{0};
+
+  // Whole-operation instruments (null = off); set once by AttachMetrics.
+  obs::LatencyHistogram* pull_hist_ = nullptr;
+  obs::LatencyHistogram* push_hist_ = nullptr;
+  obs::LatencyHistogram* queue_wait_hist_ = nullptr;
 };
 
 }  // namespace specsync

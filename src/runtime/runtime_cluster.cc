@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "core/adaptive_tuner.h"
 #include "data/sharding.h"
+#include "obs/obs.h"
 #include "runtime/fault_mailbox.h"
 #include "runtime/mailbox.h"
 
@@ -107,6 +108,14 @@ struct RuntimeCluster::Impl {
   std::unique_ptr<SpecSyncScheduler> scheduler;
   SchedulerStats final_stats;
 
+  // Observability (null = off). Resolved once at construction; workers
+  // record concurrently (SpanRecorder appends under its own mutex).
+  obs::ObsContext* obs = nullptr;
+  obs::Counter* pull_counter = nullptr;
+  obs::Counter* push_counter = nullptr;
+  obs::Counter* abort_counter = nullptr;
+  obs::LatencyHistogram* iteration_hist = nullptr;
+
   Impl(std::shared_ptr<const Model> model_in,
        std::shared_ptr<const LearningRateSchedule> schedule_in,
        RuntimeConfig config_in)
@@ -161,6 +170,21 @@ struct RuntimeCluster::Impl {
       }
       scheduler = std::make_unique<SpecSyncScheduler>(sched_config,
                                                       std::move(policy));
+    }
+
+    obs = config.obs;
+    if (obs != nullptr) {
+      pull_counter = &obs->metrics.counter("runtime.pulls");
+      push_counter = &obs->metrics.counter("runtime.pushes");
+      abort_counter = &obs->metrics.counter("runtime.aborts");
+      iteration_hist = &obs->metrics.histogram("runtime.iteration_s");
+      for (WorkerId w = 0; w < config.num_workers; ++w) {
+        obs->spans.SetTrackName(w, "worker " + std::to_string(w));
+      }
+      const auto sched_track = static_cast<std::uint32_t>(config.num_workers);
+      obs->spans.SetTrackName(sched_track, "scheduler");
+      if (scheduler) scheduler->AttachObservability(obs, sched_track);
+      server->AttachMetrics(&obs->metrics);
     }
   }
 
@@ -280,11 +304,19 @@ struct RuntimeCluster::Impl {
       bool pushed = false;
       while (!pushed) {
         if (crash_due() && handle_crash()) return;
+        obs::ScopedTimer iteration_timer(iteration_hist);
         // Shard pulls fan out across the shared pool (a real worker requests
         // every server concurrently and resumes when the slowest responds).
+        const SimTime pull_begin = obs != nullptr ? clock.Now() : SimTime();
         PullResult snapshot = server->Pull(pull_pool.get());
+        if (obs != nullptr) {
+          pull_counter->Increment();
+          obs->spans.AddSpan("pull", "pull", w, pull_begin, clock.Now(),
+                             {{"version", std::to_string(snapshot.version)}});
+        }
         if (scheduler) scheduler_mailbox.Send(SchedulerMsg{PullMsg{w}});
 
+        const SimTime compute_begin = obs != nullptr ? clock.Now() : SimTime();
         const std::vector<std::size_t> batch = sampler.NextBatch();
         std::vector<Gradient> chunks;
         bool aborted = false;
@@ -325,11 +357,32 @@ struct RuntimeCluster::Impl {
           if (handle_crash()) return;
           continue;  // rejoined: discard the iteration and re-pull
         }
-        if (aborted) continue;  // re-pull fresher parameters and start over
+        if (aborted) {
+          if (obs != nullptr) {
+            abort_counter->Increment();
+            obs->spans.AddSpan("aborted_compute", "abort", w, compute_begin,
+                               clock.Now(),
+                               {{"iteration", std::to_string(iteration)}});
+          }
+          continue;  // re-pull fresher parameters and start over
+        }
+        if (obs != nullptr) {
+          obs->spans.AddSpan("compute", "compute", w, compute_begin,
+                             clock.Now(),
+                             {{"iteration", std::to_string(iteration)}});
+        }
 
+        const SimTime push_begin = obs != nullptr ? clock.Now() : SimTime();
         const Gradient merged = MergeChunks(std::move(chunks));
         server->Push(merged, GlobalEpoch());
         completed[w].fetch_add(1, std::memory_order_relaxed);
+        if (obs != nullptr) {
+          push_counter->Increment();
+          obs->spans.AddSpan("push", "push", w, push_begin, clock.Now(),
+                             {{"iteration", std::to_string(iteration)}});
+          obs->spans.AddInstant("notify", "control", w, clock.Now(),
+                                {{"iteration", std::to_string(iteration)}});
+        }
         if (scheduler) {
           scheduler_mailbox.Send(SchedulerMsg{NotifyMsg{w, iteration}});
         }
@@ -369,6 +422,15 @@ struct RuntimeCluster::Impl {
     result.workers_killed = workers_killed.load(std::memory_order_relaxed);
     result.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start);
+    if (obs != nullptr) {
+      obs->metrics.gauge("runtime.elapsed_s")
+          .Set(static_cast<double>(result.elapsed.count()) / 1000.0);
+      obs->metrics.gauge("runtime.total_pushes")
+          .Set(static_cast<double>(result.total_pushes));
+      obs->metrics.gauge("runtime.total_aborts")
+          .Set(static_cast<double>(result.total_aborts));
+      obs->metrics.gauge("runtime.final_loss").Set(result.final_loss);
+    }
     return result;
   }
 };

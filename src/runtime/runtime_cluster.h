@@ -48,6 +48,11 @@ struct RuntimeConfig {
   // kill (and optionally rejoin) worker threads. Default = disabled, which
   // leaves the runtime's behavior untouched.
   FaultPlanConfig faults;
+  // Optional observability context (src/obs), not owned; must outlive the
+  // cluster. Worker threads record pull/compute/push/abort spans on the
+  // wall-clock SimTime axis, the scheduler thread records its decision audit,
+  // and the parameter store its lock/latency histograms.
+  obs::ObsContext* obs = nullptr;
 };
 
 struct RuntimeResult {

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace specsync {
 
@@ -88,6 +89,17 @@ struct ClusterSim::Impl {
   TrainingTrace trace;
   TransferAccountant transfers;
 
+  // Observability (null = off). Counters are resolved once at construction;
+  // every record is append-only, so event order and RNG draws are identical
+  // with and without `obs`.
+  obs::ObsContext* obs = nullptr;
+  obs::Counter* pull_counter = nullptr;
+  obs::Counter* push_counter = nullptr;
+  obs::Counter* abort_counter = nullptr;
+  obs::Counter* notify_counter = nullptr;
+  obs::Counter* eval_counter = nullptr;
+  double wasted_compute_seconds = 0.0;
+
   struct WorkerState {
     std::unique_ptr<BatchSampler> sampler;
     Rng rng;  // worker-private stream (compute jitter, batches share sampler's)
@@ -169,6 +181,23 @@ struct ClusterSim::Impl {
                                          config.batch_size, rng.Fork()),
           rng.Fork());
     }
+
+    obs = config.obs;
+    if (obs != nullptr) {
+      pull_counter = &obs->metrics.counter("sim.pulls");
+      push_counter = &obs->metrics.counter("sim.pushes");
+      abort_counter = &obs->metrics.counter("sim.aborts");
+      notify_counter = &obs->metrics.counter("sim.notifies_sent");
+      eval_counter = &obs->metrics.counter("sim.evals");
+      for (WorkerId w = 0; w < config.num_workers; ++w) {
+        obs->spans.SetTrackName(w, "worker " + std::to_string(w));
+      }
+      const auto sched_track =
+          static_cast<std::uint32_t>(config.num_workers);
+      obs->spans.SetTrackName(sched_track, "scheduler");
+      if (scheduler) scheduler->AttachObservability(obs, sched_track);
+      server->AttachMetrics(&obs->metrics);
+    }
   }
 
   // Global epoch for the learning-rate schedule: completed iterations of the
@@ -197,11 +226,13 @@ struct ClusterSim::Impl {
   // fresh one).
   struct PullAttempt {
     std::size_t pending = 0;
+    SimTime begin;  // when the fan-out was issued (span recording)
   };
   struct PushAttempt {
     std::shared_ptr<Gradient> grad;
     std::size_t pending = 0;
     bool any_landed = false;  // at least one shard message reached the server
+    SimTime begin;            // when the fan-out was issued (span recording)
   };
 
   void TryBeginIteration(WorkerId w) {
@@ -228,6 +259,7 @@ struct ClusterSim::Impl {
     if (stopped || workers[w].crashed) return;
     auto attempt = std::make_shared<PullAttempt>();
     attempt->pending = server->num_shards();
+    attempt->begin = sim.now();
     for (std::size_t s = 0; s < server->num_shards(); ++s) {
       RequestShard(w, s, attempt);
     }
@@ -250,22 +282,28 @@ struct ClusterSim::Impl {
     }
     // A stalled server cannot serve the shard; the response is batched with
     // everything else the stall delayed.
+    const SimTime requested = sim.now();
     const SimTime arrival = stalls.Defer(sim.now() + plan.delay);
-    sim.ScheduleAt(arrival, [this, w, s, attempt = std::move(attempt)] {
-      OnShardPullArrive(w, s, attempt);
-    });
+    sim.ScheduleAt(arrival,
+                   [this, w, s, requested, attempt = std::move(attempt)] {
+                     OnShardPullArrive(w, s, requested, attempt);
+                   });
   }
 
-  void OnShardPullArrive(WorkerId w, std::size_t s,
+  void OnShardPullArrive(WorkerId w, std::size_t s, SimTime requested,
                          const std::shared_ptr<PullAttempt>& attempt) {
     if (stopped || workers[w].crashed) return;
     transfers.Charge(TransferCategory::kPullParams, server->shard_bytes(s),
                      sim.now(), s);
+    if (obs != nullptr) {
+      obs->spans.AddSpan("pull_shard", "pull", w, requested, sim.now(),
+                         {{"shard", std::to_string(s)}});
+    }
     if (--attempt->pending > 0) return;
-    OnPullComplete(w);  // the last arrival is the max arrival
+    OnPullComplete(w, attempt->begin);  // the last arrival is the max arrival
   }
 
-  void OnPullComplete(WorkerId w) {
+  void OnPullComplete(WorkerId w, SimTime pull_begin) {
     WorkerState& worker = workers[w];
     // The snapshot is composed when the slowest shard response lands; in the
     // single-threaded sim this is never torn (see param_store.h for the
@@ -274,6 +312,11 @@ struct ClusterSim::Impl {
     worker.snapshot = std::move(pulled.params);
     worker.snapshot_version = pulled.version;
     trace.RecordPull(w, sim.now(), pulled.version);
+    if (obs != nullptr) {
+      pull_counter->Increment();
+      obs->spans.AddSpan("pull", "pull", w, pull_begin, sim.now(),
+                         {{"version", std::to_string(pulled.version)}});
+    }
     if (scheduler) scheduler->HandlePull(w, sim.now());
     StartCompute(w);
   }
@@ -298,6 +341,11 @@ struct ClusterSim::Impl {
   void OnComputeDone(WorkerId w) {
     WorkerState& worker = workers[w];
     worker.computing = false;
+    if (obs != nullptr) {
+      obs->spans.AddSpan("compute", "compute", w, worker.compute_start,
+                         sim.now(),
+                         {{"iteration", std::to_string(worker.completed)}});
+    }
     // The gradient is evaluated on the snapshot pulled at iteration start —
     // any pushes applied since then are invisible to it (the staleness the
     // paper studies).
@@ -311,6 +359,7 @@ struct ClusterSim::Impl {
     auto attempt = std::make_shared<PushAttempt>();
     attempt->grad = grad;
     attempt->pending = routes.size();
+    attempt->begin = sim.now();
     for (const ParameterServer::ShardRoute& route : routes) {
       const NetworkModel::TransferPlan plan = network.PlanTransfer(
           route.bytes, LinkClass::kData, worker.rng, &faults);
@@ -345,7 +394,7 @@ struct ClusterSim::Impl {
                      route.shard);
     attempt->any_landed = true;
     if (--attempt->pending > 0) return;
-    FinalizePush(w, attempt->any_landed);
+    FinalizePush(w, *attempt);
   }
 
   // A slice dropped in transit: the server never sees it (partial pushes are
@@ -354,7 +403,7 @@ struct ClusterSim::Impl {
   void OnShardPushLost(WorkerId w, const std::shared_ptr<PushAttempt>& attempt) {
     if (stopped) return;
     if (--attempt->pending > 0) return;
-    FinalizePush(w, attempt->any_landed);
+    FinalizePush(w, *attempt);
   }
 
   // Second delivery of a duplicated slice: server-side effect only.
@@ -368,13 +417,20 @@ struct ClusterSim::Impl {
 
   // Every shard message of a push resolved (landed or lost); the worker's
   // protocol step happens exactly once, at the max resolution time.
-  void FinalizePush(WorkerId w, bool any_landed) {
+  void FinalizePush(WorkerId w, const PushAttempt& attempt) {
     WorkerState& worker = workers[w];
-    if (any_landed) {
+    if (attempt.any_landed) {
       const std::uint64_t version = server->CommitPush();
       const std::uint64_t missed = version - 1 - worker.snapshot_version;
       const IterationId iteration = worker.completed;
       trace.RecordPush(w, sim.now(), iteration, version, missed);
+      if (obs != nullptr) {
+        push_counter->Increment();
+        obs->spans.AddSpan("push", "push", w, attempt.begin, sim.now(),
+                           {{"iteration", std::to_string(iteration)},
+                            {"version", std::to_string(version)},
+                            {"missed_updates", std::to_string(missed)}});
+      }
       controller->OnPush(w, iteration);
       worker.completed = iteration + 1;
 
@@ -405,6 +461,11 @@ struct ClusterSim::Impl {
 
   void SendNotify(WorkerId w, IterationId iteration) {
     if (!scheduler) return;
+    if (obs != nullptr) {
+      notify_counter->Increment();
+      obs->spans.AddInstant("notify", "control", w, sim.now(),
+                            {{"iteration", std::to_string(iteration)}});
+    }
     const NetworkModel::TransferPlan plan = network.PlanTransfer(
         kControlMessageBytes, LinkClass::kControl, workers[w].rng, &faults);
     if (plan.drop) return;  // the scheduler never hears about this push
@@ -462,6 +523,14 @@ struct ClusterSim::Impl {
     worker.last_abort = notified_iteration;
     const Duration wasted = sim.now() - worker.compute_start;
     trace.RecordAbort(w, sim.now(), wasted);
+    if (obs != nullptr) {
+      abort_counter->Increment();
+      wasted_compute_seconds += wasted.seconds();
+      obs->spans.AddSpan(
+          "aborted_compute", "abort", w, worker.compute_start, sim.now(),
+          {{"iteration", std::to_string(notified_iteration + 1)},
+           {"wasted_s", std::to_string(wasted.seconds())}});
+    }
     ++worker.compute_generation;  // cancels the in-flight finish event
     worker.computing = false;
     BeginPull(w);  // re-synchronize: fresh pull, then restart computation
@@ -523,6 +592,12 @@ struct ClusterSim::Impl {
     if (stopped) return;
     const double loss = EvaluateLoss();
     trace.RecordLoss(sim.now(), loss, TotalPushes(), GlobalEpoch());
+    if (obs != nullptr) {
+      eval_counter->Increment();
+      obs->spans.AddInstant(
+          "eval", "eval", static_cast<std::uint32_t>(config.num_workers),
+          sim.now(), {{"loss", std::to_string(loss)}});
+    }
     if (config.loss_target > 0.0) {
       if (loss < config.loss_target) {
         if (below_target_streak == 0) {
@@ -577,6 +652,17 @@ struct ClusterSim::Impl {
     result.fault_stats = faults.stats();
     trace.RecordLoss(sim.now(), result.final_loss, TotalPushes(),
                      GlobalEpoch());
+    if (obs != nullptr) {
+      obs->metrics.gauge("sim.events_processed")
+          .Set(static_cast<double>(result.sim_events));
+      obs->metrics.gauge("sim.end_time_s").Set(result.end_time.seconds());
+      obs->metrics.gauge("sim.total_pushes")
+          .Set(static_cast<double>(result.total_pushes));
+      obs->metrics.gauge("sim.total_aborts")
+          .Set(static_cast<double>(result.total_aborts));
+      obs->metrics.gauge("sim.wasted_compute_s").Set(wasted_compute_seconds);
+      obs->metrics.gauge("sim.final_loss").Set(result.final_loss);
+    }
     result.trace = std::move(trace);
     result.transfers = std::move(transfers);
     return result;

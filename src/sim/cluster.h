@@ -103,6 +103,12 @@ struct ClusterSimConfig {
   std::uint64_t seed = 42;
   // Elementwise gradient clip applied server-side (0 = off).
   double sgd_clip = 0.0;
+  // Optional observability context (src/obs), not owned; must outlive the
+  // sim. When set, the run records per-worker spans (pull/compute/push/
+  // aborted compute), scheduler audit records, and event counters/gauges.
+  // Record-only: attaching it never changes event order, RNG draws, or the
+  // trace digest.
+  obs::ObsContext* obs = nullptr;
 };
 
 struct SimResult {

@@ -104,6 +104,65 @@ TEST(LoggingTest, LevelNames) {
   EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
 }
 
+TEST(LoggingTest, LogEveryNEmitsFirstAndEveryNth) {
+  std::vector<std::string> captured;
+  Logger::Get().set_sink([&](LogLevel, const std::string& msg) {
+    captured.push_back(msg);
+  });
+  Logger::Get().set_min_level(LogLevel::kWarning);
+
+  for (int i = 0; i < 10; ++i) {
+    SPECSYNC_LOG_EVERY_N(kWarning, 4) << "occurrence " << i;
+  }
+
+  // Emitted at occurrences 0, 4, 8 of this call site.
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_EQ(captured[0], "occurrence 0");
+  EXPECT_EQ(captured[1], "occurrence 4");
+  EXPECT_EQ(captured[2], "occurrence 8");
+
+  Logger::Get().set_sink(nullptr);
+  Logger::Get().set_min_level(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, LogEveryNCountsPerCallSite) {
+  std::vector<std::string> captured;
+  Logger::Get().set_sink([&](LogLevel, const std::string& msg) {
+    captured.push_back(msg);
+  });
+  Logger::Get().set_min_level(LogLevel::kWarning);
+
+  for (int i = 0; i < 3; ++i) {
+    SPECSYNC_LOG_EVERY_N(kWarning, 100) << "site A";
+    SPECSYNC_LOG_EVERY_N(kWarning, 100) << "site B";
+  }
+
+  // Each site emits its own first occurrence independently.
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0], "site A");
+  EXPECT_EQ(captured[1], "site B");
+
+  Logger::Get().set_sink(nullptr);
+  Logger::Get().set_min_level(LogLevel::kInfo);
+}
+
+TEST(LoggingTest, LogEveryNSkipsArgumentEvaluationWhenSuppressed) {
+  Logger::Get().set_sink([](LogLevel, const std::string&) {});
+  Logger::Get().set_min_level(LogLevel::kWarning);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  for (int i = 0; i < 6; ++i) {
+    SPECSYNC_LOG_EVERY_N(kWarning, 3) << "value " << expensive();
+  }
+  // Only the emitted occurrences (0 and 3) paid for the argument.
+  EXPECT_EQ(evaluations, 2);
+  Logger::Get().set_sink(nullptr);
+  Logger::Get().set_min_level(LogLevel::kInfo);
+}
+
 // --- table ------------------------------------------------------------------
 
 TEST(TableTest, RowWidthMismatchThrows) {

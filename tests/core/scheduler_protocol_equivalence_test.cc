@@ -21,6 +21,7 @@
 
 #include "core/adaptive_tuner.h"
 #include "core/scheduler.h"
+#include "obs/obs.h"
 #include "sim/simulator.h"
 
 namespace specsync {
@@ -93,9 +94,11 @@ struct DriveResult {
 // pre-scheduled; HandleNotify's CheckRequest turns into ScheduleAfter(delay)
 // whose callback runs HandleCheckTimer at sim.now().
 DriveResult DriveWithSimulator(const std::vector<ScriptEvent>& script,
-                               std::unique_ptr<SpeculationPolicy> policy) {
+                               std::unique_ptr<SpeculationPolicy> policy,
+                               obs::ObsContext* obs = nullptr) {
   Simulator sim;
   SpecSyncScheduler scheduler(TestConfig(), std::move(policy));
+  scheduler.AttachObservability(obs);
   DriveResult out;
   for (const ScriptEvent& ev : script) {
     sim.ScheduleAt(ev.time, [&, ev] {
@@ -215,6 +218,67 @@ TEST(SchedulerProtocolEquivalenceTest, FixedPolicyDecisionsMatch) {
 
   ExpectSameDecisions(sim, runtime);
   ExpectSameStats(sim.stats, runtime.stats);
+}
+
+// The decision audit log must be a faithful transcript: one record per fired
+// check timer, in fire order, carrying the exact inputs the decision used.
+// Replays the fixed-policy scripted timeline and cross-checks every Decision
+// against the corresponding CheckRecord.
+TEST(SchedulerProtocolEquivalenceTest, AuditLogReproducesEveryDecision) {
+  const auto script = BuildScript(4, 10);
+  SpeculationParams params;
+  params.abort_time = Duration::Seconds(0.37);
+  params.abort_rate = 0.3;
+  obs::ObsContext ctx;
+  const DriveResult sim = DriveWithSimulator(
+      script, std::make_unique<FixedSpeculationPolicy>(params), &ctx);
+
+  EXPECT_GT(sim.stats.resyncs_issued, 0u);
+  EXPECT_GT(sim.stats.checks_performed, sim.stats.resyncs_issued);
+
+  const auto& records = ctx.audit.checks();
+  ASSERT_EQ(records.size(), sim.decisions.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const obs::CheckRecord& rec = records[i];
+    const Decision& d = sim.decisions[i];
+    EXPECT_EQ(rec.worker, d.worker) << "record " << i;
+    EXPECT_EQ(rec.token, d.token) << "record " << i;
+    EXPECT_EQ(rec.fired_at.seconds(), d.fire_seconds) << "record " << i;
+    EXPECT_EQ(rec.outcome == obs::CheckOutcome::kResync, d.abort)
+        << "record " << i;
+    if (rec.outcome == obs::CheckOutcome::kStale) continue;
+    // The fixed policy never retunes away from 0.37s / 0.3, and all four
+    // workers stay active, so every decided check used the same inputs.
+    // (abort_time is reconstructed as deadline - window_begin, so it matches
+    // 0.37 only to rounding.)
+    EXPECT_NEAR(rec.abort_time.seconds(), 0.37, 1e-12) << "record " << i;
+    EXPECT_DOUBLE_EQ(rec.abort_rate, 0.3) << "record " << i;
+    EXPECT_EQ(rec.active_workers, 4u) << "record " << i;
+    EXPECT_DOUBLE_EQ(rec.threshold, 4.0 * 0.3) << "record " << i;
+    // The recorded evidence implies the recorded outcome.
+    EXPECT_EQ(static_cast<double>(rec.pushes_seen) >= rec.threshold, d.abort)
+        << "record " << i;
+    // Timers fire exactly at the armed deadline in the zero-jitter sim.
+    EXPECT_EQ(rec.fired_at.seconds(), rec.armed_deadline.seconds())
+        << "record " << i;
+    EXPECT_EQ(rec.window_end.seconds(), rec.armed_deadline.seconds())
+        << "record " << i;
+    EXPECT_FALSE(rec.late) << "record " << i;
+  }
+
+  // Outcome tallies reconcile with the scheduler's own statistics.
+  std::uint64_t stale = 0, resync = 0, keep = 0;
+  for (const obs::CheckRecord& rec : records) {
+    switch (rec.outcome) {
+      case obs::CheckOutcome::kStale: ++stale; break;
+      case obs::CheckOutcome::kResync: ++resync; break;
+      case obs::CheckOutcome::kKeep: ++keep; break;
+    }
+  }
+  EXPECT_EQ(stale, sim.stats.stale_checks_skipped);
+  EXPECT_EQ(resync, sim.stats.resyncs_issued);
+  EXPECT_EQ(keep + resync, sim.stats.checks_performed);
+  EXPECT_EQ(ctx.audit.retunes().size(), sim.stats.retunes);
 }
 
 TEST(SchedulerProtocolEquivalenceTest, AdaptiveTunerDecisionsMatch) {

@@ -39,6 +39,36 @@ TEST(TraceExportTest, EventsSortedWithKinds) {
   EXPECT_LT(abort_pos, push_pos);
 }
 
+TEST(TraceExportTest, EmptyTraceExportsHeadersOnly) {
+  TrainingTrace trace(2);
+  std::ostringstream events;
+  ExportEvents(trace, events);
+  EXPECT_EQ(events.str(), "kind,time_s,worker,iteration,version,missed_updates\n");
+  std::ostringstream loss;
+  ExportLossCurve(trace, loss);
+  EXPECT_EQ(loss.str(), "time_s,loss,total_iterations,epoch\n");
+}
+
+TEST(TraceExportTest, AbortsOnlyTraceGoldenCsv) {
+  // A trace holding nothing but aborts (a pathological all-stale run): rows
+  // keep the abort schema — iteration/version/missed are not applicable and
+  // export as empty fields — and stay time-sorted across workers.
+  TrainingTrace trace(3);
+  trace.RecordAbort(2, T(0.5), Duration::Seconds(0.25));
+  trace.RecordAbort(0, T(1.0), Duration::Seconds(0.125));
+  trace.RecordAbort(1, T(2.25), Duration::Seconds(1.0));
+  std::ostringstream os;
+  ExportEvents(trace, os);
+  EXPECT_EQ(os.str(),
+            "kind,time_s,worker,iteration,version,missed_updates\n"
+            "abort,0.5,2,,,\n"
+            "abort,1,0,,,\n"
+            "abort,2.25,1,,,\n");
+  std::ostringstream loss;
+  ExportLossCurve(trace, loss);
+  EXPECT_EQ(loss.str(), "time_s,loss,total_iterations,epoch\n");
+}
+
 TEST(TraceExportTest, TransferTimelineAndBreakdown) {
   TransferAccountant transfers;
   transfers.Charge(TransferCategory::kPullParams, 100, T(1.0));
