@@ -1,0 +1,390 @@
+// Multi-process loopback transport bench: the sharded PS as real processes.
+//
+// Not a paper figure — a harness-health bench for src/net. It forks one
+// server process per shard (each owning a full-dim ParameterServer but
+// serving ONLY its own shard, exactly the multi-machine topology on
+// loopback), then drives worker threads in the parent through per-shard
+// ShardClients: every iteration is a composed Pull (one request per shard,
+// concurrently) followed by a dense Push (per-shard slices + commits).
+// Per-shard RTT histograms, retry/timeout counters, and injected-fault
+// counts land in src/obs metrics, printable and exportable as metrics.json.
+//
+// Fault injection runs over the actual wire: --drop/--delay/--dup attach a
+// FaultPlan to every client, so requests are really never sent (burning the
+// timeout), held back, or sent twice — the bench doubles as a soak test that
+// the retry protocol terminates under loss.
+//
+// Flags:
+//   --num_servers=N   shard/server-process count        (default 4)
+//   --workers=N       worker threads in the parent      (default 4)
+//   --iters=N         pull+push iterations per worker   (default 200)
+//   --dim=N           parameter dimension               (default 4096)
+//   --drop=P --delay=P --dup=P   per-message fault probabilities (default 0)
+//   --smoke           CI variant: tiny grid, and drop/delay default to 0.05
+//                     so the retry path is exercised on every CI run
+//   --metrics_out=P   write the metrics.json snapshot to P
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/table.h"
+#include "fault/fault_plan.h"
+#include "net/shard_client.h"
+#include "net/shard_server.h"
+#include "obs/obs.h"
+#include "optim/lr_schedule.h"
+#include "ps/param_store.h"
+
+using namespace specsync;
+
+namespace {
+
+struct Args {
+  std::size_t num_servers = 4;
+  std::size_t workers = 4;
+  std::size_t iters = 200;
+  std::size_t dim = 4096;
+  double drop = -1.0;  // negative = unset (lets --smoke pick its default)
+  double delay = -1.0;
+  double dup = -1.0;
+  bool smoke = false;
+  std::string metrics_out;
+};
+
+[[noreturn]] void Usage(const std::string& bad) {
+  std::cerr << "bench_transport: bad flag '" << bad << "'\n"
+            << "usage: bench_transport [--num_servers=N] [--workers=N]"
+               " [--iters=N] [--dim=N] [--drop=P] [--delay=P] [--dup=P]"
+               " [--smoke] [--metrics_out=PATH]\n";
+  std::exit(2);
+}
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    try {
+      if (key == "--num_servers") {
+        args.num_servers = std::stoul(value);
+      } else if (key == "--workers") {
+        args.workers = std::stoul(value);
+      } else if (key == "--iters") {
+        args.iters = std::stoul(value);
+      } else if (key == "--dim") {
+        args.dim = std::stoul(value);
+      } else if (key == "--drop") {
+        args.drop = std::stod(value);
+      } else if (key == "--delay") {
+        args.delay = std::stod(value);
+      } else if (key == "--dup") {
+        args.dup = std::stod(value);
+      } else if (key == "--smoke") {
+        args.smoke = true;
+      } else if (key == "--metrics_out") {
+        args.metrics_out = value;
+      } else {
+        Usage(arg);
+      }
+    } catch (const std::exception&) {
+      Usage(arg);
+    }
+  }
+  if (args.smoke) {
+    args.num_servers = std::min<std::size_t>(args.num_servers, 3);
+    args.workers = std::min<std::size_t>(args.workers, 3);
+    args.iters = std::min<std::size_t>(args.iters, 30);
+    args.dim = std::min<std::size_t>(args.dim, 512);
+    // Smoke must exercise the retry protocol, not just the happy path.
+    if (args.drop < 0.0) args.drop = 0.05;
+    if (args.delay < 0.0) args.delay = 0.05;
+  }
+  if (args.drop < 0.0) args.drop = 0.0;
+  if (args.delay < 0.0) args.delay = 0.0;
+  if (args.dup < 0.0) args.dup = 0.0;
+  if (args.num_servers == 0 || args.workers == 0 || args.dim == 0) {
+    Usage("--num_servers/--workers/--dim must be positive");
+  }
+  return args;
+}
+
+bool WriteAll(int fd, const void* data, std::size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::write(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, void* data, std::size_t bytes) {
+  char* p = static_cast<char*>(data);
+  while (bytes > 0) {
+    const ssize_t n = ::read(fd, p, bytes);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF before the full value
+    p += n;
+    bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// The server process for one shard: a full-dim store (identically
+// initialized in every process, so composed pulls are coherent) behind a
+// ShardServer answering only for `shard`. Reports its ephemeral port through
+// `port_wr`, then serves until the parent closes `shutdown_rd` (EOF).
+int RunShardProcess(std::size_t shard, const Args& args, int port_wr,
+                    int shutdown_rd) {
+  auto applier = std::make_shared<SgdApplier>(
+      std::make_shared<ConstantSchedule>(0.01));
+  ParameterServer store(args.dim, args.num_servers, std::move(applier));
+  DenseVector params(args.dim);
+  for (std::size_t i = 0; i < args.dim; ++i) {
+    params[i] = 0.001 * static_cast<double>(i % 97);
+  }
+  store.SetParams(std::move(params));
+
+  net::ShardServerConfig config;
+  config.served_shards = {shard};
+  net::ShardServer server(&store, config);
+  if (!server.Start()) return 1;
+
+  const std::uint16_t port = server.port();
+  if (!WriteAll(port_wr, &port, sizeof(port))) return 1;
+  ::close(port_wr);
+
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(shutdown_rd, &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF (parent closed its end) or error: shut down either way
+  }
+  ::close(shutdown_rd);
+  server.Stop();
+  return 0;
+}
+
+struct WorkerTally {
+  net::ShardClient::Stats stats;
+  std::uint64_t pulls = 0;
+  std::uint64_t pushes = 0;
+  bool ok = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  std::cout << "bench_transport: multi-process loopback shard transport"
+            << (args.smoke ? " (smoke)" : "") << "\n"
+            << "  servers=" << args.num_servers << " workers=" << args.workers
+            << " iters=" << args.iters << " dim=" << args.dim
+            << " drop=" << args.drop << " delay=" << args.delay
+            << " dup=" << args.dup << "\n\n";
+
+  // Fork every server process BEFORE any threads exist in the parent
+  // (fork+threads only mix safely when the child immediately execs, which
+  // these children do not).
+  struct Child {
+    pid_t pid = -1;
+    int shutdown_wr = -1;
+    std::uint16_t port = 0;
+  };
+  std::vector<Child> children(args.num_servers);
+  std::vector<int> parent_fds;  // parent-side fds later children must close
+  for (std::size_t s = 0; s < args.num_servers; ++s) {
+    int port_pipe[2] = {-1, -1};
+    int shutdown_pipe[2] = {-1, -1};
+    SPECSYNC_CHECK_EQ(::pipe(port_pipe), 0);
+    SPECSYNC_CHECK_EQ(::pipe(shutdown_pipe), 0);
+    const pid_t pid = ::fork();
+    SPECSYNC_CHECK_GE(pid, 0) << "fork failed: " << std::strerror(errno);
+    if (pid == 0) {
+      // Child: drop every parent-side descriptor, including the shutdown
+      // write ends of earlier siblings (holding one would keep a sibling's
+      // EOF from ever arriving).
+      for (const int fd : parent_fds) ::close(fd);
+      ::close(port_pipe[0]);
+      ::close(shutdown_pipe[1]);
+      const int rc =
+          RunShardProcess(s, args, port_pipe[1], shutdown_pipe[0]);
+      ::_exit(rc);
+    }
+    ::close(port_pipe[1]);
+    ::close(shutdown_pipe[0]);
+    children[s].pid = pid;
+    children[s].shutdown_wr = shutdown_pipe[1];
+    parent_fds.push_back(port_pipe[0]);
+    parent_fds.push_back(shutdown_pipe[1]);
+    if (!ReadAll(port_pipe[0], &children[s].port, sizeof(std::uint16_t))) {
+      std::cerr << "bench_transport: shard " << s
+                << " server failed to report a port\n";
+      return 1;
+    }
+    ::close(port_pipe[0]);
+  }
+
+  // Endpoint table from the one canonical shard layout.
+  net::ShardClientConfig client_config;
+  const auto split = ParameterServer::ShardSplit(args.dim, args.num_servers);
+  for (std::size_t s = 0; s < args.num_servers; ++s) {
+    client_config.shards.push_back(net::ShardEndpoint{
+        split[s].first, split[s].second, children[s].port});
+  }
+  client_config.request_timeout = std::chrono::milliseconds(100);
+  client_config.max_attempts = 64;
+
+  FaultPlanConfig fault_config;
+  fault_config.data.drop_probability = args.drop;
+  fault_config.data.delay_probability = args.delay;
+  fault_config.data.delay_mean = Duration::Milliseconds(1.0);
+  fault_config.data.duplicate_probability = args.dup;
+  fault_config.seed = 1234;
+  FaultPlan faults(fault_config);
+  FaultPlan* fault_ptr = faults.enabled() ? &faults : nullptr;
+
+  obs::ObsContext obs;
+  const auto bench_start = std::chrono::steady_clock::now();
+  std::vector<WorkerTally> tallies(args.workers);
+  {
+    std::vector<std::jthread> workers;
+    for (std::size_t w = 0; w < args.workers; ++w) {
+      workers.emplace_back([&, w] {
+        try {
+          net::ShardClient client(client_config, fault_ptr, &obs.metrics);
+          if (!client.Connect()) {
+            std::cerr << "worker " << w << ": connect failed\n";
+            return;
+          }
+          Gradient grad = Gradient::Dense(args.dim);
+          for (std::size_t i = 0; i < args.dim; ++i) {
+            grad.dense()[i] = 1e-4 * static_cast<double>((i + w) % 13);
+          }
+          for (std::size_t it = 0; it < args.iters; ++it) {
+            const PullResult snapshot = client.Pull();
+            SPECSYNC_CHECK_EQ(snapshot.params.size(), args.dim);
+            ++tallies[w].pulls;
+            client.Push(grad, it);
+            ++tallies[w].pushes;
+          }
+          tallies[w].stats = client.stats();
+          tallies[w].ok = true;
+        } catch (const CheckError& e) {
+          std::cerr << "worker " << w << " failed: " << e.what() << "\n";
+        }
+      });
+    }
+  }  // join workers
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+
+  bool all_ok = true;
+  net::ShardClient::Stats total;
+  std::uint64_t total_ops = 0;
+  for (const WorkerTally& tally : tallies) {
+    all_ok = all_ok && tally.ok;
+    total_ops += tally.pulls + tally.pushes;
+    total.requests += tally.stats.requests;
+    total.retries += tally.stats.retries;
+    total.timeouts += tally.stats.timeouts;
+    total.reconnects += tally.stats.reconnects;
+    total.stale_frames += tally.stats.stale_frames;
+    total.injected_drops += tally.stats.injected_drops;
+    total.injected_delays += tally.stats.injected_delays;
+    total.injected_duplicates += tally.stats.injected_duplicates;
+  }
+
+  // Per-shard RTTs straight from the client-side histograms.
+  Table rtt({"shard", "requests", "mean_us", "p50_us", "p95_us", "p99_us",
+             "max_us"});
+  const auto us = [](double seconds) { return seconds * 1e6; };
+  for (std::size_t s = 0; s < args.num_servers; ++s) {
+    const obs::LatencyHistogram& hist =
+        obs.metrics.histogram("net.shard" + std::to_string(s) + ".rtt_s");
+    rtt.AddRowValues(static_cast<unsigned long long>(s),
+                     static_cast<unsigned long long>(hist.count()),
+                     us(hist.mean_seconds()),
+                     us(hist.ApproxQuantileSeconds(0.50)),
+                     us(hist.ApproxQuantileSeconds(0.95)),
+                     us(hist.ApproxQuantileSeconds(0.99)),
+                     us(hist.max_seconds()));
+  }
+  rtt.PrintPretty(std::cout);
+  std::cout << "\n";
+  rtt.PrintCsv(std::cout);
+
+  const obs::LatencyHistogram& all_rtt = obs.metrics.histogram("net.rtt_s");
+  std::cout << "\nall shards: requests=" << total.requests
+            << " rtt_p50_us=" << us(all_rtt.ApproxQuantileSeconds(0.50))
+            << " rtt_p99_us=" << us(all_rtt.ApproxQuantileSeconds(0.99))
+            << "\nreliability: retries=" << total.retries
+            << " timeouts=" << total.timeouts
+            << " reconnects=" << total.reconnects
+            << " stale_frames=" << total.stale_frames
+            << "\ninjected: drops=" << total.injected_drops
+            << " delays=" << total.injected_delays
+            << " duplicates=" << total.injected_duplicates << "\n"
+            << "ops=" << total_ops << " wall_s=" << wall_seconds
+            << " ops_per_s=" << (total_ops / std::max(wall_seconds, 1e-9))
+            << "\n";
+
+  // Self-describing metrics snapshot (the RTT histograms above plus the run
+  // shape), so the smoke artifact can be validated without the stdout log.
+  obs.metrics.gauge("bench.num_servers")
+      .Set(static_cast<double>(args.num_servers));
+  obs.metrics.gauge("bench.workers").Set(static_cast<double>(args.workers));
+  obs.metrics.gauge("bench.iters").Set(static_cast<double>(args.iters));
+  obs.metrics.gauge("bench.dim").Set(static_cast<double>(args.dim));
+  obs.metrics.gauge("bench.drop").Set(args.drop);
+  obs.metrics.gauge("bench.delay").Set(args.delay);
+  obs.metrics.gauge("bench.dup").Set(args.dup);
+  obs.metrics.gauge("bench.wall_s").Set(wall_seconds);
+  if (!args.metrics_out.empty()) {
+    if (obs::WriteMetricsJsonFile(obs, args.metrics_out)) {
+      std::cout << "metrics: wrote " << args.metrics_out << "\n";
+    } else {
+      std::cerr << "metrics: cannot write " << args.metrics_out << "\n";
+      all_ok = false;
+    }
+  }
+
+  // Shutdown: closing the pipe write end is the children's EOF signal.
+  for (Child& child : children) ::close(child.shutdown_wr);
+  for (Child& child : children) {
+    int status = 0;
+    if (::waitpid(child.pid, &status, 0) != child.pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::cerr << "bench_transport: server pid " << child.pid
+                << " exited abnormally\n";
+      all_ok = false;
+    }
+  }
+  if (!all_ok) {
+    std::cerr << "bench_transport: FAILED\n";
+    return 1;
+  }
+  std::cout << "bench_transport: OK\n";
+  return 0;
+}

@@ -1,0 +1,342 @@
+#include "net/shard_client.h"
+
+#include <algorithm>
+#include <atomic>
+#include <latch>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace specsync::net {
+
+struct ShardClient::Conn {
+  std::mutex mutex;
+  TcpConnection connection;     // guarded by mutex
+  std::uint64_t next_id = 1;    // guarded by mutex
+  std::uint16_t port = 0;
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> timeouts{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> stale_frames{0};
+  std::atomic<std::uint64_t> injected_drops{0};
+  std::atomic<std::uint64_t> injected_delays{0};
+  std::atomic<std::uint64_t> injected_duplicates{0};
+};
+
+ShardClient::ShardClient(ShardClientConfig config, FaultPlan* faults,
+                         obs::MetricsRegistry* metrics)
+    : config_(std::move(config)), faults_(faults) {
+  SPECSYNC_CHECK(!config_.shards.empty());
+  SPECSYNC_CHECK_GT(config_.max_attempts, 0u);
+  std::size_t expected_offset = 0;
+  for (const ShardEndpoint& shard : config_.shards) {
+    SPECSYNC_CHECK_EQ(shard.offset, expected_offset);
+    expected_offset += shard.length;
+  }
+  dim_ = expected_offset;
+  SPECSYNC_CHECK_GT(dim_, 0u);
+  conns_.reserve(config_.shards.size());
+  for (const ShardEndpoint& shard : config_.shards) {
+    auto conn = std::make_unique<Conn>();
+    conn->port = shard.port;
+    conns_.push_back(std::move(conn));
+  }
+  if (metrics != nullptr) {
+    rtt_hist_ = &metrics->histogram("net.rtt_s");
+    shard_rtt_.reserve(conns_.size());
+    for (std::size_t s = 0; s < conns_.size(); ++s) {
+      shard_rtt_.push_back(
+          &metrics->histogram("net.shard" + std::to_string(s) + ".rtt_s"));
+    }
+    retry_counter_ = &metrics->counter("net.retries");
+    timeout_counter_ = &metrics->counter("net.timeouts");
+  }
+}
+
+ShardClient::~ShardClient() = default;
+
+bool ShardClient::Connect() {
+  const auto deadline =
+      std::chrono::steady_clock::now() + config_.connect_timeout;
+  for (std::size_t s = 0; s < conns_.size(); ++s) {
+    Conn& conn = *conns_[s];
+    std::scoped_lock lock(conn.mutex);
+    while (!conn.connection.valid()) {
+      conn.connection = TcpConnection::ConnectLoopback(conn.port);
+      if (conn.connection.valid()) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        SPECSYNC_LOG(kWarning) << "ShardClient: shard " << s
+                              << " unreachable on port " << conn.port;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return true;
+}
+
+WireMessage ShardClient::Call(std::size_t s, const WireMessage& request) {
+  Conn& conn = *conns_[s];
+  std::scoped_lock lock(conn.mutex);
+  conn.requests.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::uint8_t> frame;
+  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      conn.retries.fetch_add(1, std::memory_order_relaxed);
+      if (retry_counter_ != nullptr) retry_counter_->Increment();
+    }
+    // A fresh id per attempt: responses to abandoned attempts (timed out,
+    // duplicated) are identifiable as stale and skipped below.
+    const std::uint64_t id = conn.next_id++;
+    const std::vector<std::uint8_t> bytes = EncodeFrame(request, id);
+
+    FaultDecision decision;
+    if (faults_ != nullptr && faults_->enabled()) {
+      decision = faults_->OnMessage(LinkClass::kData);
+    }
+    if (decision.extra_delay > Duration::Zero()) {
+      conn.injected_delays.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(decision.extra_delay.seconds()));
+    }
+    const auto sent_at = std::chrono::steady_clock::now();
+    const auto deadline = sent_at + config_.request_timeout;
+    if (decision.drop) {
+      // The request vanishes in the wire: never sent, so this attempt can
+      // only time out. The retry after the timeout is the recovery path.
+      conn.injected_drops.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      if (!conn.connection.valid() || !conn.connection.SendAll(bytes)) {
+        conn.reconnects.fetch_add(1, std::memory_order_relaxed);
+        conn.connection = TcpConnection::ConnectLoopback(conn.port);
+        continue;
+      }
+      if (decision.duplicate) {
+        conn.injected_duplicates.fetch_add(1, std::memory_order_relaxed);
+        if (!conn.connection.SendAll(bytes)) {
+          conn.reconnects.fetch_add(1, std::memory_order_relaxed);
+          conn.connection = TcpConnection::ConnectLoopback(conn.port);
+          continue;
+        }
+      }
+    }
+
+    for (;;) {
+      const auto status = conn.connection.valid()
+                              ? conn.connection.RecvFrame(frame, deadline)
+                              : TcpConnection::RecvStatus::kError;
+      if (status == TcpConnection::RecvStatus::kTimeout ||
+          (decision.drop && status != TcpConnection::RecvStatus::kFrame)) {
+        conn.timeouts.fetch_add(1, std::memory_order_relaxed);
+        if (timeout_counter_ != nullptr) timeout_counter_->Increment();
+        break;  // retry
+      }
+      if (status == TcpConnection::RecvStatus::kClosed ||
+          status == TcpConnection::RecvStatus::kError ||
+          status == TcpConnection::RecvStatus::kBadFrame) {
+        conn.reconnects.fetch_add(1, std::memory_order_relaxed);
+        conn.connection = TcpConnection::ConnectLoopback(conn.port);
+        break;  // retry
+      }
+      std::uint64_t response_id = 0;
+      WireMessage response;
+      if (DecodeFrame(frame, response_id, response) != WireStatus::kOk) {
+        conn.reconnects.fetch_add(1, std::memory_order_relaxed);
+        conn.connection = TcpConnection::ConnectLoopback(conn.port);
+        break;  // framing is lost; retry on a fresh stream
+      }
+      if (response_id != id) {
+        // Late answer to an earlier attempt, or the echo of an injected
+        // duplicate. Drain and keep waiting for ours.
+        conn.stale_frames.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (const auto* ack = std::get_if<AckResp>(&response)) {
+        // Error acks mean the client routed a request the server does not
+        // own — a wiring bug, not a transient fault.
+        SPECSYNC_CHECK(ack->status == kAckOk)
+            << "shard " << s << " rejected request (status " << ack->status
+            << ")";
+      }
+      const double rtt = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - sent_at)
+                             .count();
+      if (rtt_hist_ != nullptr) {
+        rtt_hist_->Record(rtt);
+        shard_rtt_[s]->Record(rtt);
+      }
+      return response;
+    }
+  }
+  SPECSYNC_CHECK(false) << "shard " << s << " unreachable after "
+                        << config_.max_attempts << " attempts";
+  return AckResp{};
+}
+
+std::size_t ShardClient::ShardOf(std::size_t index) const {
+  SPECSYNC_CHECK_LT(index, dim_);
+  // Mirrors ParameterServer::ShardOf over the endpoint table.
+  std::size_t lo = 0;
+  std::size_t hi = config_.shards.size();
+  while (hi - lo > 1) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (config_.shards[mid].offset <= index) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+ShardPullResult ShardClient::PullShard(std::size_t s) {
+  SPECSYNC_CHECK_LT(s, conns_.size());
+  WireMessage response = Call(s, PullShardReq{static_cast<std::uint32_t>(s)});
+  auto* resp = std::get_if<PullShardResp>(&response);
+  SPECSYNC_CHECK(resp != nullptr);
+  SPECSYNC_CHECK_EQ(resp->offset, config_.shards[s].offset);
+  SPECSYNC_CHECK_EQ(resp->params.size(), config_.shards[s].length);
+  ShardPullResult out;
+  out.offset = resp->offset;
+  out.params = std::move(resp->params);
+  out.shard_version = resp->shard_version;
+  out.version = resp->global_version;
+  return out;
+}
+
+PullResult ShardClient::Pull(ThreadPool* pool) {
+  PullResult out;
+  out.params.resize(dim_);
+  std::atomic<std::uint64_t> version{0};
+  const auto pull_one = [this, &out, &version](std::size_t s) {
+    ShardPullResult shard = PullShard(s);
+    std::copy(shard.params.begin(), shard.params.end(),
+              out.params.begin() + static_cast<std::ptrdiff_t>(shard.offset));
+    std::uint64_t seen = version.load(std::memory_order_relaxed);
+    while (seen < shard.version &&
+           !version.compare_exchange_weak(seen, shard.version,
+                                          std::memory_order_relaxed)) {
+    }
+  };
+  if (pool == nullptr || conns_.size() == 1) {
+    for (std::size_t s = 0; s < conns_.size(); ++s) pull_one(s);
+  } else {
+    std::latch done(static_cast<std::ptrdiff_t>(conns_.size()));
+    for (std::size_t s = 0; s < conns_.size(); ++s) {
+      pool->Submit([&pull_one, &done, s] {
+        pull_one(s);
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+  out.version = version.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
+                                ThreadPool* pool) {
+  // Build the per-shard messages (the client-side half of RouteGradient).
+  std::vector<PushShardReq> messages;
+  if (!grad.is_sparse()) {
+    SPECSYNC_CHECK_EQ(grad.dense().size(), dim_);
+    messages.reserve(conns_.size());
+    for (std::size_t s = 0; s < conns_.size(); ++s) {
+      const ShardEndpoint& shard = config_.shards[s];
+      PushShardReq req;
+      req.shard = static_cast<std::uint32_t>(s);
+      req.epoch = epoch;
+      req.dense_offset = shard.offset;
+      req.dense.assign(grad.dense().begin() +
+                           static_cast<std::ptrdiff_t>(shard.offset),
+                       grad.dense().begin() + static_cast<std::ptrdiff_t>(
+                                                  shard.offset + shard.length));
+      messages.push_back(std::move(req));
+    }
+  } else {
+    std::vector<PushShardReq> by_shard(conns_.size());
+    const auto indices = grad.sparse().indices();
+    const auto values = grad.sparse().values();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const std::size_t s = ShardOf(static_cast<std::size_t>(indices[i]));
+      by_shard[s].indices.push_back(indices[i]);
+      by_shard[s].values.push_back(values[i]);
+    }
+    for (std::size_t s = 0; s < by_shard.size(); ++s) {
+      if (by_shard[s].indices.empty()) continue;
+      by_shard[s].shard = static_cast<std::uint32_t>(s);
+      by_shard[s].epoch = epoch;
+      by_shard[s].sparse = true;
+      messages.push_back(std::move(by_shard[s]));
+    }
+    // Like RouteGradient: an empty gradient still crosses the wire as one
+    // empty message, so the push protocol sees exactly one logical push.
+    if (messages.empty()) {
+      PushShardReq req;
+      req.shard = 0;
+      req.epoch = epoch;
+      req.sparse = true;
+      messages.push_back(std::move(req));
+    }
+  }
+
+  if (pool == nullptr || messages.size() == 1) {
+    for (const PushShardReq& req : messages) Call(req.shard, req);
+  } else {
+    std::latch done(static_cast<std::ptrdiff_t>(messages.size()));
+    for (const PushShardReq& req : messages) {
+      pool->Submit([this, &req, &done] {
+        Call(req.shard, req);
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+
+  // One commit per distinct server touched (a server's global version counts
+  // the logical pushes that reached it). All slices have landed by now, so
+  // the commit orders after them exactly as CommitPush does in-process.
+  std::uint64_t version = 0;
+  std::vector<std::uint16_t> committed_ports;
+  for (const PushShardReq& req : messages) {
+    const std::uint16_t port = config_.shards[req.shard].port;
+    if (std::find(committed_ports.begin(), committed_ports.end(), port) !=
+        committed_ports.end()) {
+      continue;
+    }
+    committed_ports.push_back(port);
+    WireMessage response = Call(req.shard, CommitPushReq{});
+    const auto* ack = std::get_if<AckResp>(&response);
+    SPECSYNC_CHECK(ack != nullptr);
+    version = std::max(version, ack->value);
+  }
+  return version;
+}
+
+ShardClient::Stats ShardClient::stats() const {
+  Stats out;
+  for (const auto& conn : conns_) {
+    out.requests += conn->requests.load(std::memory_order_relaxed);
+    out.retries += conn->retries.load(std::memory_order_relaxed);
+    out.timeouts += conn->timeouts.load(std::memory_order_relaxed);
+    out.reconnects += conn->reconnects.load(std::memory_order_relaxed);
+    out.stale_frames += conn->stale_frames.load(std::memory_order_relaxed);
+    out.injected_drops += conn->injected_drops.load(std::memory_order_relaxed);
+    out.injected_delays +=
+        conn->injected_delays.load(std::memory_order_relaxed);
+    out.injected_duplicates +=
+        conn->injected_duplicates.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace specsync::net

@@ -1,0 +1,138 @@
+// ShardClient: the worker side of the tcp_loopback transport.
+//
+// Replaces the runtime's direct ParameterServer calls with real per-shard
+// requests: Pull() fans one PullShardReq out to every shard concurrently
+// (over an optional ThreadPool, exactly like ParameterServer::Pull's
+// in-process fan-out) and Push() routes a gradient to its owning shards —
+// dense gradients ship each shard only its slice, sparse gradients ship each
+// owning shard only its entries — followed by one CommitPushReq per distinct
+// server touched.
+//
+// Reliability: every request is timeout + bounded retry. An attempt that
+// times out is retried with a fresh request id; late or duplicated responses
+// from earlier attempts are discarded by id match. The protocol is therefore
+// at-least-once: a retried pull is harmless (idempotent read), a retried
+// push may re-apply its slice if the original was executed but its ack was
+// lost — the asynchronous-SGD tolerance the paper's protocol already assumes
+// for duplicated gradient messages. A shard still unreachable after
+// `max_attempts` is a cluster failure and fails loudly (SPECSYNC_CHECK).
+//
+// Fault injection: when a FaultPlan is attached, every attempt draws one
+// data-link decision. Drop = the request is never sent (the attempt burns
+// its timeout, then retries), delay = the send is held back by the injected
+// extra delay, duplicate = the frame is sent twice (exercising the server's
+// double-execution path and the client's stale-frame discard).
+//
+// Thread safety: each shard has its own connection guarded by its own mutex,
+// so concurrent requests to different shards proceed in parallel; concurrent
+// requests to the same shard serialize (give each worker its own client to
+// model independent machines).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "net/wire.h"
+#include "ps/param_store.h"
+
+namespace specsync {
+class ThreadPool;
+namespace obs {
+class MetricsRegistry;
+class LatencyHistogram;
+class Counter;
+}  // namespace obs
+}  // namespace specsync
+
+namespace specsync::net {
+
+// One shard's placement: its slice of the parameter vector and the loopback
+// port of the server process that owns it. Shard id = index in the config's
+// vector; offsets must be contiguous ascending (ParameterServer::ShardSplit
+// produces the canonical layout).
+struct ShardEndpoint {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  std::uint16_t port = 0;
+};
+
+struct ShardClientConfig {
+  std::vector<ShardEndpoint> shards;
+  // Per-attempt response deadline.
+  std::chrono::milliseconds request_timeout{250};
+  // Total attempts per request before declaring the shard unreachable.
+  std::size_t max_attempts = 16;
+  // Startup grace for connecting (covers the server racing its Start()).
+  std::chrono::milliseconds connect_timeout{2000};
+};
+
+class ShardClient {
+ public:
+  // `faults` (optional, not owned) injects data-link faults per attempt.
+  // `metrics` (optional, not owned) receives RTT histograms "net.rtt_s" and
+  // "net.shard<k>.rtt_s" plus retry/timeout counters.
+  ShardClient(ShardClientConfig config, FaultPlan* faults = nullptr,
+              obs::MetricsRegistry* metrics = nullptr);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  // Connects to every endpoint (retrying within connect_timeout). False if
+  // any endpoint stays unreachable.
+  bool Connect();
+
+  // Composed full-vector snapshot assembled from per-shard responses; with a
+  // pool the shard requests fly concurrently. Like the in-process store's
+  // composed Pull, the cross-shard snapshot may be torn under concurrent
+  // pushes; `version` is the largest global version any response reported.
+  PullResult Pull(ThreadPool* pool = nullptr);
+
+  // One shard's snapshot over the wire.
+  ShardPullResult PullShard(std::size_t s);
+
+  // Routes `grad` to its owning shards (PushShardReq each, concurrently over
+  // `pool` when given), then commits once per distinct server touched.
+  // Returns the largest committed global version reported.
+  std::uint64_t Push(const Gradient& grad, EpochId epoch,
+                     ThreadPool* pool = nullptr);
+
+  std::size_t dim() const { return dim_; }
+  std::size_t num_shards() const { return config_.shards.size(); }
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t reconnects = 0;
+    // Frames discarded because their id belonged to an abandoned attempt.
+    std::uint64_t stale_frames = 0;
+    std::uint64_t injected_drops = 0;
+    std::uint64_t injected_delays = 0;
+    std::uint64_t injected_duplicates = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn;
+
+  // Sends `request` on shard `s`'s connection and returns the matching
+  // response (retry loop lives here). Fatal after max_attempts.
+  WireMessage Call(std::size_t s, const WireMessage& request);
+  std::size_t ShardOf(std::size_t index) const;
+
+  ShardClientConfig config_;
+  FaultPlan* faults_;
+  std::size_t dim_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  obs::LatencyHistogram* rtt_hist_ = nullptr;
+  std::vector<obs::LatencyHistogram*> shard_rtt_;
+  obs::Counter* retry_counter_ = nullptr;
+  obs::Counter* timeout_counter_ = nullptr;
+};
+
+}  // namespace specsync::net

@@ -1,0 +1,186 @@
+#include "net/shard_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace specsync::net {
+
+struct ShardServer::Conn {
+  TcpConnection connection;
+  std::thread handler;
+};
+
+ShardServer::ShardServer(ParameterServer* store, ShardServerConfig config,
+                         obs::MetricsRegistry* metrics)
+    : store_(store), config_(std::move(config)) {
+  SPECSYNC_CHECK(store_ != nullptr);
+  for (std::size_t s : config_.served_shards) {
+    SPECSYNC_CHECK_LT(s, store_->num_shards());
+  }
+  if (metrics != nullptr) {
+    pull_hist_ = &metrics->histogram("net.server.pull_s");
+    push_hist_ = &metrics->histogram("net.server.push_s");
+  }
+}
+
+ShardServer::~ShardServer() { Stop(); }
+
+bool ShardServer::Start() {
+  SPECSYNC_CHECK(!started_);
+  listener_ = TcpListener::BindLoopback(config_.port);
+  if (listener_ == nullptr) {
+    SPECSYNC_LOG(kWarning) << "ShardServer: cannot bind loopback port "
+                          << config_.port;
+    return false;
+  }
+  port_ = listener_->port();
+  started_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void ShardServer::Stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_release);
+  listener_->Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::scoped_lock lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    conn->connection.ShutdownBoth();
+    if (conn->handler.joinable()) conn->handler.join();
+  }
+  listener_.reset();
+  started_ = false;
+}
+
+bool ShardServer::ServesShard(std::size_t shard) const {
+  if (shard >= store_->num_shards()) return false;
+  if (config_.served_shards.empty()) return true;
+  return std::find(config_.served_shards.begin(), config_.served_shards.end(),
+                   shard) != config_.served_shards.end();
+}
+
+void ShardServer::AcceptLoop() {
+  for (;;) {
+    TcpConnection client = listener_->Accept();
+    if (!client.valid()) return;  // shutdown (or fatal accept error)
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::scoped_lock lock(conns_mutex_);
+    auto conn = std::make_unique<Conn>();
+    conn->connection = std::move(client);
+    Conn* raw = conn.get();
+    conn->handler = std::thread([this, raw] { HandleConnection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void ShardServer::HandleConnection(Conn* conn) {
+  ServeConnection(conn);
+  // Actively close on every exit path (bad frame, send failure, clean EOF):
+  // the connection object itself lives until Stop(), so without this a peer
+  // whose stream was abandoned mid-protocol would block instead of seeing
+  // the close.
+  conn->connection.ShutdownBoth();
+}
+
+void ShardServer::ServeConnection(Conn* conn) {
+  std::vector<std::uint8_t> frame;
+  constexpr auto kForever = std::chrono::steady_clock::time_point::max();
+  for (;;) {
+    const auto status = conn->connection.RecvFrame(frame, kForever);
+    if (status == TcpConnection::RecvStatus::kClosed) return;
+    if (status != TcpConnection::RecvStatus::kFrame) {
+      if (status == TcpConnection::RecvStatus::kBadFrame) {
+        bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    std::uint64_t request_id = 0;
+    WireMessage request;
+    if (DecodeFrame(frame, request_id, request) != WireStatus::kOk) {
+      // Framing survived but the payload is corrupt; the stream cannot be
+      // trusted past this point.
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    WireMessage response = AckResp{kAckBadRequest, 0};
+    if (const auto* pull = std::get_if<PullShardReq>(&request)) {
+      if (!ServesShard(pull->shard)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        response = AckResp{kAckBadShard, pull->shard};
+      } else {
+        obs::ScopedTimer timer(pull_hist_);
+        ShardPullResult result = store_->PullShard(pull->shard);
+        pulls_.fetch_add(1, std::memory_order_relaxed);
+        PullShardResp resp;
+        resp.shard = pull->shard;
+        resp.offset = result.offset;
+        resp.shard_version = result.shard_version;
+        resp.global_version = result.version;
+        resp.params = std::move(result.params);
+        response = std::move(resp);
+      }
+    } else if (const auto* push = std::get_if<PushShardReq>(&request)) {
+      if (!ServesShard(push->shard)) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        response = AckResp{kAckBadShard, push->shard};
+      } else if (push->sparse) {
+        obs::ScopedTimer timer(push_hist_);
+        Gradient grad = Gradient::Sparse();
+        grad.sparse().Reserve(push->indices.size());
+        for (std::size_t i = 0; i < push->indices.size(); ++i) {
+          grad.sparse().Add(push->indices[i], push->values[i]);
+        }
+        const bool touched =
+            store_->PushShard(push->shard, grad, push->epoch);
+        pushes_.fetch_add(1, std::memory_order_relaxed);
+        response = AckResp{kAckOk, touched ? 1u : 0u};
+      } else {
+        const ShardInfo info = store_->shard(push->shard);
+        if (push->dense_offset != info.offset ||
+            push->dense.size() != info.length) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          response = AckResp{kAckBadRequest, push->shard};
+        } else {
+          obs::ScopedTimer timer(push_hist_);
+          const bool touched = store_->PushShardDenseSlice(
+              push->shard, push->dense, push->epoch);
+          pushes_.fetch_add(1, std::memory_order_relaxed);
+          response = AckResp{kAckOk, touched ? 1u : 0u};
+        }
+      }
+    } else if (std::holds_alternative<CommitPushReq>(request)) {
+      const std::uint64_t version = store_->CommitPush();
+      commits_.fetch_add(1, std::memory_order_relaxed);
+      response = AckResp{kAckOk, version};
+    } else {
+      // A response type arriving at the server is a confused peer.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (!conn->connection.SendAll(EncodeFrame(response, request_id))) return;
+  }
+}
+
+ShardServer::Stats ShardServer::stats() const {
+  Stats out;
+  out.pulls = pulls_.load(std::memory_order_relaxed);
+  out.pushes = pushes_.load(std::memory_order_relaxed);
+  out.commits = commits_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace specsync::net

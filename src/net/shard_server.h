@@ -1,0 +1,111 @@
+// ShardServer: one or more ParameterServer shards behind a listening socket.
+//
+// The server side of the tcp_loopback transport. It owns no parameters
+// itself — it serves the shards of an existing ParameterServer (the single
+// source of truth for layout and versions) over the wire protocol in
+// net/wire.h. `served_shards` restricts which shard ids this server answers
+// for: the runtime's loopback mode runs one server serving every shard, the
+// multi-process bench runs one server process per shard, each serving only
+// its own (requests for a shard a server does not own are answered with
+// kAckBadShard — misrouting is a client bug and must be loud, not silent).
+//
+// Concurrency: one accept thread plus one handler thread per connection.
+// Handlers call straight into the ParameterServer, whose per-shard locks are
+// the real serialization point, so concurrent clients contend exactly like
+// in-process pullers/pushers.
+//
+// Failure semantics: requests are processed at-most-once per received frame,
+// but the transport as a whole is at-least-once — a client that times out
+// retries, and a retried PushShard re-applies its slice (see shard_client.h).
+// A malformed frame kills only its connection; the server keeps serving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ps/param_store.h"
+
+namespace specsync::obs {
+class MetricsRegistry;
+class LatencyHistogram;
+}  // namespace specsync::obs
+
+namespace specsync::net {
+
+class TcpListener;
+class TcpConnection;
+
+struct ShardServerConfig {
+  // 0 = pick an ephemeral port (read it back via port() after Start()).
+  std::uint16_t port = 0;
+  // Shard ids this server answers for; empty = all shards of the store.
+  std::vector<std::size_t> served_shards;
+};
+
+class ShardServer {
+ public:
+  // `store` is not owned and must outlive the server. `metrics` (optional)
+  // receives service-time histograms "net.server.pull_s" / "net.server.push_s"
+  // and request counters.
+  ShardServer(ParameterServer* store, ShardServerConfig config,
+              obs::MetricsRegistry* metrics = nullptr);
+  ~ShardServer();
+
+  ShardServer(const ShardServer&) = delete;
+  ShardServer& operator=(const ShardServer&) = delete;
+
+  // Binds and starts the accept loop. False if the port cannot be bound.
+  bool Start();
+
+  // Stops accepting, drops every open connection, joins all threads.
+  // Idempotent; also run by the destructor.
+  void Stop();
+
+  // Listening port (valid after a successful Start()).
+  std::uint16_t port() const { return port_; }
+
+  struct Stats {
+    std::uint64_t pulls = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t commits = 0;
+    // Requests answered with an error ack (bad shard / bad request).
+    std::uint64_t rejected = 0;
+    // Connections dropped on malformed frames or socket errors.
+    std::uint64_t bad_frames = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn;
+
+  void AcceptLoop();
+  void HandleConnection(Conn* conn);
+  void ServeConnection(Conn* conn);
+  bool ServesShard(std::size_t shard) const;
+
+  ParameterServer* store_;
+  ShardServerConfig config_;
+  std::unique_ptr<TcpListener> listener_;
+  std::uint16_t port_ = 0;
+
+  std::thread accept_thread_;
+  std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;  // guarded by conns_mutex_
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::atomic<std::uint64_t> pulls_{0};
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> bad_frames_{0};
+
+  obs::LatencyHistogram* pull_hist_ = nullptr;
+  obs::LatencyHistogram* push_hist_ = nullptr;
+};
+
+}  // namespace specsync::net

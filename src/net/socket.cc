@@ -1,0 +1,200 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace specsync::net {
+
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+// Remaining poll budget in milliseconds, clamped to int range; -1 = forever.
+int PollTimeoutMs(std::chrono::steady_clock::time_point deadline) {
+  if (deadline == std::chrono::steady_clock::time_point::max()) return -1;
+  const auto remaining = deadline - std::chrono::steady_clock::now();
+  if (remaining <= std::chrono::steady_clock::duration::zero()) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(remaining).count();
+  // Round up so a sub-millisecond budget polls once instead of busy-looping.
+  return static_cast<int>(std::min<long long>(ms + 1, 1 << 30));
+}
+
+}  // namespace
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) {
+  if (fd_ >= 0) SetNoDelay(fd_);
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+TcpConnection TcpConnection::ConnectLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return TcpConnection();
+  const sockaddr_in addr = LoopbackAddr(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    ::close(fd);
+    return TcpConnection();
+  }
+  return TcpConnection(fd);
+}
+
+bool TcpConnection::SendAll(std::span<const std::uint8_t> bytes) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+TcpConnection::RecvStatus TcpConnection::RecvFrame(
+    std::vector<std::uint8_t>& frame,
+    std::chrono::steady_clock::time_point deadline) {
+  if (fd_ < 0) return RecvStatus::kError;
+  frame.clear();
+  frame.resize(kHeaderBytes);
+  std::size_t have = 0;
+  std::size_t want = kHeaderBytes;
+  bool header_parsed = false;
+  for (;;) {
+    while (have < want) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return RecvStatus::kError;
+      }
+      if (pr == 0) return RecvStatus::kTimeout;
+      const ssize_t n = ::recv(fd_, frame.data() + have, want - have, 0);
+      if (n == 0) return RecvStatus::kClosed;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return RecvStatus::kError;
+      }
+      have += static_cast<std::size_t>(n);
+    }
+    if (header_parsed) return RecvStatus::kFrame;
+    FrameHeader header;
+    if (DecodeHeader(frame, header) != WireStatus::kOk) {
+      return RecvStatus::kBadFrame;
+    }
+    header_parsed = true;
+    want = kHeaderBytes + header.payload_bytes;
+    frame.resize(want);
+    if (have == want) return RecvStatus::kFrame;
+  }
+}
+
+void TcpConnection::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+TcpListener::TcpListener(int listen_fd, int wake_rd, int wake_wr,
+                         std::uint16_t port)
+    : listen_fd_(listen_fd), wake_rd_(wake_rd), wake_wr_(wake_wr),
+      port_(port) {}
+
+TcpListener::~TcpListener() {
+  Shutdown();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_rd_ >= 0) ::close(wake_rd_);
+  if (wake_wr_ >= 0) ::close(wake_wr_);
+}
+
+std::unique_ptr<TcpListener> TcpListener::BindLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return nullptr;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 128) < 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC) < 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(
+      fd, pipe_fds[0], pipe_fds[1], ntohs(addr.sin_port)));
+}
+
+TcpConnection TcpListener::Accept() {
+  for (;;) {
+    pollfd pfds[2] = {{listen_fd_, POLLIN, 0}, {wake_rd_, POLLIN, 0}};
+    const int pr = ::poll(pfds, 2, -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return TcpConnection();
+    }
+    if (pfds[1].revents != 0) return TcpConnection();  // shutdown requested
+    if ((pfds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return TcpConnection();
+    }
+    return TcpConnection(client);
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (wake_wr_ >= 0) {
+    const std::uint8_t byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr_, &byte, 1);
+  }
+}
+
+}  // namespace specsync::net

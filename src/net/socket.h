@@ -1,0 +1,91 @@
+// RAII POSIX TCP primitives for the loopback shard transport.
+//
+// Deliberately minimal: IPv4 loopback only (the multi-process bench and the
+// runtime's tcp_loopback transport both live on 127.0.0.1), blocking sockets
+// with poll()-bounded receives, TCP_NODELAY on every connection (the protocol
+// is request/response with small frames — Nagle would serialize the per-shard
+// fan-out), and a self-pipe so Accept() can be woken for shutdown without
+// racing a close().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/wire.h"
+
+namespace specsync::net {
+
+// One established stream. Move-only; the descriptor closes with the object.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd);
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // Connects to 127.0.0.1:port. Invalid connection on failure.
+  static TcpConnection ConnectLoopback(std::uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  // Writes all of `bytes` (handles partial writes and EINTR; SIGPIPE is
+  // suppressed). False on a broken connection.
+  bool SendAll(std::span<const std::uint8_t> bytes);
+
+  enum class RecvStatus {
+    kFrame,     // `frame` holds one complete header + payload
+    kTimeout,   // deadline passed before a full frame arrived
+    kClosed,    // peer closed the stream cleanly
+    kError,     // socket error (connection reset, invalid descriptor, ...)
+    kBadFrame,  // header failed wire validation; the stream is unusable
+  };
+
+  // Receives exactly one frame, blocking until `deadline` (steady clock;
+  // time_point::max() blocks indefinitely). On kBadFrame the caller must
+  // drop the connection: framing is lost.
+  RecvStatus RecvFrame(std::vector<std::uint8_t>& frame,
+                       std::chrono::steady_clock::time_point deadline);
+
+  // Half-closes both directions, waking a peer blocked in RecvFrame.
+  void ShutdownBoth();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket on 127.0.0.1 with a self-pipe shutdown.
+class TcpListener {
+ public:
+  // Binds and listens; port 0 picks an ephemeral port. Null on failure.
+  static std::unique_ptr<TcpListener> BindLoopback(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Blocks until a client connects or Shutdown() is called (then returns an
+  // invalid connection, as it does on accept errors after shutdown).
+  TcpConnection Accept();
+
+  // Unblocks Accept(); idempotent and callable from any thread.
+  void Shutdown();
+
+ private:
+  TcpListener(int listen_fd, int wake_rd, int wake_wr, std::uint16_t port);
+
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace specsync::net

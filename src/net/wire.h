@@ -1,0 +1,138 @@
+// Wire format for the parameter-server shard protocol.
+//
+// The sharded store's seam (PullShard / PushShard / CommitPush) becomes a
+// real protocol here: five messages in a length-prefixed binary framing with
+// fixed-width little-endian fields, so a ShardServer on one machine and a
+// ShardClient on another agree on bytes, not on C++ object layout.
+//
+// Frame layout (header is kHeaderBytes = 20 bytes):
+//   u32 magic          0x53505359 ("YSPS" on the wire, little-endian)
+//   u16 version        kWireVersion; receivers reject anything else
+//   u16 type           MsgType
+//   u64 request_id     echoed verbatim in the response; lets a client match
+//                      responses to requests and discard stale frames left
+//                      over from timed-out or duplicated attempts
+//   u32 payload_bytes  length of the payload that follows (<= kMaxPayload)
+//
+// Payloads (all integers little-endian, doubles as IEEE-754 bit patterns in
+// little-endian u64):
+//   PullShardReq   u32 shard
+//   PullShardResp  u32 shard, u64 offset, u64 shard_version,
+//                  u64 global_version, u64 count, f64[count]
+//   PushShardReq   u32 shard, u64 epoch, u8 kind (0 dense, 1 sparse);
+//                  dense:  u64 offset, u64 count, f64[count]  (the shard's
+//                          slice only — never the full vector)
+//                  sparse: u64 nnz, nnz x (u64 index, f64 value)  (global
+//                          indices, pre-routed to the owning shard)
+//   CommitPushReq  (empty)
+//   AckResp        u32 status, u64 value
+//
+// Decoding is strict: short headers, bad magic/version/type, payloads longer
+// than kMaxPayload, truncated payloads, and trailing bytes are all distinct
+// errors — a transport must never guess at a malformed frame.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <variant>
+#include <vector>
+
+namespace specsync::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x53505359u;
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 20;
+// Caps one frame's payload (1 GiB). A header announcing more is rejected
+// before any allocation, so a corrupt length field cannot OOM the receiver.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+enum class MsgType : std::uint16_t {
+  kPullShardReq = 1,
+  kPullShardResp = 2,
+  kPushShardReq = 3,
+  kCommitPushReq = 4,
+  kAck = 5,
+};
+
+// AckResp status codes.
+inline constexpr std::uint32_t kAckOk = 0;
+inline constexpr std::uint32_t kAckBadShard = 1;
+inline constexpr std::uint32_t kAckBadRequest = 2;
+
+struct PullShardReq {
+  std::uint32_t shard = 0;
+};
+
+struct PullShardResp {
+  std::uint32_t shard = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t shard_version = 0;
+  std::uint64_t global_version = 0;
+  std::vector<double> params;
+};
+
+struct PushShardReq {
+  std::uint32_t shard = 0;
+  std::uint64_t epoch = 0;
+  bool sparse = false;
+  // Dense: the shard's contiguous slice (offset = shard offset in the full
+  // vector). Sparse: global (index, value) entries owned by the shard; an
+  // empty entry list is a valid message (the empty-gradient push still
+  // crosses the wire as one message).
+  std::uint64_t dense_offset = 0;
+  std::vector<double> dense;
+  std::vector<std::uint64_t> indices;
+  std::vector<double> values;
+};
+
+struct CommitPushReq {};
+
+// Response to PushShardReq (value = whether the slice touched the shard) and
+// CommitPushReq (value = new global version), and the error reply to any
+// request the server cannot serve.
+struct AckResp {
+  std::uint32_t status = kAckOk;
+  std::uint64_t value = 0;
+};
+
+using WireMessage = std::variant<PullShardReq, PullShardResp, PushShardReq,
+                                 CommitPushReq, AckResp>;
+
+enum class WireStatus {
+  kOk = 0,
+  kShortHeader,   // fewer than kHeaderBytes bytes
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kOversized,     // payload_bytes > kMaxPayloadBytes
+  kTruncated,     // payload shorter than its fields claim
+  kMalformed,     // trailing bytes after a complete payload
+};
+
+const char* WireStatusName(WireStatus status);
+
+struct FrameHeader {
+  std::uint16_t version = 0;
+  MsgType type = MsgType::kAck;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+// Serializes one message into a complete frame (header + payload).
+std::vector<std::uint8_t> EncodeFrame(const WireMessage& message,
+                                      std::uint64_t request_id);
+
+// Validates and parses the 20-byte header prefix of `bytes`.
+WireStatus DecodeHeader(std::span<const std::uint8_t> bytes, FrameHeader& out);
+
+// Parses a payload previously described by a valid header. `payload` must be
+// exactly header.payload_bytes long (the transport reads exactly that many).
+WireStatus DecodePayload(const FrameHeader& header,
+                         std::span<const std::uint8_t> payload,
+                         WireMessage& out);
+
+// Whole-buffer convenience: `frame` must hold exactly one frame.
+WireStatus DecodeFrame(std::span<const std::uint8_t> frame,
+                       std::uint64_t& request_id, WireMessage& out);
+
+}  // namespace specsync::net

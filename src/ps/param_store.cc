@@ -55,25 +55,36 @@ class TimedShardLock {
 
 }  // namespace
 
-ParameterServer::ParameterServer(std::size_t dim, std::size_t num_shards,
-                                 std::shared_ptr<const SgdApplier> applier)
-    : dim_(dim), applier_(std::move(applier)), params_(dim, 0.0) {
+std::vector<std::pair<std::size_t, std::size_t>> ParameterServer::ShardSplit(
+    std::size_t dim, std::size_t num_shards) {
   SPECSYNC_CHECK_GT(dim, 0u);
   SPECSYNC_CHECK_GT(num_shards, 0u);
   SPECSYNC_CHECK_LE(num_shards, dim);
-  SPECSYNC_CHECK(applier_ != nullptr);
   const std::size_t base = dim / num_shards;
   const std::size_t extra = dim % num_shards;
+  std::vector<std::pair<std::size_t, std::size_t>> split;
+  split.reserve(num_shards);
   std::size_t offset = 0;
-  shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    auto shard = std::make_unique<Shard>();
-    shard->offset = offset;
-    shard->length = base + (s < extra ? 1 : 0);
-    offset += shard->length;
-    shards_.push_back(std::move(shard));
+    const std::size_t length = base + (s < extra ? 1 : 0);
+    split.emplace_back(offset, length);
+    offset += length;
   }
   SPECSYNC_CHECK_EQ(offset, dim);
+  return split;
+}
+
+ParameterServer::ParameterServer(std::size_t dim, std::size_t num_shards,
+                                 std::shared_ptr<const SgdApplier> applier)
+    : dim_(dim), applier_(std::move(applier)), params_(dim, 0.0) {
+  SPECSYNC_CHECK(applier_ != nullptr);
+  shards_.reserve(num_shards);
+  for (const auto& [offset, length] : ShardSplit(dim, num_shards)) {
+    auto shard = std::make_unique<Shard>();
+    shard->offset = offset;
+    shard->length = length;
+    shards_.push_back(std::move(shard));
+  }
 }
 
 void ParameterServer::AttachMetrics(obs::MetricsRegistry* metrics) {
@@ -225,6 +236,21 @@ bool ParameterServer::PushShard(std::size_t s, const Gradient& grad,
         epoch, slice);
     touched = shard.length > 0;
   }
+  if (touched) ++shard.version;
+  return touched;
+}
+
+bool ParameterServer::PushShardDenseSlice(std::size_t s,
+                                          std::span<const double> slice,
+                                          EpochId epoch) {
+  SPECSYNC_CHECK_LT(s, shards_.size());
+  Shard& shard = *shards_[s];
+  SPECSYNC_CHECK_EQ(slice.size(), shard.length);
+  TimedShardLock lock(shard.mutex, shard.lock_wait, shard.lock_hold);
+  applier_->ApplyDenseSlice(
+      slice, epoch, std::span<double>(params_.data() + shard.offset,
+                                      shard.length));
+  const bool touched = shard.length > 0;
   if (touched) ++shard.version;
   return touched;
 }

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/ids.h"
@@ -67,6 +69,13 @@ class ParameterServer {
   ParameterServer(std::size_t dim, std::size_t num_shards,
                   std::shared_ptr<const SgdApplier> applier);
 
+  // The canonical contiguous near-equal split: element s is shard s's
+  // (offset, length). The constructor, the wire transport's endpoint tables
+  // (src/net), and multi-process harnesses all share this one definition of
+  // the layout, so they can agree on shard boundaries without a handshake.
+  static std::vector<std::pair<std::size_t, std::size_t>> ShardSplit(
+      std::size_t dim, std::size_t num_shards);
+
   // Attaches latency instrumentation (src/obs): whole-operation histograms
   // "ps.pull_s" / "ps.push_s", pool fan-out queue wait "ps.pull_queue_wait_s",
   // and per-shard lock contention "ps.shard<k>.lock_wait_s" /
@@ -101,6 +110,13 @@ class ParameterServer {
   // version iff the slice was non-empty; never bumps the global version.
   // Returns whether the slice touched the shard.
   bool PushShard(std::size_t s, const Gradient& grad, EpochId epoch);
+
+  // Wire-path variant of PushShard for dense gradients: `slice` is already
+  // cut to shard `s` (slice.size() must equal the shard's length — a
+  // PushShardReq ships only the shard's slice, never the full vector).
+  // Same version semantics as PushShard.
+  bool PushShardDenseSlice(std::size_t s, std::span<const double> slice,
+                           EpochId epoch);
 
   // Completes a logical push whose slices were applied via PushShard: bumps
   // and returns the global version. A network-duplicated slice re-applied

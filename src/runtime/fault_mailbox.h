@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "runtime/mailbox.h"  // MailboxPoll
 
 namespace specsync {
 
@@ -82,7 +83,8 @@ class FaultMailbox {
     }
   }
 
-  // Non-blocking receive of an already-ready message.
+  // Non-blocking receive of an already-ready message. nullopt conflates
+  // "nothing ready" and "closed"; see the status overload / drained().
   std::optional<T> TryReceive() {
     std::scoped_lock lock(mutex_);
     if (queue_.empty()) return std::nullopt;
@@ -90,6 +92,28 @@ class FaultMailbox {
       return std::nullopt;
     }
     return PopLocked();
+  }
+
+  // Non-blocking receive with a drain-aware status. kEmpty covers both a
+  // truly empty open mailbox and one holding only delay-injected messages
+  // whose extra latency has not yet elapsed.
+  MailboxPoll TryReceive(T& out) {
+    std::scoped_lock lock(mutex_);
+    if (queue_.empty()) {
+      return closed_ ? MailboxPoll::kDrained : MailboxPoll::kEmpty;
+    }
+    if (!closed_ && queue_.top().ready > std::chrono::steady_clock::now()) {
+      return MailboxPoll::kEmpty;
+    }
+    out = *PopLocked();
+    return MailboxPoll::kMessage;
+  }
+
+  // Closed with nothing left to deliver (delayed messages become deliverable
+  // on close, so closed + empty queue really is the end of the stream).
+  bool drained() const {
+    std::scoped_lock lock(mutex_);
+    return closed_ && queue_.empty();
   }
 
   void Close() {

@@ -14,6 +14,15 @@
 
 namespace specsync {
 
+// Result of a non-blocking mailbox poll. Distinguishes the two reasons a
+// poll can come back empty: an open mailbox that is merely empty right now
+// (kEmpty — more may arrive, keep polling) versus one that is closed AND
+// fully drained (kDrained — nothing will ever arrive again, stop). A plain
+// optional cannot express the difference, which is exactly what a drain
+// loop needs to terminate correctly. FaultMailbox reports kEmpty also while
+// only delay-injected (not yet deliverable) messages are pending.
+enum class MailboxPoll { kMessage, kEmpty, kDrained };
+
 template <typename T>
 class Mailbox {
  public:
@@ -49,10 +58,29 @@ class Mailbox {
     return TakeLocked();
   }
 
-  // Non-blocking receive.
+  // Non-blocking receive. nullopt conflates "empty" and "closed" — drain
+  // loops that must terminate should use the status overload below or check
+  // drained().
   std::optional<T> TryReceive() {
     std::scoped_lock lock(mutex_);
     return TakeLocked();
+  }
+
+  // Non-blocking receive with a drain-aware status: kMessage fills `out`.
+  MailboxPoll TryReceive(T& out) {
+    std::scoped_lock lock(mutex_);
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      return MailboxPoll::kMessage;
+    }
+    return closed_ ? MailboxPoll::kDrained : MailboxPoll::kEmpty;
+  }
+
+  // Closed with nothing left to deliver: no receive will ever succeed again.
+  bool drained() const {
+    std::scoped_lock lock(mutex_);
+    return closed_ && queue_.empty();
   }
 
   void Close() {

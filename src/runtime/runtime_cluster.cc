@@ -11,9 +11,12 @@
 #include "common/thread_pool.h"
 #include "core/adaptive_tuner.h"
 #include "data/sharding.h"
+#include "net/shard_client.h"
+#include "net/shard_server.h"
 #include "obs/obs.h"
 #include "runtime/fault_mailbox.h"
 #include "runtime/mailbox.h"
+#include "runtime/wall_clock.h"
 
 namespace specsync {
 
@@ -36,27 +39,6 @@ struct WorkerUpMsg {
 };
 using SchedulerMsg =
     std::variant<NotifyMsg, PullMsg, WorkerDownMsg, WorkerUpMsg>;
-
-// Maps wall time onto the SimTime axis the scheduler expects.
-class WallClock {
- public:
-  WallClock() : start_(std::chrono::steady_clock::now()) {}
-
-  SimTime Now() const {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    return SimTime::FromSeconds(
-        std::chrono::duration<double>(elapsed).count());
-  }
-
-  std::chrono::steady_clock::time_point ToTimePoint(SimTime t) const {
-    return start_ + std::chrono::duration_cast<
-                        std::chrono::steady_clock::duration>(
-                        std::chrono::duration<double>(t.seconds()));
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
 
 // Merges per-chunk gradients (each a mean over its chunk) into their average.
 Gradient MergeChunks(std::vector<Gradient> chunks) {
@@ -94,6 +76,10 @@ struct RuntimeCluster::Impl {
   // make the inline path the right one). Pull() scopes its wait with a latch,
   // so workers can fan out pulls through the same pool concurrently.
   std::unique_ptr<ThreadPool> pull_pool;
+  // tcp_loopback transport: the store behind a loopback socket plus one
+  // client per worker (empty clients vector = in-process direct calls).
+  std::unique_ptr<net::ShardServer> shard_server;
+  std::vector<std::unique_ptr<net::ShardClient>> shard_clients;
   WallClock clock;
   FaultPlan faults;
   FaultMailbox<SchedulerMsg> scheduler_mailbox;
@@ -156,6 +142,31 @@ struct RuntimeCluster::Impl {
       pull_pool = std::make_unique<ThreadPool>(pull_threads);
     }
 
+    if (config.transport == RuntimeTransport::kTcpLoopback) {
+      obs::MetricsRegistry* metrics =
+          config.obs != nullptr ? &config.obs->metrics : nullptr;
+      shard_server = std::make_unique<net::ShardServer>(
+          server.get(), net::ShardServerConfig{}, metrics);
+      SPECSYNC_CHECK(shard_server->Start())
+          << "tcp_loopback transport: cannot start ShardServer";
+      net::ShardClientConfig client_config;
+      client_config.request_timeout = config.net_timeout;
+      client_config.max_attempts = config.net_attempts;
+      for (std::size_t s = 0; s < server->num_shards(); ++s) {
+        const ShardInfo info = server->shard(s);
+        client_config.shards.push_back(
+            net::ShardEndpoint{info.offset, info.length,
+                               shard_server->port()});
+      }
+      for (WorkerId w = 0; w < config.num_workers; ++w) {
+        auto client = std::make_unique<net::ShardClient>(
+            client_config, faults.enabled() ? &faults : nullptr, metrics);
+        SPECSYNC_CHECK(client->Connect())
+            << "tcp_loopback transport: worker " << w << " cannot connect";
+        shard_clients.push_back(std::move(client));
+      }
+    }
+
     const bool speculation_on = config.adaptive || config.fixed_params.enabled();
     if (speculation_on) {
       SchedulerConfig sched_config;
@@ -185,6 +196,22 @@ struct RuntimeCluster::Impl {
       obs->spans.SetTrackName(sched_track, "scheduler");
       if (scheduler) scheduler->AttachObservability(obs, sched_track);
       server->AttachMetrics(&obs->metrics);
+    }
+  }
+
+  // Transport dispatch: direct store calls by default, per-worker wire
+  // clients under tcp_loopback. The in-process path is untouched code, so
+  // the default transport stays bit-identical to the pre-transport runtime.
+  PullResult PullParams(WorkerId w) {
+    if (shard_clients.empty()) return server->Pull(pull_pool.get());
+    return shard_clients[w]->Pull(pull_pool.get());
+  }
+
+  void PushGradient(WorkerId w, const Gradient& grad, EpochId epoch) {
+    if (shard_clients.empty()) {
+      server->Push(grad, epoch);
+    } else {
+      shard_clients[w]->Push(grad, epoch, pull_pool.get());
     }
   }
 
@@ -235,11 +262,12 @@ struct RuntimeCluster::Impl {
       } else {
         msg = scheduler_mailbox.ReceiveUntil(
             clock.ToTimePoint(timers.top().deadline));
-        if (!msg.has_value() && !scheduler_mailbox.closed()) continue;
       }
       if (!msg.has_value()) {
-        if (scheduler_mailbox.closed()) break;
-        continue;
+        // drained(), not closed(): messages sent before Close() must still
+        // be dispatched — the loop only ends once nothing can arrive again.
+        if (scheduler_mailbox.drained()) break;
+        continue;  // timer deadline reached (or spurious wake): fire timers
       }
       if (const auto* pull = std::get_if<PullMsg>(&*msg)) {
         scheduler->HandlePull(pull->worker, clock.Now());
@@ -285,7 +313,12 @@ struct RuntimeCluster::Impl {
       crash_pending = false;
       faults.CountCrash();
       if (scheduler) {
-        scheduler_mailbox.SendReliable(SchedulerMsg{WorkerDownMsg{w}});
+        // The mailbox closes only after all workers have joined, so a failed
+        // send here means a shutdown-ordering bug — fail loudly, not by
+        // silently losing a lifecycle event the scheduler depends on.
+        SPECSYNC_CHECK(
+            scheduler_mailbox.SendReliable(SchedulerMsg{WorkerDownMsg{w}}))
+            << "worker " << w << ": scheduler mailbox closed before join";
       }
       if (!crash->rejoin.has_value()) {
         workers_killed.fetch_add(1, std::memory_order_relaxed);
@@ -294,7 +327,9 @@ struct RuntimeCluster::Impl {
       std::this_thread::sleep_until(clock.ToTimePoint(*crash->rejoin));
       faults.CountRejoin();
       if (scheduler) {
-        scheduler_mailbox.SendReliable(SchedulerMsg{WorkerUpMsg{w}});
+        SPECSYNC_CHECK(
+            scheduler_mailbox.SendReliable(SchedulerMsg{WorkerUpMsg{w}}))
+            << "worker " << w << ": scheduler mailbox closed before join";
       }
       return false;  // in-flight work is discarded; re-pull and restart
     };
@@ -308,13 +343,18 @@ struct RuntimeCluster::Impl {
         // Shard pulls fan out across the shared pool (a real worker requests
         // every server concurrently and resumes when the slowest responds).
         const SimTime pull_begin = obs != nullptr ? clock.Now() : SimTime();
-        PullResult snapshot = server->Pull(pull_pool.get());
+        PullResult snapshot = PullParams(w);
         if (obs != nullptr) {
           pull_counter->Increment();
           obs->spans.AddSpan("pull", "pull", w, pull_begin, clock.Now(),
                              {{"version", std::to_string(snapshot.version)}});
         }
-        if (scheduler) scheduler_mailbox.Send(SchedulerMsg{PullMsg{w}});
+        if (scheduler) {
+          // Send() may drop/delay under fault injection but only returns
+          // false on a closed mailbox, which cannot happen before join.
+          SPECSYNC_CHECK(scheduler_mailbox.Send(SchedulerMsg{PullMsg{w}}))
+              << "worker " << w << ": scheduler mailbox closed before join";
+        }
 
         const SimTime compute_begin = obs != nullptr ? clock.Now() : SimTime();
         const std::vector<std::size_t> batch = sampler.NextBatch();
@@ -374,7 +414,7 @@ struct RuntimeCluster::Impl {
 
         const SimTime push_begin = obs != nullptr ? clock.Now() : SimTime();
         const Gradient merged = MergeChunks(std::move(chunks));
-        server->Push(merged, GlobalEpoch());
+        PushGradient(w, merged, GlobalEpoch());
         completed[w].fetch_add(1, std::memory_order_relaxed);
         if (obs != nullptr) {
           push_counter->Increment();
@@ -384,7 +424,9 @@ struct RuntimeCluster::Impl {
                                 {{"iteration", std::to_string(iteration)}});
         }
         if (scheduler) {
-          scheduler_mailbox.Send(SchedulerMsg{NotifyMsg{w, iteration}});
+          SPECSYNC_CHECK(
+              scheduler_mailbox.Send(SchedulerMsg{NotifyMsg{w, iteration}}))
+              << "worker " << w << ": scheduler mailbox closed before join";
         }
         pushed = true;
       }
@@ -411,10 +453,18 @@ struct RuntimeCluster::Impl {
     }  // join workers
     scheduler_mailbox.Close();
     if (scheduler_thread.joinable()) scheduler_thread.join();
+    // Quiesce the wire before reading results: no in-flight push may race
+    // the final snapshot. Clients disconnect first so the server's handler
+    // threads see clean EOFs rather than resets.
+    shard_clients.clear();
+    if (shard_server) shard_server->Stop();
 
     RuntimeResult result;
     result.final_weights = server->Snapshot();
-    result.final_loss = model->FullLoss(result.final_weights, 2000);
+    if (config.final_eval) {
+      result.final_loss =
+          model->FullLoss(result.final_weights, config.final_eval_samples);
+    }
     result.total_pushes = server->version();
     result.total_aborts = total_aborts.load(std::memory_order_relaxed);
     result.scheduler_stats = final_stats;

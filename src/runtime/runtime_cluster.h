@@ -22,6 +22,16 @@
 
 namespace specsync {
 
+// How workers reach the parameter store.
+//   kInProcess   — direct calls into the shared ParameterServer (the
+//                  pre-transport behavior, bit-identical by construction).
+//   kTcpLoopback — the store sits behind a net::ShardServer on 127.0.0.1 and
+//                  every worker gets its own net::ShardClient: pulls and
+//                  pushes pay real serialization and kernel round trips, and
+//                  data-link fault injection (drop / delay / duplicate)
+//                  happens on the wire with timeout + bounded retry.
+enum class RuntimeTransport { kInProcess, kTcpLoopback };
+
 struct RuntimeConfig {
   std::size_t num_workers = 4;
   std::size_t iterations_per_worker = 20;
@@ -43,6 +53,17 @@ struct RuntimeConfig {
   std::size_t pull_threads = 0;
   double sgd_clip = 0.0;
   std::uint64_t seed = 123;
+  RuntimeTransport transport = RuntimeTransport::kInProcess;
+  // tcp_loopback only: per-request response deadline and total attempts
+  // before a shard is declared unreachable (which fails the run loudly).
+  std::chrono::milliseconds net_timeout{250};
+  std::size_t net_attempts = 16;
+  // End-of-run evaluation: final_eval=false skips FullLoss entirely
+  // (RuntimeResult::final_loss stays 0 — transport benches that only care
+  // about wire behavior can spend nothing here); otherwise
+  // final_eval_samples examples are evaluated (0 = the full dataset).
+  bool final_eval = true;
+  std::size_t final_eval_samples = 2000;
   // Fault injection: control-link faults apply to the scheduler mailbox and
   // re-sync delivery, slowdown windows scale chunk_delay, and crash events
   // kill (and optionally rejoin) worker threads. Default = disabled, which

@@ -1,0 +1,43 @@
+// Maps wall time onto the SimTime axis the scheduler expects.
+//
+// The runtime reuses SpecSyncScheduler verbatim by treating seconds since
+// cluster start as SimTime. ToTimePoint is the inverse map used to arm
+// wall-clock timers for scheduler deadlines.
+#pragma once
+
+#include <chrono>
+
+#include "common/sim_time.h"
+
+namespace specsync {
+
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  // Fixed-origin construction (tests exercising the conversion round trip).
+  explicit WallClock(std::chrono::steady_clock::time_point start)
+      : start_(start) {}
+
+  SimTime Now() const {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return SimTime::FromSeconds(
+        std::chrono::duration<double>(elapsed).count());
+  }
+
+  // Rounds UP to the steady clock's tick. Truncation (duration_cast) would
+  // produce a time point fractionally before `t`, so a timer sleeping until
+  // ToTimePoint(t) could wake with Now() < t still true and spin through its
+  // "deadline not reached" path; with ceil, once the returned time point is
+  // reached, Now() >= t is guaranteed.
+  std::chrono::steady_clock::time_point ToTimePoint(SimTime t) const {
+    return start_ + std::chrono::ceil<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(t.seconds()));
+  }
+
+  std::chrono::steady_clock::time_point start() const { return start_; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace specsync

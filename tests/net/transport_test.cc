@@ -1,0 +1,375 @@
+// Loopback transport tests: a ShardServer + ShardClient pair must be an
+// observable no-op relative to direct ParameterServer calls — same parameter
+// bytes, same versions, same scheduler decisions — and must survive injected
+// drop / delay / duplicate faults without hanging.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "core/scheduler.h"
+#include "core/speculation.h"
+#include "fault/fault_plan.h"
+#include "net/shard_client.h"
+#include "net/shard_server.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "optim/lr_schedule.h"
+#include "ps/param_store.h"
+
+namespace specsync::net {
+namespace {
+
+std::shared_ptr<const SgdApplier> UnitApplier() {
+  return std::make_shared<SgdApplier>(std::make_shared<ConstantSchedule>(1.0));
+}
+
+std::unique_ptr<ParameterServer> MakeStore(std::size_t dim,
+                                           std::size_t num_shards) {
+  auto store = std::make_unique<ParameterServer>(dim, num_shards,
+                                                 UnitApplier());
+  DenseVector params(dim);
+  std::iota(params.begin(), params.end(), 1.0);
+  store->SetParams(std::move(params));
+  return store;
+}
+
+ShardClientConfig ClientConfigFor(const ParameterServer& store,
+                                  std::uint16_t port) {
+  ShardClientConfig config;
+  for (std::size_t s = 0; s < store.num_shards(); ++s) {
+    const ShardInfo info = store.shard(s);
+    config.shards.push_back(ShardEndpoint{info.offset, info.length, port});
+  }
+  return config;
+}
+
+TEST(TransportTest, ServerStartStopIsClean) {
+  auto store = MakeStore(10, 3);
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+  server.Stop();  // idempotent
+}
+
+TEST(TransportTest, TwoServersGetDistinctEphemeralPorts) {
+  auto store = MakeStore(10, 2);
+  ShardServer a(store.get(), ShardServerConfig{});
+  ShardServer b(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(a.Start());
+  ASSERT_TRUE(b.Start());
+  EXPECT_NE(a.port(), b.port());
+}
+
+TEST(TransportTest, PullMatchesDirectPullBitwise) {
+  auto store = MakeStore(17, 4);
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+  ShardClient client(ClientConfigFor(*store, server.port()));
+  ASSERT_TRUE(client.Connect());
+
+  const PullResult direct = store->Pull();
+  const PullResult wire = client.Pull();
+  EXPECT_EQ(wire.params, direct.params);
+  EXPECT_EQ(wire.version, direct.version);
+
+  const ShardPullResult shard_direct = store->PullShard(2);
+  const ShardPullResult shard_wire = client.PullShard(2);
+  EXPECT_EQ(shard_wire.offset, shard_direct.offset);
+  EXPECT_EQ(shard_wire.params, shard_direct.params);
+  EXPECT_EQ(shard_wire.shard_version, shard_direct.shard_version);
+  EXPECT_EQ(shard_wire.version, shard_direct.version);
+}
+
+TEST(TransportTest, ConcurrentPullUsesPool) {
+  auto store = MakeStore(101, 5);
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+  ShardClient client(ClientConfigFor(*store, server.port()));
+  ASSERT_TRUE(client.Connect());
+  ThreadPool pool(4);
+  const PullResult wire = client.Pull(&pool);
+  EXPECT_EQ(wire.params, store->Pull().params);
+}
+
+// The scripted op timeline: one deterministic sequence of pulls and pushes
+// (dense, sparse spanning a shard boundary, empty) executed once directly
+// and once over the wire. Every observation — pulled bytes, versions, and
+// the scheduler decisions the observations drive — must be identical.
+struct OpObservation {
+  std::vector<double> pulled;
+  std::uint64_t pull_version = 0;
+  std::uint64_t push_version = 0;
+};
+
+template <typename PullFn, typename PushFn>
+std::vector<OpObservation> RunScriptedTimeline(PullFn pull, PushFn push) {
+  std::vector<OpObservation> log;
+  const auto observe_pull = [&] {
+    OpObservation obs;
+    PullResult r = pull();
+    obs.pulled = std::move(r.params);
+    obs.pull_version = r.version;
+    log.push_back(std::move(obs));
+  };
+  const auto observe_push = [&](const Gradient& g, EpochId epoch) {
+    OpObservation obs;
+    obs.push_version = push(g, epoch);
+    log.push_back(std::move(obs));
+  };
+
+  observe_pull();
+  Gradient dense = Gradient::Dense(10);
+  for (std::size_t i = 0; i < 10; ++i) dense.dense()[i] = 0.25 * (i + 1);
+  observe_push(dense, 0);
+  observe_pull();
+
+  Gradient boundary = Gradient::Sparse();  // spans the [0,4)/[4,7) boundary
+  boundary.sparse().Add(3, 1.0);
+  boundary.sparse().Add(4, -1.0);
+  boundary.sparse().Add(9, 0.5);
+  observe_push(boundary, 1);
+  observe_pull();
+
+  Gradient empty = Gradient::Sparse();  // still one logical push
+  observe_push(empty, 1);
+  observe_push(dense, 2);
+  observe_pull();
+  return log;
+}
+
+// Replays the observed timeline as scheduler input: each pull observation is
+// a HandlePull, each push observation a HandleNotify whose timing is derived
+// from the observed version (so any transport-level divergence in versions
+// changes the decisions). Returns a printable decision trace.
+std::string SchedulerDecisions(const std::vector<OpObservation>& log) {
+  SchedulerConfig config;
+  config.num_workers = 2;
+  config.initial_params.abort_time = Duration::Milliseconds(50.0);
+  config.initial_params.abort_rate = 0.5;
+  SpecSyncScheduler scheduler(
+      config,
+      std::make_unique<FixedSpeculationPolicy>(config.initial_params));
+  std::string trace;
+  IterationId iteration = 0;
+  SimTime now = SimTime::FromSeconds(0.0);
+  for (const OpObservation& obs : log) {
+    now = now + Duration::Milliseconds(10.0);
+    if (!obs.pulled.empty() || obs.pull_version > 0 || obs.push_version == 0) {
+      scheduler.HandlePull(obs.pull_version % config.num_workers, now);
+      trace += "pull@" + std::to_string(obs.pull_version) + ";";
+      continue;
+    }
+    const WorkerId worker = obs.push_version % config.num_workers;
+    auto request = scheduler.HandleNotify(worker, iteration++, now);
+    if (request.has_value()) {
+      const SimTime fire = now + request->delay;
+      const bool resync =
+          scheduler.HandleCheckTimer(worker, request->token, fire);
+      trace += "check@" + std::to_string(request->delay.milliseconds()) +
+               (resync ? "!resync;" : ";");
+    } else {
+      trace += "nocheck;";
+    }
+  }
+  return trace;
+}
+
+TEST(TransportTest, LoopbackTimelineIsEquivalentToInProcess) {
+  // Direct run.
+  auto direct_store = MakeStore(10, 3);
+  const auto direct_log = RunScriptedTimeline(
+      [&] { return direct_store->Pull(); },
+      [&](const Gradient& g, EpochId e) { return direct_store->Push(g, e); });
+
+  // Wire run against an identically initialized store.
+  auto wire_store = MakeStore(10, 3);
+  ShardServer server(wire_store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+  ShardClient client(ClientConfigFor(*wire_store, server.port()));
+  ASSERT_TRUE(client.Connect());
+  const auto wire_log = RunScriptedTimeline(
+      [&] { return client.Pull(); },
+      [&](const Gradient& g, EpochId e) { return client.Push(g, e); });
+
+  // Identical final store state, bit for bit.
+  EXPECT_EQ(wire_store->Snapshot(), direct_store->Snapshot());
+  EXPECT_EQ(wire_store->version(), direct_store->version());
+  for (std::size_t s = 0; s < direct_store->num_shards(); ++s) {
+    EXPECT_EQ(wire_store->shard(s).version, direct_store->shard(s).version)
+        << "shard " << s;
+  }
+
+  // Identical per-op observations.
+  ASSERT_EQ(wire_log.size(), direct_log.size());
+  for (std::size_t i = 0; i < direct_log.size(); ++i) {
+    EXPECT_EQ(wire_log[i].pulled, direct_log[i].pulled) << "op " << i;
+    EXPECT_EQ(wire_log[i].pull_version, direct_log[i].pull_version)
+        << "op " << i;
+    EXPECT_EQ(wire_log[i].push_version, direct_log[i].push_version)
+        << "op " << i;
+  }
+
+  // Identical scheduler decisions when the observations drive the protocol.
+  EXPECT_EQ(SchedulerDecisions(wire_log), SchedulerDecisions(direct_log));
+}
+
+TEST(TransportTest, SparsePushAcrossShardBoundary) {
+  auto store = MakeStore(10, 2);  // shards [0,5) and [5,10)
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+  ShardClient client(ClientConfigFor(*store, server.port()));
+  ASSERT_TRUE(client.Connect());
+
+  Gradient g = Gradient::Sparse();
+  g.sparse().Add(4, 10.0);  // last index of shard 0
+  g.sparse().Add(5, 20.0);  // first index of shard 1
+  EXPECT_EQ(client.Push(g, 0), 1u);
+
+  const DenseVector params = store->Snapshot();
+  EXPECT_DOUBLE_EQ(params[4], 5.0 - 10.0);  // iota init minus lr=1 gradient
+  EXPECT_DOUBLE_EQ(params[5], 6.0 - 20.0);
+  EXPECT_EQ(store->shard(0).version, 1u);
+  EXPECT_EQ(store->shard(1).version, 1u);
+  EXPECT_EQ(store->version(), 1u);
+}
+
+TEST(TransportTest, EmptyGradientPushStillCommits) {
+  auto store = MakeStore(10, 2);
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+  ShardClient client(ClientConfigFor(*store, server.port()));
+  ASSERT_TRUE(client.Connect());
+  EXPECT_EQ(client.Push(Gradient::Sparse(), 0), 1u);
+  EXPECT_EQ(store->version(), 1u);
+  EXPECT_EQ(store->shard(0).version, 0u);  // empty slice touches nothing
+}
+
+TEST(TransportTest, UnservedShardAnsweredWithBadShardAck) {
+  auto store = MakeStore(10, 2);
+  ShardServerConfig config;
+  config.served_shards = {0};  // this server owns shard 0 only
+  ShardServer server(store.get(), config);
+  ASSERT_TRUE(server.Start());
+
+  TcpConnection conn = TcpConnection::ConnectLoopback(server.port());
+  ASSERT_TRUE(conn.valid());
+  const auto frame = EncodeFrame(PullShardReq{1}, 77);
+  ASSERT_TRUE(conn.SendAll(frame));
+  std::vector<std::uint8_t> reply;
+  ASSERT_EQ(conn.RecvFrame(reply,
+                           std::chrono::steady_clock::now() +
+                               std::chrono::seconds(5)),
+            TcpConnection::RecvStatus::kFrame);
+  std::uint64_t id = 0;
+  WireMessage out;
+  ASSERT_EQ(DecodeFrame(reply, id, out), WireStatus::kOk);
+  EXPECT_EQ(id, 77u);
+  ASSERT_TRUE(std::holds_alternative<AckResp>(out));
+  EXPECT_EQ(std::get<AckResp>(out).status, kAckBadShard);
+  EXPECT_EQ(server.stats().rejected, 1u);
+}
+
+TEST(TransportTest, MalformedFrameKillsOnlyItsConnection) {
+  auto store = MakeStore(10, 2);
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+
+  // Connection 1 sends garbage with a valid-looking length and dies.
+  TcpConnection bad = TcpConnection::ConnectLoopback(server.port());
+  ASSERT_TRUE(bad.valid());
+  std::vector<std::uint8_t> garbage(kHeaderBytes, 0xff);
+  ASSERT_TRUE(bad.SendAll(garbage));
+  std::vector<std::uint8_t> reply;
+  EXPECT_EQ(bad.RecvFrame(reply,
+                          std::chrono::steady_clock::now() +
+                              std::chrono::seconds(5)),
+            TcpConnection::RecvStatus::kClosed);
+
+  // The server keeps serving new clients.
+  ShardClient client(ClientConfigFor(*store, server.port()));
+  ASSERT_TRUE(client.Connect());
+  EXPECT_EQ(client.Pull().params, store->Pull().params);
+  EXPECT_GE(server.stats().bad_frames, 1u);
+}
+
+TEST(TransportTest, SurvivesDropDelayDuplicateInjection) {
+  auto store = MakeStore(40, 4);
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+
+  FaultPlanConfig fault_config;
+  fault_config.data.drop_probability = 0.15;
+  fault_config.data.delay_probability = 0.15;
+  fault_config.data.delay_mean = Duration::Milliseconds(2.0);
+  fault_config.data.duplicate_probability = 0.15;
+  fault_config.seed = 99;
+  FaultPlan faults(fault_config);
+
+  ShardClientConfig client_config = ClientConfigFor(*store, server.port());
+  client_config.request_timeout = std::chrono::milliseconds(50);
+  client_config.max_attempts = 64;
+  ShardClient client(client_config, &faults);
+  ASSERT_TRUE(client.Connect());
+
+  constexpr std::size_t kWorkers = 3;
+  constexpr std::size_t kPushesPerWorker = 10;
+  std::vector<std::jthread> workers;
+  for (std::size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      // Each worker gets its own client: independent connections, like
+      // independent machines.
+      ShardClient mine(client_config, &faults);
+      ASSERT_TRUE(mine.Connect());
+      Gradient g = Gradient::Dense(40);
+      for (std::size_t i = 0; i < 40; ++i) {
+        g.dense()[i] = 0.001 * static_cast<double>(w + 1);
+      }
+      for (std::size_t it = 0; it < kPushesPerWorker; ++it) {
+        const PullResult snapshot = mine.Pull();
+        ASSERT_EQ(snapshot.params.size(), 40u);
+        mine.Push(g, it);
+      }
+    });
+  }
+  workers.clear();  // join
+
+  // Retried pushes may re-commit (at-least-once), so the version is a floor.
+  EXPECT_GE(store->version(), kWorkers * kPushesPerWorker);
+  for (const double v : store->Snapshot()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  const ShardClient::Stats stats = client.stats();
+  (void)stats;  // per-worker clients carry the interesting counters
+}
+
+TEST(TransportTest, ClientStatsCountInjectedFaults) {
+  auto store = MakeStore(10, 1);
+  ShardServer server(store.get(), ShardServerConfig{});
+  ASSERT_TRUE(server.Start());
+
+  FaultPlanConfig fault_config;
+  fault_config.data.drop_probability = 1.0;  // every attempt times out
+  FaultPlan faults(fault_config);
+
+  ShardClientConfig client_config = ClientConfigFor(*store, server.port());
+  client_config.request_timeout = std::chrono::milliseconds(10);
+  client_config.max_attempts = 3;
+  ShardClient client(client_config, &faults);
+  ASSERT_TRUE(client.Connect());
+  EXPECT_THROW(client.PullShard(0), CheckError);
+  const ShardClient::Stats stats = client.stats();
+  EXPECT_EQ(stats.injected_drops, 3u);
+  EXPECT_EQ(stats.timeouts, 3u);
+  EXPECT_EQ(stats.retries, 2u);
+}
+
+}  // namespace
+}  // namespace specsync::net

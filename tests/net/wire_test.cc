@@ -1,0 +1,218 @@
+// Wire-format tests: every message round-trips bit-exactly, and every class
+// of malformed frame is rejected with the right status (the transport must
+// never guess at corrupt bytes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "net/wire.h"
+
+namespace specsync::net {
+namespace {
+
+// Encode → decode, checking the request id echoes through, and hand the
+// typed message back to the caller for field-level comparison.
+template <typename T>
+T RoundTrip(const T& message, std::uint64_t request_id = 42) {
+  const std::vector<std::uint8_t> frame = EncodeFrame(message, request_id);
+  std::uint64_t decoded_id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, decoded_id, out), WireStatus::kOk);
+  EXPECT_EQ(decoded_id, request_id);
+  EXPECT_TRUE(std::holds_alternative<T>(out));
+  return std::get<T>(out);
+}
+
+// Overwrites `bytes` little-endian at `pos` (frame corruption helper).
+void PutU16(std::vector<std::uint8_t>& frame, std::size_t pos,
+            std::uint16_t v) {
+  frame[pos] = static_cast<std::uint8_t>(v & 0xff);
+  frame[pos + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+void PutU32(std::vector<std::uint8_t>& frame, std::size_t pos,
+            std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    frame[pos + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+TEST(WireTest, PullShardReqRoundTrip) {
+  const PullShardReq decoded = RoundTrip(PullShardReq{7});
+  EXPECT_EQ(decoded.shard, 7u);
+}
+
+TEST(WireTest, PullShardRespRoundTrip) {
+  PullShardResp resp;
+  resp.shard = 2;
+  resp.offset = 100;
+  resp.shard_version = 5;
+  resp.global_version = 17;
+  resp.params = {1.5, -2.25, 0.0, std::numeric_limits<double>::min(),
+                 std::numeric_limits<double>::max()};
+  const PullShardResp decoded = RoundTrip(resp, 0xdeadbeefcafeull);
+  EXPECT_EQ(decoded.shard, 2u);
+  EXPECT_EQ(decoded.offset, 100u);
+  EXPECT_EQ(decoded.shard_version, 5u);
+  EXPECT_EQ(decoded.global_version, 17u);
+  EXPECT_EQ(decoded.params, resp.params);
+}
+
+TEST(WireTest, EmptyParamsRoundTrip) {
+  PullShardResp resp;  // zero-length shard: params empty is a valid reply
+  const PullShardResp decoded = RoundTrip(resp);
+  EXPECT_TRUE(decoded.params.empty());
+}
+
+TEST(WireTest, DensePushRoundTrip) {
+  PushShardReq req;
+  req.shard = 1;
+  req.epoch = 9;
+  req.sparse = false;
+  req.dense_offset = 64;
+  req.dense = {0.125, -7.5, 1e300};
+  const PushShardReq decoded = RoundTrip(req);
+  EXPECT_EQ(decoded.shard, 1u);
+  EXPECT_EQ(decoded.epoch, 9u);
+  EXPECT_FALSE(decoded.sparse);
+  EXPECT_EQ(decoded.dense_offset, 64u);
+  EXPECT_EQ(decoded.dense, req.dense);
+  EXPECT_TRUE(decoded.indices.empty());
+}
+
+TEST(WireTest, SparsePushSpanningShardBoundaryRoundTrip) {
+  // Indices 4 and 5 straddle the [0,5)/[5,10) boundary of a dim-10 2-shard
+  // layout; on the wire they are just global indices, shipped verbatim.
+  PushShardReq req;
+  req.shard = 0;
+  req.epoch = 3;
+  req.sparse = true;
+  req.indices = {4, 5, 9};
+  req.values = {0.5, -0.5, 2.0};
+  const PushShardReq decoded = RoundTrip(req);
+  EXPECT_TRUE(decoded.sparse);
+  EXPECT_EQ(decoded.indices, req.indices);
+  EXPECT_EQ(decoded.values, req.values);
+}
+
+TEST(WireTest, EmptySparsePushRoundTrip) {
+  // The empty-gradient push still crosses the wire as one message.
+  PushShardReq req;
+  req.sparse = true;
+  const PushShardReq decoded = RoundTrip(req);
+  EXPECT_TRUE(decoded.sparse);
+  EXPECT_TRUE(decoded.indices.empty());
+  EXPECT_TRUE(decoded.values.empty());
+}
+
+TEST(WireTest, CommitAndAckRoundTrip) {
+  RoundTrip(CommitPushReq{});
+  const AckResp decoded = RoundTrip(AckResp{kAckBadShard, 123});
+  EXPECT_EQ(decoded.status, kAckBadShard);
+  EXPECT_EQ(decoded.value, 123u);
+}
+
+TEST(WireTest, NegativeZeroAndNaNBitPatternsSurvive) {
+  PullShardResp resp;
+  resp.params = {-0.0, std::numeric_limits<double>::quiet_NaN()};
+  const PullShardResp decoded = RoundTrip(resp);
+  EXPECT_TRUE(std::signbit(decoded.params[0]));
+  EXPECT_TRUE(std::isnan(decoded.params[1]));
+}
+
+TEST(WireTest, ShortHeaderRejected) {
+  const auto frame = EncodeFrame(PullShardReq{0}, 1);
+  FrameHeader header;
+  EXPECT_EQ(DecodeHeader(std::span(frame).first(kHeaderBytes - 1), header),
+            WireStatus::kShortHeader);
+  EXPECT_EQ(DecodeHeader({}, header), WireStatus::kShortHeader);
+}
+
+TEST(WireTest, BadMagicRejected) {
+  auto frame = EncodeFrame(PullShardReq{0}, 1);
+  PutU32(frame, 0, 0x12345678u);
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kBadMagic);
+}
+
+TEST(WireTest, BadVersionRejected) {
+  auto frame = EncodeFrame(PullShardReq{0}, 1);
+  PutU16(frame, 4, kWireVersion + 1);
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kBadVersion);
+}
+
+TEST(WireTest, BadTypeRejected) {
+  auto frame = EncodeFrame(PullShardReq{0}, 1);
+  PutU16(frame, 6, 999);
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kBadType);
+}
+
+TEST(WireTest, OversizedPayloadRejectedBeforeAllocation) {
+  auto frame = EncodeFrame(PullShardReq{0}, 1);
+  PutU32(frame, 16, kMaxPayloadBytes + 1);
+  FrameHeader header;
+  EXPECT_EQ(DecodeHeader(frame, header), WireStatus::kOversized);
+}
+
+TEST(WireTest, TruncatedPayloadRejected) {
+  PullShardResp resp;
+  resp.params = {1.0, 2.0, 3.0};
+  const auto frame = EncodeFrame(resp, 1);
+  // Body claims 3 doubles; hand the parser one byte fewer than it needs.
+  FrameHeader header;
+  ASSERT_EQ(DecodeHeader(frame, header), WireStatus::kOk);
+  const std::span<const std::uint8_t> payload =
+      std::span(frame).subspan(kHeaderBytes);
+  WireMessage out;
+  EXPECT_EQ(DecodePayload(header, payload.first(payload.size() - 1), out),
+            WireStatus::kTruncated);
+}
+
+TEST(WireTest, TrailingBytesRejected) {
+  auto frame = EncodeFrame(CommitPushReq{}, 1);
+  frame.push_back(0xab);
+  PutU32(frame, 16, 1);  // header agrees the junk byte is payload
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kMalformed);
+}
+
+TEST(WireTest, HugeElementCountRejectedNotOverflowed) {
+  // A sparse push whose nnz field claims 2^61 entries: count * 16 bytes
+  // overflows size_t if computed naively. The parser must reject it as
+  // truncated without allocating.
+  PushShardReq req;
+  req.sparse = true;
+  auto frame = EncodeFrame(req, 1);
+  // Payload layout: u32 shard, u64 epoch, u8 kind, u64 nnz.
+  const std::size_t nnz_pos = kHeaderBytes + 4 + 8 + 1;
+  ASSERT_EQ(frame.size(), nnz_pos + 8);
+  for (int i = 0; i < 8; ++i) frame[nnz_pos + i] = 0xff;
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kTruncated);
+}
+
+TEST(WireTest, BadDenseSparseKindRejected) {
+  PushShardReq req;
+  const auto good = EncodeFrame(req, 1);
+  auto frame = good;
+  frame[kHeaderBytes + 4 + 8] = 2;  // kind byte: only 0 or 1 are defined
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kMalformed);
+}
+
+TEST(WireTest, RequestIdZeroAndMaxSurvive) {
+  RoundTrip(PullShardReq{1}, 0);
+  RoundTrip(PullShardReq{1}, std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace specsync::net

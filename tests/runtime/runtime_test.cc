@@ -77,6 +77,46 @@ TEST(MailboxTest, ManyProducersOneConsumer) {
   EXPECT_EQ(total, 4 * kPerProducer);
 }
 
+TEST(MailboxTest, PollStatusDistinguishesEmptyFromDrained) {
+  Mailbox<int> box;
+  int out = 0;
+  // Open + empty: more may arrive.
+  EXPECT_EQ(box.TryReceive(out), MailboxPoll::kEmpty);
+  EXPECT_FALSE(box.drained());
+  box.Send(5);
+  EXPECT_EQ(box.TryReceive(out), MailboxPoll::kMessage);
+  EXPECT_EQ(out, 5);
+  box.Send(6);
+  box.Close();
+  // Closed but not yet drained: the queued message must still come out.
+  EXPECT_FALSE(box.drained());
+  EXPECT_EQ(box.TryReceive(out), MailboxPoll::kMessage);
+  EXPECT_EQ(out, 6);
+  // Closed + empty: nothing can ever arrive again.
+  EXPECT_EQ(box.TryReceive(out), MailboxPoll::kDrained);
+  EXPECT_TRUE(box.drained());
+}
+
+TEST(MailboxTest, DrainLoopTerminatesOnPollStatus) {
+  // The termination idiom the old bool-optional API couldn't express: poll
+  // until kDrained, never spinning forever and never losing pre-close sends.
+  Mailbox<int> box;
+  {
+    std::jthread producer([&box] {
+      for (int i = 0; i < 100; ++i) box.Send(i);
+      box.Close();
+    });
+  }
+  int received = 0;
+  for (;;) {
+    int out = 0;
+    const MailboxPoll poll = box.TryReceive(out);
+    if (poll == MailboxPoll::kDrained) break;
+    if (poll == MailboxPoll::kMessage) ++received;
+  }
+  EXPECT_EQ(received, 100);
+}
+
 // --- runtime cluster ----------------------------------------------------------
 
 std::shared_ptr<const Model> TinyModel(std::uint64_t seed) {
@@ -172,6 +212,58 @@ TEST(RuntimeClusterTest, SparseModelWorks) {
   const RuntimeResult result = cluster.Run();
   EXPECT_EQ(result.total_pushes, 60u);
   EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+TEST(RuntimeClusterTest, TcpLoopbackTrainingCompletes) {
+  RuntimeConfig config;
+  config.num_workers = 3;
+  config.iterations_per_worker = 10;
+  config.batch_size = 16;
+  config.transport = RuntimeTransport::kTcpLoopback;
+  auto model = TinyModel(5);
+  RuntimeCluster cluster(model, std::make_shared<ConstantSchedule>(0.2),
+                         config);
+  const RuntimeResult result = cluster.Run();
+  EXPECT_EQ(result.total_pushes, 30u);
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+TEST(RuntimeClusterTest, TcpLoopbackWithSpeculationCompletes) {
+  RuntimeConfig config;
+  config.num_workers = 3;
+  config.iterations_per_worker = 12;
+  config.batch_size = 16;
+  config.compute_chunks = 4;
+  config.chunk_delay = std::chrono::microseconds(200);
+  config.transport = RuntimeTransport::kTcpLoopback;
+  config.fixed_params.abort_time = Duration::Milliseconds(1.0);
+  config.fixed_params.abort_rate = 1.0 / 8.0;
+  RuntimeCluster cluster(TinyModel(6), std::make_shared<ConstantSchedule>(0.1),
+                         config);
+  const RuntimeResult result = cluster.Run();
+  // Aborted iterations are retried, so the push quota still lands exactly.
+  EXPECT_EQ(result.total_pushes, 36u);
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+TEST(RuntimeClusterTest, FinalEvalConfigControlsLossEvaluation) {
+  RuntimeConfig config;
+  config.num_workers = 2;
+  config.iterations_per_worker = 5;
+  config.batch_size = 8;
+  auto model = TinyModel(7);
+  const auto schedule = std::make_shared<ConstantSchedule>(0.2);
+
+  config.final_eval = false;  // skipped entirely: loss stays at its default
+  const RuntimeResult skipped =
+      RuntimeCluster(model, schedule, config).Run();
+  EXPECT_EQ(skipped.final_loss, 0.0);
+  EXPECT_TRUE(AllFinite(skipped.final_weights));
+
+  config.final_eval = true;
+  config.final_eval_samples = 50;  // cheap subsample still evaluates
+  const RuntimeResult cheap = RuntimeCluster(model, schedule, config).Run();
+  EXPECT_GT(cheap.final_loss, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,71 @@
+// Regression tests for WallClock's SimTime <-> time_point conversion.
+//
+// The original ToTimePoint used duration_cast, which truncates toward zero:
+// the returned time point could land fractionally BEFORE the SimTime it
+// represents, so a timer sleeping until ToTimePoint(t) would wake with
+// Now() < t still true and spin through its "deadline not reached" path.
+// The fix is std::chrono::ceil; these tests pin the invariant down.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/wall_clock.h"
+
+namespace specsync {
+namespace {
+
+using std::chrono::steady_clock;
+
+// Seconds from the clock's origin to `tp`, in the same double arithmetic
+// WallClock::Now() uses.
+double SecondsFromStart(const WallClock& clock, steady_clock::time_point tp) {
+  return std::chrono::duration<double>(tp - clock.start()).count();
+}
+
+TEST(WallClockTest, ToTimePointNeverLandsBeforeItsSimTime) {
+  const WallClock clock(steady_clock::time_point{});
+  // Fractional seconds chosen to not be representable exactly in the steady
+  // clock's integer ticks — exactly the values truncation got wrong.
+  for (const double s : {1e-9, 1.0 / 3.0, 0.1, 0.7, 1.0000000001,
+                         123.456789, 1e-3 + 1e-10, 5000.123456789}) {
+    const SimTime t = SimTime::FromSeconds(s);
+    const double back = SecondsFromStart(clock, clock.ToTimePoint(t));
+    // Once steady_clock reaches ToTimePoint(t), Now() >= t must hold — i.e.
+    // the round trip may round up but never down past t.
+    EXPECT_GE(back, s) << "s=" << s;
+    // And it rounds up by at most one clock tick (no gross overshoot).
+    const double tick =
+        std::chrono::duration<double>(steady_clock::duration(1)).count();
+    EXPECT_LE(back, s + tick) << "s=" << s;
+  }
+}
+
+TEST(WallClockTest, ExactTickValuesRoundTripExactly) {
+  const WallClock clock(steady_clock::time_point{});
+  for (const double s : {0.0, 1.0, 0.5, 2.0, 0.001}) {
+    const SimTime t = SimTime::FromSeconds(s);
+    EXPECT_DOUBLE_EQ(SecondsFromStart(clock, clock.ToTimePoint(t)), s);
+  }
+}
+
+TEST(WallClockTest, TimerFireBoundaryDoesNotSpin) {
+  // The scheduler's timer loop pattern: sleep until ToTimePoint(deadline),
+  // then test `deadline <= Now()`. With truncation this could be false on
+  // wake (the spin); with ceil it must be true immediately.
+  const WallClock clock;
+  const SimTime deadline = clock.Now() + Duration::Milliseconds(5.0);
+  std::this_thread::sleep_until(clock.ToTimePoint(deadline));
+  EXPECT_LE(deadline, clock.Now());
+}
+
+TEST(WallClockTest, NowIsMonotoneNonNegative) {
+  const WallClock clock;
+  const SimTime a = clock.Now();
+  const SimTime b = clock.Now();
+  EXPECT_GE(a.seconds(), 0.0);
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace specsync
