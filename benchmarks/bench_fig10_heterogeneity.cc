@@ -16,7 +16,9 @@ using namespace specsync;
 namespace {
 
 std::size_t AddCell(bench::CellBatch& batch, const Workload& workload,
-                    bool heterogeneous, SchemeSpec scheme, SimTime horizon) {
+                    bool heterogeneous, SchemeSpec scheme, SimTime horizon,
+                    const bench::ConsistencySelection& consistency) {
+  consistency.Apply(scheme);
   ExperimentConfig config;
   config.cluster = heterogeneous ? ClusterSpec::Heterogeneous(20)
                                  : ClusterSpec::Homogeneous(20);
@@ -30,25 +32,33 @@ std::size_t AddCell(bench::CellBatch& batch, const Workload& workload,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t threads = bench::ParseThreads(argc, argv);
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintHeader(
       "Fig. 10 — heterogeneous cluster (4 instance classes)",
       "SpecSync-Adaptive beats Original on both clusters; the heterogeneous "
       "speedup is smaller than the homogeneous one");
+  if (args.consistency.set) {
+    std::cout << "(base consistency override: " << args.consistency.Label()
+              << " for every scheme)\n";
+  }
 
   const Workload workload = MakeCifar10Workload(1);
   const SimTime horizon = SimTime::FromSeconds(2400.0);
 
   bench::CellBatch batch;
-  const std::size_t homo_asp =
-      AddCell(batch, workload, false, SchemeSpec::Original(), horizon);
-  const std::size_t homo_spec =
-      AddCell(batch, workload, false, SchemeSpec::Adaptive(), horizon);
-  const std::size_t hetero_asp =
-      AddCell(batch, workload, true, SchemeSpec::Original(), horizon);
-  const std::size_t hetero_spec =
-      AddCell(batch, workload, true, SchemeSpec::Adaptive(), horizon);
-  batch.Run(threads);
+  const std::size_t homo_asp = AddCell(
+      batch, workload, false, SchemeSpec::Original(), horizon,
+      args.consistency);
+  const std::size_t homo_spec = AddCell(
+      batch, workload, false, SchemeSpec::Adaptive(), horizon,
+      args.consistency);
+  const std::size_t hetero_asp = AddCell(
+      batch, workload, true, SchemeSpec::Original(), horizon,
+      args.consistency);
+  const std::size_t hetero_spec = AddCell(
+      batch, workload, true, SchemeSpec::Adaptive(), horizon,
+      args.consistency);
+  batch.Run(args.threads);
 
   const auto& ha_runs = batch.Series(homo_asp);
   const auto& hs_runs = batch.Series(homo_spec);
@@ -83,8 +93,37 @@ int main(int argc, char** argv) {
             << " hetero ASP=" << bench::MeanStaleness(ea_runs)
             << " hetero Spec=" << bench::MeanStaleness(es_runs) << "\n";
 
+  if (args.consistency.set) {
+    const auto stall = [](const std::vector<ExperimentResult>& runs) {
+      RunningStats stats;
+      for (const ExperimentResult& run : runs) {
+        stats.Add(run.sim.consistency.blocked_seconds);
+      }
+      return stats.mean();
+    };
+    std::cout << "consistency stall (mean blocked s/run, "
+              << args.consistency.Label() << "): homo ASP=" << stall(ha_runs)
+              << " homo Spec=" << stall(hs_runs)
+              << " hetero ASP=" << stall(ea_runs)
+              << " hetero Spec=" << stall(es_runs) << "\n";
+  }
+
   bench::BenchReporter reporter("bench_fig10_heterogeneity");
   reporter.AddBatch(batch);
   reporter.WriteJson();
+
+  // --metrics_out/--trace_out: one instrumented heterogeneous Adaptive run
+  // (the cell with the widest straggler ratios). With --consistency=dssp:N
+  // the snapshot's decision-audit section lists every staleness retune.
+  {
+    ExperimentConfig obs_config;
+    obs_config.cluster = ClusterSpec::Heterogeneous(20);
+    obs_config.scheme = SchemeSpec::Adaptive();
+    args.consistency.Apply(obs_config.scheme);
+    obs_config.max_time = horizon;
+    obs_config.stop_on_convergence = false;
+    obs_config.seed = bench::kBenchRootSeed;
+    bench::EmitObsArtifacts(args, workload, obs_config);
+  }
   return 0;
 }

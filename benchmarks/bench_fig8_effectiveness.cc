@@ -28,13 +28,15 @@ struct PanelSpec {
 const std::vector<std::string> kSchemeLabels = {"Original", "Cherrypick",
                                                 "Adaptive"};
 
-void AddPanel(bench::CellBatch& batch, PanelSpec& spec) {
+void AddPanel(bench::CellBatch& batch, PanelSpec& spec,
+              const bench::ConsistencySelection& consistency) {
   const std::vector<SchemeSpec> schemes = {
       SchemeSpec::Original(),
       SchemeSpec::Cherrypick(bench::CherryParams(spec.workload)),
       SchemeSpec::Adaptive(),
   };
-  for (const SchemeSpec& scheme : schemes) {
+  for (SchemeSpec scheme : schemes) {
+    consistency.Apply(scheme);
     ExperimentConfig config;
     config.cluster = ClusterSpec::Homogeneous(spec.num_workers);
     config.scheme = scheme;
@@ -88,6 +90,10 @@ int main(int argc, char** argv) {
       "Fig. 8 — SpecSync effectiveness (loss vs time, runtime to target)",
       "up to 2.97x (MF) / 2.25x (CIFAR-10) / 3x (ImageNet) speedup over "
       "MXNet ASP; Adaptive ~ Cherrypick");
+  if (args.consistency.set) {
+    std::cout << "(base consistency override: " << args.consistency.Label()
+              << " for every scheme)\n";
+  }
 
   std::vector<PanelSpec> panels;
   panels.push_back(
@@ -98,7 +104,7 @@ int main(int argc, char** argv) {
                     SimTime::FromSeconds(6300.0), 1, {}});
 
   bench::CellBatch batch;
-  for (PanelSpec& panel : panels) AddPanel(batch, panel);
+  for (PanelSpec& panel : panels) AddPanel(batch, panel, args.consistency);
   batch.Run(threads);
   for (const PanelSpec& panel : panels) PrintPanel(batch, panel);
 
@@ -111,6 +117,7 @@ int main(int argc, char** argv) {
     ExperimentConfig obs_config;
     obs_config.cluster = ClusterSpec::Homogeneous(panels[0].num_workers);
     obs_config.scheme = SchemeSpec::Adaptive();
+    args.consistency.Apply(obs_config.scheme);
     obs_config.max_time = panels[0].horizon;
     obs_config.stop_on_convergence = false;
     obs_config.seed = bench::kBenchRootSeed;

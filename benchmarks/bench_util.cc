@@ -90,7 +90,53 @@ std::size_t ParsePositiveFlag(const std::string& arg, std::size_t prefix_len,
 
 constexpr const char* kBenchUsage =
     "[--threads=N] [--num_servers=N] [--smoke] [--metrics_out=PATH] "
-    "[--trace_out=PATH]  (N >= 1)";
+    "[--trace_out=PATH] [--consistency=asp|bsp|ssp[:s]|pssp[:s]|dssp[:s0]]  "
+    "(N >= 1)";
+
+// Parses "--consistency=" values: a scheme name with an optional ":<bound>"
+// suffix (ssp/pssp: the staleness bound; dssp: the initial bound).
+ConsistencySelection ParseConsistencyFlag(const std::string& value,
+                                          const char* program) {
+  ConsistencySelection sel;
+  sel.set = true;
+  std::string name = value;
+  std::optional<std::uint64_t> bound;
+  if (const std::size_t colon = value.find(':'); colon != std::string::npos) {
+    name = value.substr(0, colon);
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || parsed < 0) {
+      std::cerr << "usage: " << program << " " << kBenchUsage << "\n";
+      std::exit(2);
+    }
+    bound = static_cast<std::uint64_t>(parsed);
+  }
+  if (name == "asp") {
+    sel.base = BaseScheme::kAsp;
+  } else if (name == "bsp") {
+    sel.base = BaseScheme::kBsp;
+  } else if (name == "ssp") {
+    sel.base = BaseScheme::kSsp;
+  } else if (name == "pssp") {
+    sel.base = BaseScheme::kPssp;
+  } else if (name == "dssp") {
+    sel.base = BaseScheme::kDssp;
+  } else {
+    std::cerr << "usage: " << program << " " << kBenchUsage << "\n";
+    std::exit(2);
+  }
+  if (bound.has_value()) {
+    sel.staleness = *bound;
+    sel.dssp.initial_staleness = *bound;
+  }
+  // The bench flag's dssp is "never tighter than the named bound": floor the
+  // dynamic range at the initial bound so dssp:s compares against ssp:s as
+  // the same starting tightness that can only loosen under stragglers (a
+  // free-floating minimum would let healthy-phase ratios retune the bound
+  // below the static comparator and conflate decay with episode response).
+  sel.dssp.min_staleness = sel.dssp.initial_staleness;
+  return sel;
+}
 
 // Parses the value of a `--flag=PATH` argument; exits with usage when empty.
 std::string ParsePathFlag(const std::string& arg, std::size_t prefix_len,
@@ -104,6 +150,30 @@ std::string ParsePathFlag(const std::string& arg, std::size_t prefix_len,
 }
 
 }  // namespace
+
+void ConsistencySelection::Apply(SchemeSpec& scheme) const {
+  if (!set) return;
+  scheme.base = base;
+  scheme.ssp_staleness = staleness;
+  scheme.dssp = dssp;
+}
+
+std::string ConsistencySelection::Label() const {
+  if (!set) return "";
+  switch (base) {
+    case BaseScheme::kAsp:
+      return "asp";
+    case BaseScheme::kBsp:
+      return "bsp";
+    case BaseScheme::kSsp:
+      return "ssp:" + std::to_string(staleness);
+    case BaseScheme::kPssp:
+      return "pssp:" + std::to_string(staleness);
+    case BaseScheme::kDssp:
+      return "dssp:" + std::to_string(dssp.initial_staleness);
+  }
+  return "";
+}
 
 BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
@@ -120,6 +190,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.metrics_out = ParsePathFlag(arg, 14, argv[0], kBenchUsage);
     } else if (arg.rfind("--trace_out=", 0) == 0) {
       args.trace_out = ParsePathFlag(arg, 12, argv[0], kBenchUsage);
+    } else if (arg.rfind("--consistency=", 0) == 0) {
+      args.consistency = ParseConsistencyFlag(arg.substr(14), argv[0]);
     } else {
       std::cerr << "warning: ignoring unknown argument '" << arg << "'\n";
     }

@@ -68,6 +68,22 @@ std::vector<ExperimentResult> RunSeeds(const Workload& workload,
 // Prints the standard bench header.
 void PrintHeader(const std::string& figure, const std::string& paper_claim);
 
+// Base consistency-model override, parsed from --consistency (below). When
+// set, Apply() replaces a scheme's base model — including its staleness bound
+// or dynamic-SSP config — while keeping the scheme's speculation settings, so
+// a figure's Original/Cherrypick/Adaptive grid can be re-run on top of SSP,
+// per-shard SSP, or the dynamic bound.
+struct ConsistencySelection {
+  bool set = false;
+  BaseScheme base = BaseScheme::kAsp;
+  std::uint64_t staleness = 3;  // kSsp / kPssp bound, kDssp initial bound
+  DynamicSspConfig dssp;
+
+  void Apply(SchemeSpec& scheme) const;
+  // "" when unset, else the flag value back (e.g. "ssp:2", "dssp").
+  std::string Label() const;
+};
+
 // Common bench flags.
 //  --threads=N        worker threads for the cell grid (default: env
 //                     SPECSYNC_BENCH_THREADS, else hardware concurrency)
@@ -77,12 +93,15 @@ void PrintHeader(const std::string& figure, const std::string& paper_claim);
 //  --metrics_out=P    write an observability snapshot (metrics.json schema,
 //                     see EXPERIMENTS.md) from one instrumented run
 //  --trace_out=P      write a Chrome/Perfetto trace from the same run
+//  --consistency=C    base consistency model override for the bench's scheme
+//                     grid: asp | bsp | ssp[:s] | pssp[:s] | dssp[:s0]
 struct BenchArgs {
   std::size_t threads = 1;
   std::size_t num_servers = 4;
   bool smoke = false;
   std::string metrics_out;
   std::string trace_out;
+  ConsistencySelection consistency;
 };
 
 // Parses the flags above; exits with usage on a malformed flag and warns on

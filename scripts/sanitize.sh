@@ -11,8 +11,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-SUITES=(runtime_test runtime_chaos_test ps_test fault_test thread_pool_test
-        parallel_runner_test obs_test net_test)
+SUITES=(runtime_test runtime_chaos_test consistency_hammer_test ps_test
+        fault_test thread_pool_test parallel_runner_test obs_test net_test)
 MODE="${1:-all}"
 
 run_mode() {

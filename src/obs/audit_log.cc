@@ -18,6 +18,16 @@ const char* CheckOutcomeName(CheckOutcome outcome) {
   return "?";
 }
 
+const char* RetuneKindName(RetuneKind kind) {
+  switch (kind) {
+    case RetuneKind::kSpeculation:
+      return "speculation";
+    case RetuneKind::kStaleness:
+      return "staleness";
+  }
+  return "?";
+}
+
 void DecisionAuditLog::RecordCheck(const CheckRecord& record) {
   std::scoped_lock lock(mutex_);
   checks_.push_back(record);
@@ -66,11 +76,17 @@ void DecisionAuditLog::ExportJson(std::ostream& os) const {
   for (std::size_t i = 0; i < retunes_.size(); ++i) {
     const RetuneRecord& r = retunes_[i];
     if (i > 0) os << ",";
-    os << "{\"epoch\":" << r.epoch
-       << ",\"at_s\":" << JsonNumber(r.at.seconds())
-       << ",\"abort_time_s\":" << JsonNumber(r.abort_time.seconds())
-       << ",\"abort_rate\":" << JsonNumber(r.abort_rate)
-       << ",\"epoch_pushes\":" << r.epoch_pushes << "}";
+    os << "{\"kind\":\"" << RetuneKindName(r.kind) << "\""
+       << ",\"epoch\":" << r.epoch
+       << ",\"at_s\":" << JsonNumber(r.at.seconds());
+    if (r.kind == RetuneKind::kSpeculation) {
+      os << ",\"abort_time_s\":" << JsonNumber(r.abort_time.seconds())
+         << ",\"abort_rate\":" << JsonNumber(r.abort_rate);
+    } else {
+      os << ",\"staleness\":" << r.staleness
+         << ",\"straggler_ratio\":" << JsonNumber(r.straggler_ratio);
+    }
+    os << ",\"epoch_pushes\":" << r.epoch_pushes << "}";
   }
   os << "]}";
 }

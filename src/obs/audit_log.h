@@ -45,11 +45,24 @@ struct CheckRecord {
   bool late = false;               // fired past deadline + slack
 };
 
+// What a retune record adjusted: the speculation hyperparameters (the
+// adaptive tuner's per-epoch ABORT_TIME / ABORT_RATE) or the consistency
+// layer's staleness bound (DynamicSspController).
+enum class RetuneKind { kSpeculation, kStaleness };
+
+const char* RetuneKindName(RetuneKind kind);
+
 struct RetuneRecord {
+  RetuneKind kind = RetuneKind::kSpeculation;
   EpochId epoch = 0;  // the epoch that just finished
   SimTime at;
-  Duration abort_time;  // newly tuned parameters
+  // kSpeculation: the newly tuned parameters.
+  Duration abort_time;
   double abort_rate = 0.0;
+  // kStaleness: the newly tuned bound and the smoothed straggler ratio
+  // (slowest / fastest mean push inter-arrival) that drove it.
+  std::uint64_t staleness = 0;
+  double straggler_ratio = 0.0;
   std::uint64_t epoch_pushes = 0;  // pushes the tuner saw for this epoch
 };
 

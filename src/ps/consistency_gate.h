@@ -1,0 +1,67 @@
+// Thread-safe wrapper turning a ConsistencyController into a blocking gate.
+//
+// The controllers themselves are plain sequential state machines (the
+// discrete-event simulator calls them from its single event loop). The
+// threaded runtime needs the same decisions under real concurrency: worker
+// threads block in WaitToStart until the controller admits their next
+// iteration, and every OnPush / OnWorkerUp / OnWorkerDown wakes all waiters
+// for a re-check (progress and membership changes are the only events that
+// can turn a "no" into a "yes").
+//
+// Liveness mirrors the sequential argument (see PerShardSspController): the
+// least-progressed live writer of any shard always passes its gate, so as
+// long as departed workers are excused via OnWorkerDown, some thread can
+// always run and every schedule drains. Shutdown() releases all waiters
+// unconditionally for teardown paths that bypass the protocol (tests,
+// emergency stops).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "ps/consistency.h"
+
+namespace specsync {
+
+class ConsistencyGate {
+ public:
+  explicit ConsistencyGate(std::unique_ptr<ConsistencyController> controller);
+
+  // Blocks until the controller admits (worker, next_iteration) or the gate
+  // shuts down; returns false only in the shutdown case.
+  bool WaitToStart(WorkerId worker, IterationId next_iteration);
+
+  // Records a finished iteration and wakes every blocked worker.
+  void OnPush(WorkerId worker, IterationId iteration, SimTime now,
+              std::span<const std::size_t> touched_shards);
+
+  // Excuses / re-admits a worker and wakes waiters (a departure can unblock
+  // peers that were gated on the corpse; a rejoin can block future starts
+  // but never retroactively — admitted workers are not recalled).
+  void OnWorkerDown(WorkerId worker);
+  void OnWorkerUp(WorkerId worker);
+
+  // Releases all waiters; subsequent WaitToStart calls return false.
+  void Shutdown();
+
+  // Aggregate blocking telemetry (guarded; callable concurrently).
+  std::uint64_t blocks() const;
+  double blocked_wall_seconds() const;
+
+  // The wrapped controller. Unsynchronized reads of a live gate race with
+  // writers — inspect only while no worker threads are running.
+  const ConsistencyController& controller() const { return *controller_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable admitted_;
+  std::unique_ptr<ConsistencyController> controller_;
+  bool shutdown_ = false;
+  std::uint64_t blocks_ = 0;
+  double blocked_wall_seconds_ = 0.0;
+};
+
+}  // namespace specsync

@@ -14,6 +14,7 @@
 #include "net/shard_client.h"
 #include "net/shard_server.h"
 #include "obs/obs.h"
+#include "ps/consistency_gate.h"
 #include "runtime/fault_mailbox.h"
 #include "runtime/mailbox.h"
 #include "runtime/wall_clock.h"
@@ -94,6 +95,13 @@ struct RuntimeCluster::Impl {
   std::unique_ptr<SpecSyncScheduler> scheduler;
   SchedulerStats final_stats;
 
+  // Iteration-start gating (null under kAsp: no gate, no admission checks —
+  // the pre-consistency loop). Typed views into the gated controller for
+  // end-of-run stats; `runtime_dssp` implies `runtime_pssp`.
+  std::unique_ptr<ConsistencyGate> gate;
+  PerShardSspController* runtime_pssp = nullptr;
+  DynamicSspController* runtime_dssp = nullptr;
+
   // Observability (null = off). Resolved once at construction; workers
   // record concurrently (SpanRecorder appends under its own mutex).
   obs::ObsContext* obs = nullptr;
@@ -167,6 +175,47 @@ struct RuntimeCluster::Impl {
       }
     }
 
+    if (config.consistency.scheme != RuntimeConsistency::kAsp) {
+      const std::size_t shards = server->num_shards();
+      std::unique_ptr<PerShardSspController> controller;
+      switch (config.consistency.scheme) {
+        case RuntimeConsistency::kBsp:
+          controller = std::make_unique<PerShardSspController>(
+              config.num_workers, shards, 0);
+          break;
+        case RuntimeConsistency::kSsp:
+          controller = std::make_unique<PerShardSspController>(
+              config.num_workers, shards, config.consistency.staleness);
+          break;
+        case RuntimeConsistency::kPssp:
+          controller = std::make_unique<PerShardSspController>(
+              config.num_workers, shards, config.consistency.staleness);
+          break;
+        case RuntimeConsistency::kDssp: {
+          auto dynamic = std::make_unique<DynamicSspController>(
+              config.num_workers, shards, config.consistency.dssp);
+          runtime_dssp = dynamic.get();
+          controller = std::move(dynamic);
+          break;
+        }
+        case RuntimeConsistency::kAsp:
+          break;  // unreachable
+      }
+      // kBsp / kSsp mean *global* bounds: freeze every write set to all
+      // shards so the per-shard controller degenerates to exact SSP while
+      // keeping its crash-excusal (see RuntimeConsistency).
+      if (config.consistency.scheme == RuntimeConsistency::kBsp ||
+          config.consistency.scheme == RuntimeConsistency::kSsp) {
+        std::vector<std::size_t> all(shards);
+        for (std::size_t s = 0; s < shards; ++s) all[s] = s;
+        for (WorkerId w = 0; w < config.num_workers; ++w) {
+          controller->SetWriteSet(w, all);
+        }
+      }
+      runtime_pssp = controller.get();
+      gate = std::make_unique<ConsistencyGate>(std::move(controller));
+    }
+
     const bool speculation_on = config.adaptive || config.fixed_params.enabled();
     if (speculation_on) {
       SchedulerConfig sched_config;
@@ -195,6 +244,9 @@ struct RuntimeCluster::Impl {
       const auto sched_track = static_cast<std::uint32_t>(config.num_workers);
       obs->spans.SetTrackName(sched_track, "scheduler");
       if (scheduler) scheduler->AttachObservability(obs, sched_track);
+      // DecisionAuditLog is internally locked: DSSP retunes from worker
+      // threads interleave safely with the scheduler thread's records.
+      if (runtime_dssp) runtime_dssp->AttachAudit(&obs->audit);
       server->AttachMetrics(&obs->metrics);
     }
   }
@@ -312,6 +364,10 @@ struct RuntimeCluster::Impl {
     const auto handle_crash = [&] {
       crash_pending = false;
       faults.CountCrash();
+      // Excuse this worker from the consistency minimum before going dark,
+      // or every SSP-gated peer deadlocks on the corpse (the runtime has no
+      // virtual-time budget to run out — see RuntimeConsistency).
+      if (gate) gate->OnWorkerDown(w);
       if (scheduler) {
         // The mailbox closes only after all workers have joined, so a failed
         // send here means a shutdown-ordering bug — fail loudly, not by
@@ -326,6 +382,7 @@ struct RuntimeCluster::Impl {
       }
       std::this_thread::sleep_until(clock.ToTimePoint(*crash->rejoin));
       faults.CountRejoin();
+      if (gate) gate->OnWorkerUp(w);
       if (scheduler) {
         SPECSYNC_CHECK(
             scheduler_mailbox.SendReliable(SchedulerMsg{WorkerUpMsg{w}}))
@@ -339,6 +396,23 @@ struct RuntimeCluster::Impl {
       bool pushed = false;
       while (!pushed) {
         if (crash_due() && handle_crash()) return;
+        if (gate) {
+          // Block until the bound admits this iteration. Re-entry after an
+          // abort or rejoin re-checks; admission is monotone in peers'
+          // progress, so a re-check of an admitted iteration is cheap (DSSP
+          // may have tightened the bound meanwhile, which legally re-blocks).
+          const SimTime gate_begin = obs != nullptr ? clock.Now() : SimTime();
+          if (!gate->WaitToStart(w, iteration)) return;  // shutdown
+          if (obs != nullptr) {
+            const SimTime gate_end = clock.Now();
+            if (gate_end > gate_begin) {
+              obs->spans.AddSpan("gated", "consistency", w, gate_begin,
+                                 gate_end,
+                                 {{"iteration", std::to_string(iteration)}});
+            }
+          }
+          if (crash_due() && handle_crash()) return;  // crash fired mid-wait
+        }
         obs::ScopedTimer iteration_timer(iteration_hist);
         // Shard pulls fan out across the shared pool (a real worker requests
         // every server concurrently and resumes when the slowest responds).
@@ -416,6 +490,17 @@ struct RuntimeCluster::Impl {
         const Gradient merged = MergeChunks(std::move(chunks));
         PushGradient(w, merged, GlobalEpoch());
         completed[w].fetch_add(1, std::memory_order_relaxed);
+        if (gate) {
+          // The push's write set is whatever shards its gradient routed to
+          // (RouteGradient is a pure read of the static shard table).
+          const auto routes = server->RouteGradient(merged);
+          std::vector<std::size_t> touched;
+          touched.reserve(routes.size());
+          for (const ParameterServer::ShardRoute& route : routes) {
+            touched.push_back(route.shard);
+          }
+          gate->OnPush(w, iteration, clock.Now(), touched);
+        }
         if (obs != nullptr) {
           push_counter->Increment();
           obs->spans.AddSpan("push", "push", w, push_begin, clock.Now(),
@@ -470,6 +555,13 @@ struct RuntimeCluster::Impl {
     result.scheduler_stats = final_stats;
     result.fault_stats = faults.stats();
     result.workers_killed = workers_killed.load(std::memory_order_relaxed);
+    if (gate) {
+      result.consistency_blocks = gate->blocks();
+      result.consistency_blocked_s = gate->blocked_wall_seconds();
+      // Workers have joined: the controller is quiescent and safe to read.
+      if (runtime_dssp) result.consistency_retunes = runtime_dssp->retunes();
+      result.final_staleness = runtime_pssp->staleness();
+    }
     result.elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
         std::chrono::steady_clock::now() - start);
     if (obs != nullptr) {
@@ -480,6 +572,14 @@ struct RuntimeCluster::Impl {
       obs->metrics.gauge("runtime.total_aborts")
           .Set(static_cast<double>(result.total_aborts));
       obs->metrics.gauge("runtime.final_loss").Set(result.final_loss);
+      if (gate) {
+        obs->metrics.gauge("runtime.consistency_blocks")
+            .Set(static_cast<double>(result.consistency_blocks));
+        obs->metrics.gauge("runtime.consistency_blocked_s")
+            .Set(result.consistency_blocked_s);
+        obs->metrics.gauge("runtime.consistency_final_staleness")
+            .Set(static_cast<double>(result.final_staleness));
+      }
     }
     return result;
   }

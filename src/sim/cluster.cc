@@ -22,6 +22,12 @@ std::string SchemeSpec::DisplayName() const {
     case BaseScheme::kSsp:
       out << "SSP(s=" << ssp_staleness << ")";
       break;
+    case BaseScheme::kPssp:
+      out << "PSSP(s=" << ssp_staleness << ")";
+      break;
+    case BaseScheme::kDssp:
+      out << "DSSP(s0=" << dssp.initial_staleness << ")";
+      break;
   }
   if (naive.enabled()) {
     out << "+NaiveWait(" << naive.delay.seconds() << "s)";
@@ -42,7 +48,8 @@ std::string SchemeSpec::DisplayName() const {
 namespace {
 
 std::unique_ptr<ConsistencyController> MakeController(const SchemeSpec& scheme,
-                                                      std::size_t m) {
+                                                      std::size_t m,
+                                                      std::size_t num_shards) {
   switch (scheme.base) {
     case BaseScheme::kAsp:
       return MakeAsp(m);
@@ -50,6 +57,10 @@ std::unique_ptr<ConsistencyController> MakeController(const SchemeSpec& scheme,
       return MakeBsp(m);
     case BaseScheme::kSsp:
       return MakeSsp(m, scheme.ssp_staleness);
+    case BaseScheme::kPssp:
+      return MakePerShardSsp(m, num_shards, scheme.ssp_staleness);
+    case BaseScheme::kDssp:
+      return MakeDynamicSsp(m, num_shards, scheme.dssp);
   }
   SPECSYNC_CHECK(false) << "unknown base scheme";
   return nullptr;
@@ -85,6 +96,11 @@ struct ClusterSim::Impl {
   FaultPlan faults;
   std::unique_ptr<ParameterServer> server;
   std::unique_ptr<ConsistencyController> controller;
+  // Typed views into `controller` for the per-shard family (null otherwise);
+  // set once at construction from the scheme enum, so no dynamic_cast in the
+  // event path. `dssp` implies `pssp` (DynamicSsp derives from PerShardSsp).
+  PerShardSspController* pssp = nullptr;
+  DynamicSspController* dssp = nullptr;
   std::unique_ptr<SpecSyncScheduler> scheduler;  // null when speculation off
   TrainingTrace trace;
   TransferAccountant transfers;
@@ -100,6 +116,10 @@ struct ClusterSim::Impl {
   obs::Counter* eval_counter = nullptr;
   double wasted_compute_seconds = 0.0;
 
+  // Consistency-gate accounting (virtual time workers spent blocked).
+  std::uint64_t gate_blocks = 0;
+  double gate_blocked_seconds = 0.0;
+
   struct WorkerState {
     std::unique_ptr<BatchSampler> sampler;
     Rng rng;  // worker-private stream (compute jitter, batches share sampler's)
@@ -107,8 +127,9 @@ struct ClusterSim::Impl {
     DenseVector snapshot;          // parameters pulled for current iteration
     std::uint64_t snapshot_version = 0;
     bool computing = false;
-    bool blocked = false;          // gated by BSP/SSP
+    bool blocked = false;          // gated by BSP/SSP/PSSP/DSSP
     bool crashed = false;          // down due to an injected CrashEvent
+    SimTime block_begin = SimTime::Zero();  // when the gate closed (if blocked)
     SimTime compute_start = SimTime::Zero();
     std::uint64_t compute_generation = 0;  // invalidates stale finish events
     // Iteration already aborted once; makes re-sync delivery idempotent
@@ -159,7 +180,19 @@ struct ClusterSim::Impl {
     Rng init_rng = rng.Fork();
     server->Initialize(*model, init_rng);
 
-    controller = MakeController(config.scheme, config.num_workers);
+    controller = MakeController(config.scheme, config.num_workers,
+                                server->num_shards());
+    switch (config.scheme.base) {
+      case BaseScheme::kPssp:
+        pssp = static_cast<PerShardSspController*>(controller.get());
+        break;
+      case BaseScheme::kDssp:
+        dssp = static_cast<DynamicSspController*>(controller.get());
+        pssp = dssp;
+        break;
+      default:
+        break;
+    }
     if (config.scheme.speculation != SpeculationMode::kNone) {
       SchedulerConfig sched_config;
       sched_config.num_workers = config.num_workers;
@@ -196,6 +229,7 @@ struct ClusterSim::Impl {
           static_cast<std::uint32_t>(config.num_workers);
       obs->spans.SetTrackName(sched_track, "scheduler");
       if (scheduler) scheduler->AttachObservability(obs, sched_track);
+      if (dssp) dssp->AttachAudit(&obs->audit);
       server->AttachMetrics(&obs->metrics);
     }
   }
@@ -233,16 +267,38 @@ struct ClusterSim::Impl {
     std::size_t pending = 0;
     bool any_landed = false;  // at least one shard message reached the server
     SimTime begin;            // when the fan-out was issued (span recording)
+    // Shards this push routes to (its write set for per-shard consistency).
+    // The controller learns it at FinalizePush regardless of drops: a dropped
+    // slice is still logically part of the iteration's write set.
+    std::vector<std::size_t> shards;
   };
+
+  // Closes the books on a blocked interval: accumulates gated virtual time
+  // and emits the span. Idempotent (no-op when not blocked).
+  void ClearBlocked(WorkerId w) {
+    WorkerState& worker = workers[w];
+    if (!worker.blocked) return;
+    worker.blocked = false;
+    gate_blocked_seconds += (sim.now() - worker.block_begin).seconds();
+    if (obs != nullptr) {
+      obs->spans.AddSpan("gated", "consistency", w, worker.block_begin,
+                         sim.now(),
+                         {{"iteration", std::to_string(worker.completed)}});
+    }
+  }
 
   void TryBeginIteration(WorkerId w) {
     if (stopped || workers[w].crashed) return;
     WorkerState& worker = workers[w];
-    if (!controller->MayStart(w, worker.completed)) {
-      worker.blocked = true;
+    if (!controller->MayStartAt(w, worker.completed, sim.now())) {
+      if (!worker.blocked) {
+        worker.blocked = true;
+        worker.block_begin = sim.now();
+        ++gate_blocks;
+      }
       return;
     }
-    worker.blocked = false;
+    ClearBlocked(w);
     if (config.scheme.naive.enabled()) {
       sim.ScheduleAfter(config.scheme.naive.delay,
                         [this, w] { BeginPull(w); });
@@ -360,6 +416,10 @@ struct ClusterSim::Impl {
     attempt->grad = grad;
     attempt->pending = routes.size();
     attempt->begin = sim.now();
+    attempt->shards.reserve(routes.size());
+    for (const ParameterServer::ShardRoute& route : routes) {
+      attempt->shards.push_back(route.shard);
+    }
     for (const ParameterServer::ShardRoute& route : routes) {
       const NetworkModel::TransferPlan plan = network.PlanTransfer(
           route.bytes, LinkClass::kData, worker.rng, &faults);
@@ -431,7 +491,7 @@ struct ClusterSim::Impl {
                             {"version", std::to_string(version)},
                             {"missed_updates", std::to_string(missed)}});
       }
-      controller->OnPush(w, iteration);
+      controller->OnPushAt(w, iteration, sim.now(), attempt.shards);
       worker.completed = iteration + 1;
 
       if (config.max_pushes != 0 && TotalPushes() >= config.max_pushes) {
@@ -452,7 +512,7 @@ struct ClusterSim::Impl {
     // proceeds exactly as after a real push.
     if (worker.crashed) return;
     const IterationId iteration = worker.completed;
-    controller->OnPush(w, iteration);
+    controller->OnPushAt(w, iteration, sim.now(), attempt.shards);
     worker.completed = iteration + 1;
     SendNotify(w, iteration);
     ReleaseBlockedWorkers();
@@ -542,14 +602,19 @@ struct ClusterSim::Impl {
     if (stopped) return;
     WorkerState& worker = workers[event.worker];
     if (worker.crashed) return;
+    ClearBlocked(event.worker);
     worker.crashed = true;
     worker.computing = false;
-    worker.blocked = false;
     ++worker.compute_generation;  // cancels any in-flight compute finish
     faults.CountCrash();
     SPECSYNC_LOG(kDebug) << "worker " << event.worker << " crashed at "
                          << sim.now();
     if (scheduler) scheduler->OnWorkerDown(event.worker, sim.now());
+    // Excuse the corpse from per-shard mins (no-op for the static schemes,
+    // so fault-injected ASP/BSP/SSP digests are untouched) and re-check every
+    // gated peer — the departure may have been what they were waiting on.
+    controller->OnWorkerDown(event.worker);
+    ReleaseBlockedWorkers();
     if (event.rejoin.has_value()) {
       const WorkerId w = event.worker;
       sim.ScheduleAt(*event.rejoin, [this, w] { OnWorkerRejoin(w); });
@@ -564,6 +629,7 @@ struct ClusterSim::Impl {
     faults.CountRejoin();
     SPECSYNC_LOG(kDebug) << "worker " << w << " rejoined at " << sim.now();
     if (scheduler) scheduler->OnWorkerUp(w, sim.now());
+    controller->OnWorkerUp(w);
     // No memory of in-flight work: start from a fresh pull.
     TryBeginIteration(w);
   }
@@ -571,8 +637,10 @@ struct ClusterSim::Impl {
   void ReleaseBlockedWorkers() {
     for (WorkerId w = 0; w < config.num_workers; ++w) {
       if (!workers[w].blocked) continue;
-      if (controller->MayStart(w, workers[w].completed)) {
-        workers[w].blocked = false;
+      if (controller->MayStartAt(w, workers[w].completed, sim.now())) {
+        // Clear before scheduling: a second release arriving before the
+        // deferred event runs must not schedule the iteration twice.
+        ClearBlocked(w);
         // Defer to a fresh event to keep the release order FIFO and avoid
         // deep recursion through OnPushArrive.
         sim.ScheduleAfter(Duration::Zero(),
@@ -650,6 +718,24 @@ struct ClusterSim::Impl {
       result.final_params = scheduler->params();
     }
     result.fault_stats = faults.stats();
+    // Workers still gated when time ran out were stalled to the very end.
+    for (WorkerId w = 0; w < config.num_workers; ++w) ClearBlocked(w);
+    result.consistency.blocks = gate_blocks;
+    result.consistency.blocked_seconds = gate_blocked_seconds;
+    if (dssp) {
+      result.consistency.retunes = dssp->retunes();
+    }
+    switch (config.scheme.base) {
+      case BaseScheme::kSsp:
+        result.consistency.final_staleness = config.scheme.ssp_staleness;
+        break;
+      case BaseScheme::kPssp:
+      case BaseScheme::kDssp:
+        result.consistency.final_staleness = pssp->staleness();
+        break;
+      default:
+        break;
+    }
     trace.RecordLoss(sim.now(), result.final_loss, TotalPushes(),
                      GlobalEpoch());
     if (obs != nullptr) {
@@ -662,6 +748,12 @@ struct ClusterSim::Impl {
           .Set(static_cast<double>(result.total_aborts));
       obs->metrics.gauge("sim.wasted_compute_s").Set(wasted_compute_seconds);
       obs->metrics.gauge("sim.final_loss").Set(result.final_loss);
+      obs->metrics.gauge("sim.consistency_blocks")
+          .Set(static_cast<double>(result.consistency.blocks));
+      obs->metrics.gauge("sim.consistency_blocked_s")
+          .Set(result.consistency.blocked_seconds);
+      obs->metrics.gauge("sim.consistency_final_staleness")
+          .Set(static_cast<double>(result.consistency.final_staleness));
     }
     result.trace = std::move(trace);
     result.transfers = std::move(transfers);

@@ -29,7 +29,12 @@
 
 namespace specsync {
 
-enum class BaseScheme { kAsp, kBsp, kSsp };
+// Base consistency models: the three static schemes plus the first two
+// stages of the adaptive sync-policy engine — per-shard SSP (kPssp: the
+// staleness bound applies only to shards a worker's gradients actually
+// touch) and dynamic SSP (kDssp: per-shard gating with the bound retuned
+// each epoch from observed push inter-arrivals).
+enum class BaseScheme { kAsp, kBsp, kSsp, kPssp, kDssp };
 enum class SpeculationMode { kNone, kFixed, kAdaptive };
 
 // Full synchronization-scheme selection: a base consistency model, optional
@@ -37,7 +42,8 @@ enum class SpeculationMode { kNone, kFixed, kAdaptive };
 // Original = kAsp + kNone; SpecSync-Adaptive = kAsp + kAdaptive; etc.).
 struct SchemeSpec {
   BaseScheme base = BaseScheme::kAsp;
-  std::uint64_t ssp_staleness = 3;
+  std::uint64_t ssp_staleness = 3;  // kSsp and kPssp
+  DynamicSspConfig dssp;            // kDssp
   NaiveWaitingConfig naive;
   SpeculationMode speculation = SpeculationMode::kNone;
   // Used directly under kFixed (the Cherrypick values).
@@ -56,6 +62,18 @@ struct SchemeSpec {
     SchemeSpec s;
     s.base = BaseScheme::kSsp;
     s.ssp_staleness = staleness;
+    return s;
+  }
+  static SchemeSpec PerShardSsp(std::uint64_t staleness) {
+    SchemeSpec s;
+    s.base = BaseScheme::kPssp;
+    s.ssp_staleness = staleness;
+    return s;
+  }
+  static SchemeSpec DynamicSsp(DynamicSspConfig config = {}) {
+    SchemeSpec s;
+    s.base = BaseScheme::kDssp;
+    s.dssp = config;
     return s;
   }
   static SchemeSpec NaiveWaiting(Duration delay) {
@@ -111,6 +129,17 @@ struct ClusterSimConfig {
   obs::ObsContext* obs = nullptr;
 };
 
+// What the consistency layer did to the run: how often workers were gated
+// at iteration start, the virtual time they spent gated (the straggler
+// stall-time the dynamic bound is tuned to shrink), and the dynamic
+// controller's retune activity. All zeros under ASP.
+struct ConsistencyStats {
+  std::uint64_t blocks = 0;       // gate transitions allowed -> blocked
+  double blocked_seconds = 0.0;   // total virtual time workers spent gated
+  std::uint64_t retunes = 0;      // staleness-bound adjustments (kDssp)
+  std::uint64_t final_staleness = 0;  // bound in force at run end (SSP family)
+};
+
 struct SimResult {
   TrainingTrace trace;
   TransferAccountant transfers;
@@ -127,6 +156,7 @@ struct SimResult {
   SpeculationParams final_params;
   DenseVector final_weights;
   FaultStats fault_stats;
+  ConsistencyStats consistency;
 
   SimResult() : trace(1) {}
 };

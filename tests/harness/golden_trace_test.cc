@@ -23,12 +23,14 @@
 
 #include "harness/experiment.h"
 #include "harness/workload.h"
+#include "obs/obs.h"
 #include "trace/trace.h"
 
 namespace specsync {
 namespace {
 
-ExperimentResult RunGoldenSim(std::size_t num_servers) {
+ExperimentResult RunGoldenSim(std::size_t num_servers,
+                              obs::ObsContext* obs = nullptr) {
   // Convex workload: unique optimum, no divergence at 8 async workers, so
   // the pinned history stays meaningful (the MF proxy can blow up at this
   // worker count and NaN losses compare unequal to themselves).
@@ -40,6 +42,7 @@ ExperimentResult RunGoldenSim(std::size_t num_servers) {
   config.max_time = SimTime::FromSeconds(240.0);
   config.stop_on_convergence = false;
   config.seed = 41;
+  config.obs = obs;
   return RunExperiment(workload, config);
 }
 
@@ -76,6 +79,20 @@ TEST(GoldenTraceTest, ShardCountChangesTheScheduleDeliberately) {
   // draw sequence and arrival times genuinely differ from the single-server
   // run. (If these ever collide, the fan-out silently stopped mattering.)
   EXPECT_NE(kGoldenDigestOneServer, kGoldenDigestTwoServers);
+}
+
+TEST(GoldenTraceTest, ObservabilityLeavesBothGoldenDigestsIntact) {
+  // Observability is record-only by contract: attaching an ObsContext must
+  // reproduce the exact pinned histories — including through the consistency
+  // refactor's audit hooks — while actually recording something.
+  obs::ObsContext one;
+  EXPECT_EQ(TraceDigest(RunGoldenSim(1, &one).sim.trace),
+            kGoldenDigestOneServer);
+  obs::ObsContext two;
+  EXPECT_EQ(TraceDigest(RunGoldenSim(2, &two).sim.trace),
+            kGoldenDigestTwoServers);
+  EXPECT_FALSE(one.audit.retunes().empty());  // Adaptive tuner was audited.
+  EXPECT_FALSE(two.audit.retunes().empty());
 }
 
 TEST(GoldenTraceTest, RerunningTheGoldenSimIsBitIdentical) {

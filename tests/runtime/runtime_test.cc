@@ -266,5 +266,50 @@ TEST(RuntimeClusterTest, FinalEvalConfigControlsLossEvaluation) {
   EXPECT_GT(cheap.final_loss, 0.0);
 }
 
+TEST(RuntimeClusterTest, SspGatingBoundsRealThreadSkew) {
+  // Gated runtime: one worker slowed 8x must drag the rest to within the
+  // staleness bound. The gate's telemetry shows the fast workers actually
+  // waited, and every quota still completes (liveness under real threads).
+  RuntimeConfig config;
+  config.num_workers = 3;
+  config.iterations_per_worker = 20;
+  config.batch_size = 16;
+  config.compute_chunks = 4;
+  config.chunk_delay = std::chrono::microseconds(300);
+  config.consistency.scheme = RuntimeConsistency::kSsp;
+  config.consistency.staleness = 2;
+  config.faults.slowdowns.push_back(SlowdownWindow{
+      0, SimTime::Zero(), SimTime::FromSeconds(3600.0), 8.0});
+  RuntimeCluster cluster(TinyModel(8), std::make_shared<ConstantSchedule>(0.1),
+                         config);
+  const RuntimeResult result = cluster.Run();
+  EXPECT_EQ(result.total_pushes, 60u);
+  EXPECT_GT(result.consistency_blocks, 0u);
+  EXPECT_GT(result.consistency_blocked_s, 0.0);
+  EXPECT_EQ(result.final_staleness, 2u);
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
+TEST(RuntimeClusterTest, DsspRetunesOnRealThreads) {
+  RuntimeConfig config;
+  config.num_workers = 3;
+  config.iterations_per_worker = 25;
+  config.batch_size = 16;
+  config.compute_chunks = 4;
+  config.chunk_delay = std::chrono::microseconds(300);
+  config.consistency.scheme = RuntimeConsistency::kDssp;
+  config.consistency.dssp.initial_staleness = 0;
+  config.faults.slowdowns.push_back(SlowdownWindow{
+      0, SimTime::Zero(), SimTime::FromSeconds(3600.0), 6.0});
+  RuntimeCluster cluster(TinyModel(9), std::make_shared<ConstantSchedule>(0.1),
+                         config);
+  const RuntimeResult result = cluster.Run();
+  EXPECT_EQ(result.total_pushes, 75u);
+  // A 6x straggler against a floor-zero bound must provoke adjustments.
+  EXPECT_GT(result.consistency_retunes, 0u);
+  EXPECT_GT(result.final_staleness, 0u);
+  EXPECT_TRUE(AllFinite(result.final_weights));
+}
+
 }  // namespace
 }  // namespace specsync
