@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -229,7 +230,8 @@ void EmitObsArtifacts(const BenchArgs& args, const Workload& workload,
 
 std::size_t CellBatch::AddSeries(const Workload& workload,
                                  ExperimentConfig config,
-                                 std::size_t replicates, std::string label) {
+                                 std::size_t replicates, std::string label,
+                                 std::optional<std::uint64_t> explicit_seed) {
   SPECSYNC_CHECK_GT(replicates, 0u);
   SPECSYNC_CHECK(results_.empty()) << "AddSeries after Run";
   std::vector<std::size_t> indices;
@@ -240,6 +242,7 @@ std::size_t CellBatch::AddSeries(const Workload& workload,
     cell.config = config;
     cell.label = label;
     cell.replicate = r;
+    cell.explicit_seed = explicit_seed;
     indices.push_back(cells_.size());
     cells_.push_back(std::move(cell));
   }
@@ -310,6 +313,9 @@ std::string JsonEscape(const std::string& s) {
 }
 
 std::string JsonNumber(double v) {
+  // JSON has no NaN/Infinity literals; a diverged loss (the MF proxy can
+  // blow up at high worker counts) must serialize as null, not "-nan".
+  if (!std::isfinite(v)) return "null";
   std::ostringstream out;
   out << std::setprecision(12) << v;
   return out.str();
@@ -358,6 +364,16 @@ void BenchReporter::SetRun(std::size_t threads, double wall_seconds,
   threads_ = std::max(threads_, threads);
   wall_seconds_ += wall_seconds;
   serial_wall_estimate_ += serial_wall_estimate;
+}
+
+void BenchReporter::AddMetric(const std::string& name, double value) {
+  for (auto& [existing, slot] : metrics_) {
+    if (existing == name) {
+      slot = value;
+      return;
+    }
+  }
+  metrics_.emplace_back(name, value);
 }
 
 Table BenchReporter::CellTable() const {
@@ -411,8 +427,17 @@ void BenchReporter::WriteJson() const {
          << ",\"sim_pushes_per_wall_second\":"
          << JsonNumber(wall_seconds_ > 0.0
                            ? static_cast<double>(total_pushes) / wall_seconds_
-                           : 0.0)
-         << ",\"per_cell\":[";
+                           : 0.0);
+  if (!metrics_.empty()) {
+    record << ",\"metrics\":{";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (i > 0) record << ",";
+      record << "\"" << JsonEscape(metrics_[i].first)
+             << "\":" << JsonNumber(metrics_[i].second);
+    }
+    record << "}";
+  }
+  record << ",\"per_cell\":[";
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     const CellRecord& c = cells_[i];
     if (i > 0) record << ",";

@@ -16,6 +16,7 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
@@ -128,9 +129,13 @@ void EmitObsArtifacts(const BenchArgs& args, const Workload& workload,
 class CellBatch {
  public:
   // Adds `replicates` cells of (workload, config) under a semantic label
-  // (part of the per-cell seed key); returns the series handle.
+  // (part of the per-cell seed key); returns the series handle. Pass
+  // `explicit_seed` to pin every replicate to one seed instead of the
+  // label-derived key — the tool for A/B series that must replay the exact
+  // same history under two engine configs.
   std::size_t AddSeries(const Workload& workload, ExperimentConfig config,
-                        std::size_t replicates, std::string label = "");
+                        std::size_t replicates, std::string label = "",
+                        std::optional<std::uint64_t> explicit_seed = {});
 
   // Runs all cells across `threads` threads (root seed kBenchRootSeed).
   void Run(std::size_t threads);
@@ -181,6 +186,10 @@ class BenchReporter {
   // Run-level telemetry when not using AddBatch (e.g. grid search).
   void SetRun(std::size_t threads, double wall_seconds,
               double serial_wall_estimate);
+  // Named headline number serialized under "metrics" in the bench's JSON
+  // record (e.g. an acceptance-claim speedup ratio). Last value per name
+  // wins; names keep insertion order.
+  void AddMetric(const std::string& name, double value);
 
   // Per-cell telemetry as a Table — the same rows the JSON serializes.
   // CSV output goes through Table::PrintCsv (src/common/table), not a
@@ -195,6 +204,7 @@ class BenchReporter {
  private:
   std::string bench_name_;
   std::vector<CellRecord> cells_;
+  std::vector<std::pair<std::string, double>> metrics_;
   std::size_t threads_ = 1;
   double wall_seconds_ = 0.0;
   double serial_wall_estimate_ = 0.0;

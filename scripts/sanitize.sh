@@ -4,7 +4,11 @@
 # (runtime, chaos, parameter server, the experiment thread pool and the
 # ParallelRunner built on it, plus the lock-free obs instruments recorded
 # from those threads) and the fault plan itself; the rest of the repo is
-# single-threaded sim code covered by the plain build.
+# single-threaded sim code covered by the plain build. The calendar-queue
+# and tuner equivalence property suites ride along for ASan's sake: the
+# pooled event queue recycles nodes through a free list and moves payloads
+# out mid-callback, exactly the lifetime pattern ASan proves sound
+# (DESIGN.md §12 pool lifetime rules).
 #
 # Usage: scripts/sanitize.sh [thread|address|all]   (default: all)
 set -euo pipefail
@@ -12,7 +16,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SUITES=(runtime_test runtime_chaos_test consistency_hammer_test ps_test
-        fault_test thread_pool_test parallel_runner_test obs_test net_test)
+        fault_test thread_pool_test parallel_runner_test obs_test net_test
+        calendar_queue_property_test tuner_equivalence_test)
 MODE="${1:-all}"
 
 run_mode() {

@@ -11,11 +11,30 @@
 // O(m²) pairwise push-time differences as candidate Δ and take the best
 // (Algorithm 1, overall O(m³)).
 //
+// Two replay engines produce that argmax:
+//  - the full replay (incremental = false): the literal Algorithm-1 loop,
+//    EstimateImprovement() per candidate — O(C·W·P). Retained as the
+//    executable specification.
+//  - the incremental replay (default): one pass per worker that buckets each
+//    push event into the first candidate window covering it (binary search
+//    over the sorted thresholds pull_i + Δ_c) and turns the buckets into
+//    per-candidate gains by prefix sum, plus a saturation prune that drops
+//    candidates provably never selected — O(W·(P·log C + C)).
+// The engines are bit-identical by construction (DESIGN.md §12 states the
+// invariant; tests/core/tuner_equivalence_test.cc enforces it): the
+// incremental sweep accumulates per-candidate values worker-by-worker with
+// the exact same floating-point expressions and summation order as the
+// reference, so the per-epoch ABORT_TIME sequence and every audit retune
+// record match to the bit.
+//
 // ABORT_RATE is then set so a restart is triggered only when the observed
 // gain covers the estimated loss: Γ = Δ*(m−1)/(T·m) with T the mean iteration
 // span (Algorithm 1 line 7), or per-worker Γ_i = l̃_i(Δ*)/m when
 // per_worker_rate is enabled.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "core/speculation.h"
 
@@ -38,6 +57,9 @@ struct AdaptiveTunerConfig {
   // tuner toward windows wide enough to catch real bursts (see the
   // bench_ablation_tuner study).
   double loss_weight = 1.0;
+  // Replay engine (see the header note). false = the retained full replay;
+  // never changes a decision, only the per-epoch wall time.
+  bool incremental = true;
 };
 
 class AdaptiveTuner final : public SpeculationPolicy {
@@ -47,7 +69,8 @@ class AdaptiveTuner final : public SpeculationPolicy {
   std::string name() const override { return "adaptive"; }
   SpeculationParams OnEpochEnd(const TuningInputs& inputs) override;
 
-  // Eq. 7 for a specific Δ — exposed for tests and the ablation bench.
+  // Eq. 7 for a specific Δ — exposed for tests and the ablation bench. This
+  // is the reference evaluation the incremental sweep must match bitwise.
   // `loss_weight` scales the l̃ term (1.0 = the paper's objective).
   static double EstimateImprovement(const TuningInputs& inputs, Duration delta,
                                     double loss_weight = 1.0);
@@ -58,8 +81,41 @@ class AdaptiveTuner final : public SpeculationPolicy {
                                                Duration max_delta,
                                                std::size_t max_candidates);
 
+  // F̃ for every candidate via the incremental sweep; element c equals
+  // EstimateImprovement(inputs, candidates[c], loss_weight) to the bit.
+  // `candidates` must be sorted ascending (CandidateDeltas output is).
+  // Exposed for the equivalence battery; the member path reuses scratch.
+  static std::vector<double> EvaluateCandidates(
+      const TuningInputs& inputs, const std::vector<Duration>& candidates,
+      double loss_weight);
+
+  // First candidate index at which every pulled worker's window
+  // (last_pull_i, last_pull_i + Δ_c] already covers the epoch's last push.
+  // Beyond it gains are constant and losses non-decreasing, so the
+  // first-maximum argmax can never select a later candidate — candidates
+  // after this index are dominated and safely pruned. Returns
+  // candidates.size() - 1 when no such index exists (prune disabled).
+  // Exposed so the planted-bug test can demonstrate a wrong prune is caught.
+  static std::size_t SaturationIndex(const TuningInputs& inputs,
+                                     const std::vector<Duration>& candidates);
+
  private:
+  // Incremental engine behind EvaluateCandidates, writing into reusable
+  // scratch buffers. Evaluates candidates [0, eval_count).
+  static void EvaluateCandidatesInto(const TuningInputs& inputs,
+                                     const std::vector<Duration>& candidates,
+                                     double loss_weight,
+                                     std::size_t eval_count,
+                                     std::vector<double>& values,
+                                     std::vector<double>& thresholds,
+                                     std::vector<std::uint32_t>& buckets);
+
   AdaptiveTunerConfig config_;
+  // Scratch reused across epochs (OnEpochEnd runs once per epoch per run);
+  // capacity persists, so steady-state retunes allocate nothing.
+  std::vector<double> values_;
+  std::vector<double> thresholds_;
+  std::vector<std::uint32_t> buckets_;
 };
 
 // Mean of the per-worker iteration spans.

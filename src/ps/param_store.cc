@@ -122,8 +122,16 @@ void ParameterServer::SetParams(DenseVector params) {
 }
 
 PullResult ParameterServer::Pull(ThreadPool* pool) const {
-  obs::ScopedTimer pull_timer(pull_hist_);
   PullResult out;
+  PullInto(&out, pool);
+  return out;
+}
+
+void ParameterServer::PullInto(PullResult* result, ThreadPool* pool) const {
+  obs::ScopedTimer pull_timer(pull_hist_);
+  PullResult& out = *result;
+  // resize() keeps existing capacity, so a caller reusing one PullResult per
+  // worker (the sim's snapshot buffers) pays zero allocations per pull.
   out.params.resize(dim_);
   if (pool == nullptr || shards_.size() == 1) {
     for (const auto& shard : shards_) {
@@ -159,7 +167,6 @@ PullResult ParameterServer::Pull(ThreadPool* pool) const {
     done.wait();
   }
   out.version = version_.load(std::memory_order_acquire);
-  return out;
 }
 
 ShardPullResult ParameterServer::PullShard(std::size_t s) const {

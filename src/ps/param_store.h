@@ -95,6 +95,11 @@ class ParameterServer {
   // result. See the header note on torn cross-shard snapshots.
   PullResult Pull(ThreadPool* pool = nullptr) const;
 
+  // Allocation-free Pull: fills `result` in place, reusing its params buffer
+  // when already sized (the sim's per-worker snapshot buffers pull thousands
+  // of times; this removes a dim-sized allocation + free per pull).
+  void PullInto(PullResult* result, ThreadPool* pool = nullptr) const;
+
   // Snapshot of one shard (internally consistent: slice + shard version are
   // read under the shard's mutex).
   ShardPullResult PullShard(std::size_t s) const;

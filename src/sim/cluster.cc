@@ -141,6 +141,10 @@ struct ClusterSim::Impl {
   };
   std::vector<WorkerState> workers;
 
+  // Shared pull buffer (single-threaded event loop): OnPullComplete donates
+  // the worker's old snapshot into it, PullInto refills it in place.
+  PullResult pull_scratch;
+
   // --- convergence tracking ------------------------------------------------
   std::size_t below_target_streak = 0;
   std::optional<SimTime> convergence_time;
@@ -156,6 +160,7 @@ struct ClusterSim::Impl {
         schedule(std::move(schedule_in)),
         speed(std::move(speed_in)),
         config(std::move(config_in)),
+        sim(config.event_queue),
         rng(config.seed),
         network(config.network),
         stalls(config.stalls, Rng(config.seed ^ 0x57A11u)),
@@ -364,14 +369,17 @@ struct ClusterSim::Impl {
     // The snapshot is composed when the slowest shard response lands; in the
     // single-threaded sim this is never torn (see param_store.h for the
     // threaded runtime's semantics).
-    PullResult pulled = server->Pull();
-    worker.snapshot = std::move(pulled.params);
-    worker.snapshot_version = pulled.version;
-    trace.RecordPull(w, sim.now(), pulled.version);
+    // Reuse the worker's previous snapshot buffer (donated to the shared
+    // scratch) so steady-state pulls allocate nothing.
+    pull_scratch.params = std::move(worker.snapshot);
+    server->PullInto(&pull_scratch);
+    worker.snapshot = std::move(pull_scratch.params);
+    worker.snapshot_version = pull_scratch.version;
+    trace.RecordPull(w, sim.now(), pull_scratch.version);
     if (obs != nullptr) {
       pull_counter->Increment();
       obs->spans.AddSpan("pull", "pull", w, pull_begin, sim.now(),
-                         {{"version", std::to_string(pulled.version)}});
+                         {{"version", std::to_string(pull_scratch.version)}});
     }
     if (scheduler) scheduler->HandlePull(w, sim.now());
     StartCompute(w);

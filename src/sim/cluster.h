@@ -121,6 +121,10 @@ struct ClusterSimConfig {
   std::uint64_t seed = 42;
   // Elementwise gradient clip applied server-side (0 = off).
   double sgd_clip = 0.0;
+  // DES engine selection. Pop order is bit-identical across engines (same
+  // (time, sequence) contract — see calendar_queue.h), so this only changes
+  // wall time; the heap is kept for A/B benchmarking and equivalence tests.
+  EventQueueKind event_queue = EventQueueKind::kCalendar;
   // Optional observability context (src/obs), not owned; must outlive the
   // sim. When set, the run records per-worker spans (pull/compute/push/
   // aborted compute), scheduler audit records, and event counters/gauges.

@@ -7,8 +7,12 @@ namespace specsync {
 void Simulator::ScheduleAt(SimTime at, Callback fn) {
   SPECSYNC_CHECK(at >= now_) << "cannot schedule in the past: " << at
                              << " < " << now_;
-  SPECSYNC_CHECK(fn != nullptr);
-  queue_.push(Event{at, next_sequence_++, std::move(fn)});
+  SPECSYNC_CHECK(static_cast<bool>(fn)) << "scheduling an empty callback";
+  if (queue_kind_ == EventQueueKind::kCalendar) {
+    calendar_.Push(at, std::move(fn));
+  } else {
+    heap_.Push(at, std::move(fn));
+  }
 }
 
 void Simulator::ScheduleAfter(Duration delay, Callback fn) {
@@ -17,22 +21,30 @@ void Simulator::ScheduleAfter(Duration delay, Callback fn) {
   ScheduleAt(now_ + delay, std::move(fn));
 }
 
+SimTime Simulator::PeekTime() {
+  return queue_kind_ == EventQueueKind::kCalendar ? calendar_.PeekTime()
+                                                  : heap_.PeekTime();
+}
+
 bool Simulator::Step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the event is copied out. Callbacks are
-  // small (captured ids), so this is cheap relative to event work.
-  Event event = queue_.top();
-  queue_.pop();
-  now_ = event.time;
+  if (pending_events() == 0) return false;
+  // PopMin moves the callback out of the queue's node pool before we invoke
+  // it: the callback may schedule new events, which can grow the pool and
+  // relocate every node (calendar_queue.h lifetime rule 1).
+  SimTime time;
+  EventFn fn = queue_kind_ == EventQueueKind::kCalendar
+                   ? calendar_.PopMin(&time)
+                   : heap_.PopMin(&time);
+  now_ = time;
   ++events_processed_;
-  event.fn();
+  fn();
   return true;
 }
 
 void Simulator::Run(SimTime until) {
   stop_requested_ = false;
-  while (!stop_requested_ && !queue_.empty()) {
-    if (queue_.top().time > until) break;
+  while (!stop_requested_ && pending_events() > 0) {
+    if (PeekTime() > until) break;
     Step();
   }
 }
