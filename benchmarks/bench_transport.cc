@@ -1,24 +1,45 @@
 // Multi-process loopback transport bench: the sharded PS as real processes.
 //
-// Not a paper figure — a harness-health bench for src/net. It forks one
-// server process per shard (each owning a full-dim ParameterServer but
-// serving ONLY its own shard, exactly the multi-machine topology on
-// loopback), then drives worker threads in the parent through per-shard
-// ShardClients: every iteration is a composed Pull (one request per shard,
-// concurrently) followed by a dense Push (per-shard slices + commits).
+// Not a paper figure — a harness-health bench for src/net, in two phases:
+//
+// Phase 1 (soak): forks one server process per shard (each owning a full-dim
+// ParameterServer but serving ONLY its own shard, exactly the multi-machine
+// topology on loopback), then drives worker threads in the parent through
+// ShardClients: every iteration is a composed Pull (all shards pipelined on
+// the shared links) followed by a dense Push (per-shard slices + commits).
 // Per-shard RTT histograms, retry/timeout counters, and injected-fault
 // counts land in src/obs metrics, printable and exportable as metrics.json.
+// The soak prints a deterministic `equivalence:` line (op counts only, no
+// timings) that CI diffs across --server_model values: both models must
+// complete the identical protocol work.
+//
+// Phase 2 (fan-in, --clients=N): one in-process server (the --server_model
+// under test) serving every shard, N concurrent clients each running
+// pipelined pulls against it. This is the scaling claim of the event-loop
+// model: p99 RTT holds a pinned ceiling and the server's thread count stays
+// 1 + pool_threads regardless of N, where thread-per-connection spawns O(N)
+// threads. Both numbers are emitted into BENCH_harness.json
+// (fanin_p99_rtt_us, fanin_server_threads) and gated: with
+// --server_model=event_loop the bench FAILS if the server's observed thread
+// count exceeds pool size + a constant, and --fanin_p99_ceiling_us=X (off by
+// default) fails the run when p99 crosses the ceiling.
 //
 // Fault injection runs over the actual wire: --drop/--delay/--dup attach a
-// FaultPlan to every client, so requests are really never sent (burning the
-// timeout), held back, or sent twice — the bench doubles as a soak test that
-// the retry protocol terminates under loss.
+// FaultPlan to every soak client, so requests are really never sent (burning
+// the timeout), held back, or sent twice — the bench doubles as a soak test
+// that the retry protocol terminates under loss.
 //
 // Flags:
 //   --num_servers=N   shard/server-process count        (default 4)
-//   --workers=N       worker threads in the parent      (default 4)
+//   --workers=N       soak worker threads in the parent (default 4)
 //   --iters=N         pull+push iterations per worker   (default 200)
 //   --dim=N           parameter dimension               (default 4096)
+//   --server_model=M  thread_per_conn | event_loop      (default thread_per_conn)
+//   --pool_threads=N  event-loop execution pool size    (default 4)
+//   --clients=N       fan-in phase client count; 0 = skip (default 0;
+//                     --smoke raises it to 256 for event_loop, 32 otherwise)
+//   --fanin_iters=N   pipelined pulls per fan-in client (default 20)
+//   --fanin_p99_ceiling_us=X  fail if fan-in p99 RTT exceeds X (default off)
 //   --drop=P --delay=P --dup=P   per-message fault probabilities (default 0)
 //   --smoke           CI variant: tiny grid, and drop/delay default to 0.05
 //                     so the retry path is exercised on every CI run
@@ -26,6 +47,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -35,9 +57,11 @@
 #include <thread>
 #include <vector>
 
+#include "benchmarks/bench_util.h"
 #include "common/check.h"
 #include "common/table.h"
 #include "fault/fault_plan.h"
+#include "net/endpoint.h"
 #include "net/shard_client.h"
 #include "net/shard_server.h"
 #include "obs/obs.h"
@@ -53,6 +77,12 @@ struct Args {
   std::size_t workers = 4;
   std::size_t iters = 200;
   std::size_t dim = 4096;
+  net::ServerModel server_model = net::ServerModel::kThreadPerConn;
+  std::size_t pool_threads = 4;
+  std::size_t clients = 0;  // 0 = skip the fan-in phase
+  bool clients_set = false;
+  std::size_t fanin_iters = 20;
+  double fanin_p99_ceiling_us = 0.0;  // 0 = no ceiling gate
   double drop = -1.0;  // negative = unset (lets --smoke pick its default)
   double delay = -1.0;
   double dup = -1.0;
@@ -63,7 +93,11 @@ struct Args {
 [[noreturn]] void Usage(const std::string& bad) {
   std::cerr << "bench_transport: bad flag '" << bad << "'\n"
             << "usage: bench_transport [--num_servers=N] [--workers=N]"
-               " [--iters=N] [--dim=N] [--drop=P] [--delay=P] [--dup=P]"
+               " [--iters=N] [--dim=N]"
+               " [--server_model=thread_per_conn|event_loop]"
+               " [--pool_threads=N] [--clients=N] [--fanin_iters=N]"
+               " [--fanin_p99_ceiling_us=X]"
+               " [--drop=P] [--delay=P] [--dup=P]"
                " [--smoke] [--metrics_out=PATH]\n";
   std::exit(2);
 }
@@ -85,6 +119,23 @@ Args ParseArgs(int argc, char** argv) {
         args.iters = std::stoul(value);
       } else if (key == "--dim") {
         args.dim = std::stoul(value);
+      } else if (key == "--server_model") {
+        if (value == "thread_per_conn") {
+          args.server_model = net::ServerModel::kThreadPerConn;
+        } else if (value == "event_loop") {
+          args.server_model = net::ServerModel::kEventLoop;
+        } else {
+          Usage(arg);
+        }
+      } else if (key == "--pool_threads") {
+        args.pool_threads = std::stoul(value);
+      } else if (key == "--clients") {
+        args.clients = std::stoul(value);
+        args.clients_set = true;
+      } else if (key == "--fanin_iters") {
+        args.fanin_iters = std::stoul(value);
+      } else if (key == "--fanin_p99_ceiling_us") {
+        args.fanin_p99_ceiling_us = std::stod(value);
       } else if (key == "--drop") {
         args.drop = std::stod(value);
       } else if (key == "--delay") {
@@ -110,6 +161,13 @@ Args ParseArgs(int argc, char** argv) {
     // Smoke must exercise the retry protocol, not just the happy path.
     if (args.drop < 0.0) args.drop = 0.05;
     if (args.delay < 0.0) args.delay = 0.05;
+    if (!args.clients_set) {
+      // The fan-in acceptance point: >= 256 concurrent clients on one
+      // event-loop server. Thread-per-conn gets a lighter load (it would
+      // spawn a thread per client — the very cost the event loop removes).
+      args.clients =
+          args.server_model == net::ServerModel::kEventLoop ? 256 : 32;
+    }
   }
   if (args.drop < 0.0) args.drop = 0.0;
   if (args.delay < 0.0) args.delay = 0.0;
@@ -151,8 +209,9 @@ bool ReadAll(int fd, void* data, std::size_t bytes) {
 
 // The server process for one shard: a full-dim store (identically
 // initialized in every process, so composed pulls are coherent) behind a
-// ShardServer answering only for `shard`. Reports its ephemeral port through
-// `port_wr`, then serves until the parent closes `shutdown_rd` (EOF).
+// shard server (the --server_model under test) answering only for `shard`.
+// Reports its ephemeral port through `port_wr`, then serves until the parent
+// closes `shutdown_rd` (EOF).
 int RunShardProcess(std::size_t shard, const Args& args, int port_wr,
                     int shutdown_rd) {
   auto applier = std::make_shared<SgdApplier>(
@@ -166,10 +225,12 @@ int RunShardProcess(std::size_t shard, const Args& args, int port_wr,
 
   net::ShardServerConfig config;
   config.served_shards = {shard};
-  net::ShardServer server(&store, config);
-  if (!server.Start()) return 1;
+  config.model = args.server_model;
+  config.pool_threads = args.pool_threads;
+  auto server = net::MakeShardServer(&store, std::move(config));
+  if (!server->Start()) return 1;
 
-  const std::uint16_t port = server.port();
+  const std::uint16_t port = server->port();
   if (!WriteAll(port_wr, &port, sizeof(port))) return 1;
   ::close(port_wr);
 
@@ -180,7 +241,7 @@ int RunShardProcess(std::size_t shard, const Args& args, int port_wr,
     break;  // EOF (parent closed its end) or error: shut down either way
   }
   ::close(shutdown_rd);
-  server.Stop();
+  server->Stop();
   return 0;
 }
 
@@ -191,6 +252,129 @@ struct WorkerTally {
   bool ok = false;
 };
 
+// Phase 2: N concurrent clients against ONE in-process server holding every
+// shard. Returns false when a gate (thread count, p99 ceiling) fails.
+bool RunFanIn(const Args& args, bench::BenchReporter& reporter) {
+  auto applier = std::make_shared<SgdApplier>(
+      std::make_shared<ConstantSchedule>(0.01));
+  ParameterServer store(args.dim, args.num_servers, std::move(applier));
+  DenseVector params(args.dim);
+  for (std::size_t i = 0; i < args.dim; ++i) {
+    params[i] = 0.001 * static_cast<double>(i % 97);
+  }
+  store.SetParams(std::move(params));
+
+  net::ShardServerConfig server_config;
+  server_config.model = args.server_model;
+  server_config.pool_threads = args.pool_threads;
+  auto server = net::MakeShardServer(&store, std::move(server_config));
+  if (!server->Start()) {
+    std::cerr << "fan-in: cannot start server\n";
+    return false;
+  }
+
+  net::ShardClientConfig client_config;
+  client_config.topology = net::ClusterTopology::SingleServer(
+      ParameterServer::ShardSplit(args.dim, args.num_servers),
+      net::Endpoint{"127.0.0.1", server->port()});
+  // Generous per-attempt deadline: under 256-way fan-in an individual pull
+  // legitimately queues behind hundreds of peers.
+  client_config.request_timeout = std::chrono::milliseconds(5000);
+  client_config.max_attempts = 4;
+
+  obs::ObsContext obs;  // fan-in RTTs only (kept apart from the soak's)
+  std::atomic<std::size_t> failures{0};
+  std::atomic<std::size_t> max_server_threads{0};
+  std::atomic<bool> sampling{true};
+
+  const auto fanin_start = std::chrono::steady_clock::now();
+  {
+    // Samples the server's thread count while the fan-in is live — the
+    // number the event-loop model must hold constant.
+    std::jthread sampler([&] {
+      while (sampling.load(std::memory_order_acquire)) {
+        const std::size_t now = server->thread_count();
+        std::size_t seen = max_server_threads.load(std::memory_order_relaxed);
+        while (now > seen && !max_server_threads.compare_exchange_weak(
+                                 seen, now, std::memory_order_relaxed)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    std::vector<std::jthread> clients;
+    clients.reserve(args.clients);
+    for (std::size_t c = 0; c < args.clients; ++c) {
+      clients.emplace_back([&, c] {
+        try {
+          net::ShardClient client(client_config, nullptr, &obs.metrics);
+          if (!client.Connect()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          for (std::size_t it = 0; it < args.fanin_iters; ++it) {
+            const PullResult snapshot = client.Pull();
+            SPECSYNC_CHECK_EQ(snapshot.params.size(), args.dim);
+          }
+        } catch (const CheckError& e) {
+          std::cerr << "fan-in client " << c << " failed: " << e.what()
+                    << "\n";
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    clients.clear();  // join
+    sampling.store(false, std::memory_order_release);
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    fanin_start)
+          .count();
+
+  const obs::LatencyHistogram& rtt = obs.metrics.histogram("net.rtt_s");
+  const double p50_us = rtt.ApproxQuantileSeconds(0.50) * 1e6;
+  const double p99_us = rtt.ApproxQuantileSeconds(0.99) * 1e6;
+  const std::size_t server_threads =
+      max_server_threads.load(std::memory_order_relaxed);
+  server->Stop();
+
+  std::cout << "fan-in: model=" << net::ServerModelName(args.server_model)
+            << " clients=" << args.clients
+            << " iters_per_client=" << args.fanin_iters
+            << " pool_threads=" << args.pool_threads << "\n"
+            << "  rtt_p50_us=" << p50_us << " rtt_p99_us=" << p99_us
+            << " server_threads_peak=" << server_threads
+            << " wall_s=" << wall_seconds << "\n";
+
+  reporter.AddMetric("fanin_clients", static_cast<double>(args.clients));
+  reporter.AddMetric("fanin_pool_threads",
+                     static_cast<double>(args.pool_threads));
+  reporter.AddMetric("fanin_server_threads",
+                     static_cast<double>(server_threads));
+  reporter.AddMetric("fanin_rtt_p50_us", p50_us);
+  reporter.AddMetric("fanin_rtt_p99_us", p99_us);
+  reporter.AddMetric("fanin_wall_s", wall_seconds);
+
+  bool ok = failures.load(std::memory_order_relaxed) == 0;
+  if (!ok) std::cerr << "fan-in: " << failures.load() << " clients failed\n";
+  if (args.server_model == net::ServerModel::kEventLoop) {
+    // The structural claim: server threads = 1 loop + pool, never O(clients).
+    // +2 slack covers sampler skew around Start/Stop edges.
+    const std::size_t ceiling = args.pool_threads + 1 + 2;
+    if (server_threads > ceiling) {
+      std::cerr << "fan-in: event-loop server used " << server_threads
+                << " threads (ceiling " << ceiling << " with pool "
+                << args.pool_threads << ") — O(clients) thread growth\n";
+      ok = false;
+    }
+  }
+  if (args.fanin_p99_ceiling_us > 0.0 && p99_us > args.fanin_p99_ceiling_us) {
+    std::cerr << "fan-in: p99 RTT " << p99_us << "us exceeds ceiling "
+              << args.fanin_p99_ceiling_us << "us\n";
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +383,7 @@ int main(int argc, char** argv) {
             << (args.smoke ? " (smoke)" : "") << "\n"
             << "  servers=" << args.num_servers << " workers=" << args.workers
             << " iters=" << args.iters << " dim=" << args.dim
+            << " server_model=" << net::ServerModelName(args.server_model)
             << " drop=" << args.drop << " delay=" << args.delay
             << " dup=" << args.dup << "\n\n";
 
@@ -244,12 +429,14 @@ int main(int argc, char** argv) {
     ::close(port_pipe[0]);
   }
 
-  // Endpoint table from the one canonical shard layout.
+  // Endpoint table from the one canonical shard layout: each shard behind
+  // its own server process (clients open one link per process).
   net::ShardClientConfig client_config;
   const auto split = ParameterServer::ShardSplit(args.dim, args.num_servers);
   for (std::size_t s = 0; s < args.num_servers; ++s) {
-    client_config.shards.push_back(net::ShardEndpoint{
-        split[s].first, split[s].second, children[s].port});
+    client_config.topology.shards.push_back(net::ShardPlacement{
+        split[s].first, split[s].second,
+        net::Endpoint{"127.0.0.1", children[s].port}});
   }
   client_config.request_timeout = std::chrono::milliseconds(100);
   client_config.max_attempts = 64;
@@ -303,9 +490,13 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   net::ShardClient::Stats total;
   std::uint64_t total_ops = 0;
+  std::uint64_t total_pulls = 0;
+  std::uint64_t total_pushes = 0;
   for (const WorkerTally& tally : tallies) {
     all_ok = all_ok && tally.ok;
     total_ops += tally.pulls + tally.pushes;
+    total_pulls += tally.pulls;
+    total_pushes += tally.pushes;
     total.requests += tally.stats.requests;
     total.retries += tally.stats.retries;
     total.timeouts += tally.stats.timeouts;
@@ -349,6 +540,13 @@ int main(int argc, char** argv) {
             << "ops=" << total_ops << " wall_s=" << wall_seconds
             << " ops_per_s=" << (total_ops / std::max(wall_seconds, 1e-9))
             << "\n";
+  // Timing-free summary for the cross-model CI diff: identical protocol work
+  // must complete under both server models.
+  std::cout << "equivalence: servers=" << args.num_servers
+            << " workers=" << args.workers << " iters=" << args.iters
+            << " dim=" << args.dim << " pulls=" << total_pulls
+            << " pushes=" << total_pushes << " ok=" << (all_ok ? 1 : 0)
+            << "\n";
 
   // Self-describing metrics snapshot (the RTT histograms above plus the run
   // shape), so the smoke artifact can be validated without the stdout log.
@@ -381,6 +579,21 @@ int main(int argc, char** argv) {
       all_ok = false;
     }
   }
+
+  // Phase 2 — fan-in scaling on one in-process server.
+  bench::BenchReporter reporter(
+      std::string("bench_transport_") + net::ServerModelName(args.server_model));
+  reporter.AddMetric("soak_ops_per_s",
+                     total_ops / std::max(wall_seconds, 1e-9));
+  reporter.AddMetric("soak_rtt_p99_us",
+                     us(all_rtt.ApproxQuantileSeconds(0.99)));
+  if (args.clients > 0) {
+    std::cout << "\n";
+    all_ok = RunFanIn(args, reporter) && all_ok;
+  }
+  reporter.SetRun(args.workers, wall_seconds, wall_seconds);
+  reporter.WriteJson();
+
   if (!all_ok) {
     std::cerr << "bench_transport: FAILED\n";
     return 1;

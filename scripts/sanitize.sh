@@ -4,7 +4,12 @@
 # (runtime, chaos, parameter server, the experiment thread pool and the
 # ParallelRunner built on it, plus the lock-free obs instruments recorded
 # from those threads) and the fault plan itself; the rest of the repo is
-# single-threaded sim code covered by the plain build. The calendar-queue
+# single-threaded sim code covered by the plain build. net_test runs the
+# whole transport matrix under both sanitizers: the multiplexed pipelined
+# ShardClient (receiver threads, pending-table handoff, reconnects) against
+# BOTH server models — the per-model suites are value-parameterized, so the
+# epoll event-loop server's loop/pool/connection lifetimes are TSan/ASan
+# proven on every CI run, including the start/stop hammer. The calendar-queue
 # and tuner equivalence property suites ride along for ASan's sake: the
 # pooled event queue recycles nodes through a free list and moves payloads
 # out mid-callback, exactly the lifetime pattern ASan proves sound

@@ -1,0 +1,102 @@
+#include "net/request_executor.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace specsync::net {
+
+RequestExecutor::RequestExecutor(ParameterServer* store,
+                                 std::vector<std::size_t> served_shards,
+                                 obs::MetricsRegistry* metrics,
+                                 std::chrono::microseconds service_delay)
+    : store_(store),
+      served_shards_(std::move(served_shards)),
+      service_delay_(service_delay) {
+  SPECSYNC_CHECK(store_ != nullptr);
+  for (std::size_t s : served_shards_) {
+    SPECSYNC_CHECK_LT(s, store_->num_shards());
+  }
+  if (metrics != nullptr) {
+    pull_hist_ = &metrics->histogram("net.server.pull_s");
+    push_hist_ = &metrics->histogram("net.server.push_s");
+  }
+}
+
+bool RequestExecutor::ServesShard(std::size_t shard) const {
+  if (shard >= store_->num_shards()) return false;
+  if (served_shards_.empty()) return true;
+  return std::find(served_shards_.begin(), served_shards_.end(), shard) !=
+         served_shards_.end();
+}
+
+WireMessage RequestExecutor::Execute(const WireMessage& request) {
+  if (service_delay_.count() > 0) {
+    std::this_thread::sleep_for(service_delay_);
+  }
+  if (const auto* pull = std::get_if<PullShardReq>(&request)) {
+    if (!ServesShard(pull->shard)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return AckResp{kAckBadShard, pull->shard};
+    }
+    obs::ScopedTimer timer(pull_hist_);
+    ShardPullResult result = store_->PullShard(pull->shard);
+    pulls_.fetch_add(1, std::memory_order_relaxed);
+    PullShardResp resp;
+    resp.shard = pull->shard;
+    resp.offset = result.offset;
+    resp.shard_version = result.shard_version;
+    resp.global_version = result.version;
+    resp.params = std::move(result.params);
+    return resp;
+  }
+  if (const auto* push = std::get_if<PushShardReq>(&request)) {
+    if (!ServesShard(push->shard)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return AckResp{kAckBadShard, push->shard};
+    }
+    if (push->sparse) {
+      obs::ScopedTimer timer(push_hist_);
+      Gradient grad = Gradient::Sparse();
+      grad.sparse().Reserve(push->indices.size());
+      for (std::size_t i = 0; i < push->indices.size(); ++i) {
+        grad.sparse().Add(push->indices[i], push->values[i]);
+      }
+      const bool touched = store_->PushShard(push->shard, grad, push->epoch);
+      pushes_.fetch_add(1, std::memory_order_relaxed);
+      return AckResp{kAckOk, touched ? 1u : 0u};
+    }
+    const ShardInfo info = store_->shard(push->shard);
+    if (push->dense_offset != info.offset || push->dense.size() != info.length) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return AckResp{kAckBadRequest, push->shard};
+    }
+    obs::ScopedTimer timer(push_hist_);
+    const bool touched =
+        store_->PushShardDenseSlice(push->shard, push->dense, push->epoch);
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+    return AckResp{kAckOk, touched ? 1u : 0u};
+  }
+  if (std::holds_alternative<CommitPushReq>(request)) {
+    const std::uint64_t version = store_->CommitPush();
+    commits_.fetch_add(1, std::memory_order_relaxed);
+    return AckResp{kAckOk, version};
+  }
+  // A response type arriving at the server is a confused peer.
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return AckResp{kAckBadRequest, 0};
+}
+
+ServerStats RequestExecutor::stats() const {
+  ServerStats out;
+  out.pulls = pulls_.load(std::memory_order_relaxed);
+  out.pushes = pushes_.load(std::memory_order_relaxed);
+  out.commits = commits_.load(std::memory_order_relaxed);
+  out.rejected = rejected_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace specsync::net

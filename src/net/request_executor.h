@@ -1,0 +1,81 @@
+// RequestExecutor: the server-side request→response function, shared by both
+// server models.
+//
+// Executing a decoded WireMessage against a ParameterServer is pure protocol
+// logic — which shards this server owns, how a dense slice is validated, what
+// an error ack looks like — and must be byte-identical whether the request
+// arrived on a thread-per-connection handler (ShardServer) or the epoll
+// event loop's execution pool (EventLoopServer). Factoring it here is what
+// makes the two models A/B-equivalent by construction: they differ only in
+// how bytes reach Execute(), never in what Execute() does.
+//
+// Thread safety: Execute() may be called concurrently from any number of
+// threads; the ParameterServer's per-shard locks are the serialization
+// point, and the counters are atomics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.h"
+#include "ps/param_store.h"
+
+namespace specsync::obs {
+class MetricsRegistry;
+class LatencyHistogram;
+}  // namespace specsync::obs
+
+namespace specsync::net {
+
+// Aggregate request counters, shared across server models (bad_frames is
+// owned by the transport layer — frames that never decode never reach the
+// executor — and merged into this struct by the server's stats()).
+struct ServerStats {
+  std::uint64_t pulls = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t commits = 0;
+  // Requests answered with an error ack (bad shard / bad request).
+  std::uint64_t rejected = 0;
+  // Connections dropped on malformed frames or socket errors.
+  std::uint64_t bad_frames = 0;
+};
+
+class RequestExecutor {
+ public:
+  // `store` is not owned and must outlive the executor. `served_shards`
+  // empty = all shards. `metrics` (optional) receives the
+  // "net.server.pull_s" / "net.server.push_s" service-time histograms.
+  // `service_delay` stalls every request's execution by that much before
+  // touching the store — a test/bench injection point that makes service
+  // time controllable when pinning pipelining behavior (zero = off).
+  RequestExecutor(ParameterServer* store,
+                  std::vector<std::size_t> served_shards,
+                  obs::MetricsRegistry* metrics = nullptr,
+                  std::chrono::microseconds service_delay = {});
+
+  // Executes one decoded request and returns the response to send back. A
+  // response-typed message (a confused peer) gets a kAckBadRequest ack.
+  WireMessage Execute(const WireMessage& request);
+
+  bool ServesShard(std::size_t shard) const;
+
+  // Executor-side counters (bad_frames always 0 here).
+  ServerStats stats() const;
+
+ private:
+  ParameterServer* store_;
+  std::vector<std::size_t> served_shards_;
+  std::chrono::microseconds service_delay_;
+
+  std::atomic<std::uint64_t> pulls_{0};
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> commits_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  obs::LatencyHistogram* pull_hist_ = nullptr;
+  obs::LatencyHistogram* push_hist_ = nullptr;
+};
+
+}  // namespace specsync::net

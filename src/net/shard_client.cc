@@ -2,25 +2,52 @@
 
 #include <algorithm>
 #include <atomic>
-#include <latch>
+#include <condition_variable>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
-#include "common/thread_pool.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
 
 namespace specsync::net {
 
-struct ShardClient::Conn {
+// A caller's wait state, stack-owned by its Ticket. The receiver finds it
+// through the pending table and fulfills it under the link's state mutex.
+struct ShardClient::PendingSlot {
+  std::condition_variable cv;
+  bool done = false;    // response arrived (guarded by Link::mutex)
+  bool failed = false;  // link died; retry now (guarded by Link::mutex)
+  WireMessage response;
+};
+
+// One multiplexed connection to one server endpoint.
+struct ShardClient::Link {
+  Endpoint endpoint;
+
+  // Send path. Serializes socket writes only; never held together with
+  // `mutex` except that EnsureLink briefly takes it (alone) to swap in a
+  // fresh connection, and a failed sender shuts the socket down under it so
+  // shutdown cannot race that swap.
+  std::mutex send_mutex;
+
+  // State path: pending table, id allocation, link status.
   std::mutex mutex;
-  TcpConnection connection;     // guarded by mutex
-  std::uint64_t next_id = 1;    // guarded by mutex
-  std::uint16_t port = 0;
+  std::condition_variable reconnect_cv;
+  std::unordered_map<std::uint64_t, PendingSlot*> pending;  // guarded by mutex
+  std::uint64_t next_id = 1;                                // guarded by mutex
+  bool link_up = false;                                     // guarded by mutex
+  bool reconnecting = false;                                // guarded by mutex
+
+  // Swapped only by the single reconnecting thread after the receiver has
+  // been joined; read concurrently by senders (send_mutex) and the receiver.
+  TcpConnection connection;
+  std::thread receiver;
 
   std::atomic<std::uint64_t> requests{0};
   std::atomic<std::uint64_t> retries{0};
@@ -32,28 +59,65 @@ struct ShardClient::Conn {
   std::atomic<std::uint64_t> injected_duplicates{0};
 };
 
+// One logical request's lifecycle across attempts. Owns the slot; the
+// destructor deregisters a still-pending entry so the receiver can never
+// touch a freed slot even when an exception unwinds mid-batch.
+struct ShardClient::Ticket {
+  Link* link = nullptr;
+  std::size_t shard = 0;
+  const WireMessage* request = nullptr;  // caller-owned, outlives the ticket
+  std::unique_ptr<PendingSlot> slot;
+  std::uint64_t id = 0;
+  std::chrono::steady_clock::time_point sent_at{};
+  std::size_t attempts = 0;
+  bool in_flight = false;
+
+  Ticket() = default;
+  Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+  Ticket& operator=(Ticket&& other) noexcept {
+    if (this != &other) {
+      Abandon();
+      link = std::exchange(other.link, nullptr);
+      shard = other.shard;
+      request = std::exchange(other.request, nullptr);
+      slot = std::move(other.slot);
+      id = other.id;
+      sent_at = other.sent_at;
+      attempts = other.attempts;
+      in_flight = std::exchange(other.in_flight, false);
+    }
+    return *this;
+  }
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+  ~Ticket() { Abandon(); }
+
+  void Abandon() {
+    if (link != nullptr && in_flight) {
+      std::scoped_lock lock(link->mutex);
+      link->pending.erase(id);
+      in_flight = false;
+    }
+  }
+};
+
 ShardClient::ShardClient(ShardClientConfig config, FaultPlan* faults,
                          obs::MetricsRegistry* metrics)
     : config_(std::move(config)), faults_(faults) {
-  SPECSYNC_CHECK(!config_.shards.empty());
+  std::string error;
+  SPECSYNC_CHECK(config_.topology.Validate(&error)) << error;
   SPECSYNC_CHECK_GT(config_.max_attempts, 0u);
-  std::size_t expected_offset = 0;
-  for (const ShardEndpoint& shard : config_.shards) {
-    SPECSYNC_CHECK_EQ(shard.offset, expected_offset);
-    expected_offset += shard.length;
-  }
-  dim_ = expected_offset;
-  SPECSYNC_CHECK_GT(dim_, 0u);
-  conns_.reserve(config_.shards.size());
-  for (const ShardEndpoint& shard : config_.shards) {
-    auto conn = std::make_unique<Conn>();
-    conn->port = shard.port;
-    conns_.push_back(std::move(conn));
+  dim_ = config_.topology.dim();
+  shard_link_ = config_.topology.ShardLinkIndex();
+  for (const Endpoint& endpoint : config_.topology.DistinctEndpoints()) {
+    auto link = std::make_unique<Link>();
+    link->endpoint = endpoint;
+    links_.push_back(std::move(link));
   }
   if (metrics != nullptr) {
     rtt_hist_ = &metrics->histogram("net.rtt_s");
-    shard_rtt_.reserve(conns_.size());
-    for (std::size_t s = 0; s < conns_.size(); ++s) {
+    shard_rtt_.reserve(num_shards());
+    for (std::size_t s = 0; s < num_shards(); ++s) {
       shard_rtt_.push_back(
           &metrics->histogram("net.shard" + std::to_string(s) + ".rtt_s"));
     }
@@ -62,20 +126,26 @@ ShardClient::ShardClient(ShardClientConfig config, FaultPlan* faults,
   }
 }
 
-ShardClient::~ShardClient() = default;
+ShardClient::~ShardClient() {
+  for (auto& link : links_) {
+    {
+      std::scoped_lock lock(link->mutex);
+      link->link_up = false;
+    }
+    link->connection.ShutdownBoth();
+    if (link->receiver.joinable()) link->receiver.join();
+  }
+}
 
 bool ShardClient::Connect() {
   const auto deadline =
       std::chrono::steady_clock::now() + config_.connect_timeout;
-  for (std::size_t s = 0; s < conns_.size(); ++s) {
-    Conn& conn = *conns_[s];
-    std::scoped_lock lock(conn.mutex);
-    while (!conn.connection.valid()) {
-      conn.connection = TcpConnection::ConnectLoopback(conn.port);
-      if (conn.connection.valid()) break;
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    while (!EnsureLink(*links_[l])) {
       if (std::chrono::steady_clock::now() >= deadline) {
-        SPECSYNC_LOG(kWarning) << "ShardClient: shard " << s
-                              << " unreachable on port " << conn.port;
+        SPECSYNC_LOG(kWarning) << "ShardClient: endpoint "
+                              << ToString(links_[l]->endpoint)
+                              << " unreachable";
         return false;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -84,112 +154,233 @@ bool ShardClient::Connect() {
   return true;
 }
 
-WireMessage ShardClient::Call(std::size_t s, const WireMessage& request) {
-  Conn& conn = *conns_[s];
-  std::scoped_lock lock(conn.mutex);
-  conn.requests.fetch_add(1, std::memory_order_relaxed);
+bool ShardClient::EnsureLink(Link& link) {
+  std::unique_lock lock(link.mutex);
+  if (link.link_up) return true;
+  if (link.reconnecting) {
+    // Someone else is already reconnecting; adopt their verdict as this
+    // attempt's outcome so attempts stay bounded under a dead endpoint.
+    link.reconnect_cv.wait(lock, [&] { return !link.reconnecting; });
+    return link.link_up;
+  }
+  link.reconnecting = true;
+  lock.unlock();
+
+  // The old receiver (if any) is blocked in RecvFrame on the dead
+  // connection; shutdown wakes it, then the join makes the swap below safe.
+  link.connection.ShutdownBoth();
+  if (link.receiver.joinable()) link.receiver.join();
+  TcpConnection fresh = TcpConnection::Connect(link.endpoint);
+  const bool up = fresh.valid();
+  if (up) {
+    std::scoped_lock send_lock(link.send_mutex);
+    link.connection = std::move(fresh);
+  }
+
+  lock.lock();
+  link.reconnecting = false;
+  link.link_up = up;
+  if (up) {
+    link.receiver = std::thread([this, &link] { ReceiverLoop(&link); });
+  }
+  link.reconnect_cv.notify_all();
+  return up;
+}
+
+void ShardClient::ReceiverLoop(Link* link) {
   std::vector<std::uint8_t> frame;
-  for (std::size_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
-    if (attempt > 0) {
-      conn.retries.fetch_add(1, std::memory_order_relaxed);
-      if (retry_counter_ != nullptr) retry_counter_->Increment();
+  constexpr auto kForever = std::chrono::steady_clock::time_point::max();
+  for (;;) {
+    const auto status = link->connection.RecvFrame(frame, kForever);
+    if (status != TcpConnection::RecvStatus::kFrame) break;
+    std::uint64_t id = 0;
+    WireMessage response;
+    if (DecodeFrame(frame, id, response) != WireStatus::kOk) break;
+    std::scoped_lock lock(link->mutex);
+    const auto it = link->pending.find(id);
+    if (it == link->pending.end()) {
+      // Late answer to a timed-out attempt, or the echo of an injected
+      // duplicate: nobody is waiting for this id any more.
+      link->stale_frames.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
-    // A fresh id per attempt: responses to abandoned attempts (timed out,
-    // duplicated) are identifiable as stale and skipped below.
-    const std::uint64_t id = conn.next_id++;
-    const std::vector<std::uint8_t> bytes = EncodeFrame(request, id);
+    PendingSlot* slot = it->second;
+    link->pending.erase(it);
+    slot->response = std::move(response);
+    slot->done = true;
+    slot->cv.notify_one();
+  }
+  // The link is dead (EOF, error, or lost framing). Fail every waiter so it
+  // retries immediately instead of burning its full timeout; the first
+  // retrying caller runs the reconnect.
+  std::scoped_lock lock(link->mutex);
+  link->link_up = false;
+  for (auto& [id, slot] : link->pending) {
+    slot->failed = true;
+    slot->cv.notify_one();
+  }
+  link->pending.clear();
+}
 
-    FaultDecision decision;
-    if (faults_ != nullptr && faults_->enabled()) {
-      decision = faults_->OnMessage(LinkClass::kData);
+ShardClient::Ticket ShardClient::MakeTicket(std::size_t shard,
+                                            const WireMessage* request) {
+  SPECSYNC_CHECK_LT(shard, num_shards());
+  Ticket ticket;
+  ticket.link = links_[shard_link_[shard]].get();
+  ticket.shard = shard;
+  ticket.request = request;
+  ticket.slot = std::make_unique<PendingSlot>();
+  ticket.link->requests.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+void ShardClient::IssueAttempt(Ticket& ticket) {
+  Link& link = *ticket.link;
+  if (ticket.attempts > 0) {
+    link.retries.fetch_add(1, std::memory_order_relaxed);
+    if (retry_counter_ != nullptr) retry_counter_->Increment();
+  }
+  ++ticket.attempts;
+
+  FaultDecision decision;
+  if (faults_ != nullptr && faults_->enabled()) {
+    decision = faults_->OnMessage(LinkClass::kData);
+  }
+  if (decision.extra_delay > Duration::Zero()) {
+    link.injected_delays.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(decision.extra_delay.seconds()));
+  }
+
+  // (Re)establish the link if it is down. Counted as a reconnect only when
+  // an actual reconnect round ran; the attempt is consumed either way, so a
+  // dead endpoint exhausts max_attempts instead of looping forever.
+  bool was_down;
+  {
+    std::scoped_lock lock(link.mutex);
+    was_down = !link.link_up;
+  }
+  if (was_down) {
+    link.reconnects.fetch_add(1, std::memory_order_relaxed);
+    if (!EnsureLink(link)) return;  // attempt consumed
+  }
+
+  // Register the pending entry *before* sending: the response can race back
+  // on the receiver thread before this thread even returns from SendAll.
+  {
+    std::scoped_lock lock(link.mutex);
+    if (!link.link_up) return;  // died in the gap; next attempt reconnects
+    ticket.id = link.next_id++;
+    ticket.slot->done = false;
+    ticket.slot->failed = false;
+    link.pending.emplace(ticket.id, ticket.slot.get());
+  }
+  const std::vector<std::uint8_t> bytes =
+      EncodeFrame(*ticket.request, ticket.id);
+  ticket.sent_at = std::chrono::steady_clock::now();
+
+  if (decision.drop) {
+    // The frame vanishes in the wire: never sent, so this attempt can only
+    // time out. The retry after the timeout is the recovery path.
+    link.injected_drops.fetch_add(1, std::memory_order_relaxed);
+    ticket.in_flight = true;
+    return;
+  }
+
+  bool sent;
+  {
+    // The send happens outside the state mutex on purpose: under deep
+    // pipelining a full kernel buffer blocks this send until the server
+    // drains, which requires our receiver to keep consuming — so the
+    // receiver must never contend with a blocked sender for the state lock.
+    std::scoped_lock send_lock(link.send_mutex);
+    sent = link.connection.SendAll(bytes);
+    if (sent && decision.duplicate) {
+      link.injected_duplicates.fetch_add(1, std::memory_order_relaxed);
+      sent = link.connection.SendAll(bytes);
     }
-    if (decision.extra_delay > Duration::Zero()) {
-      conn.injected_delays.fetch_add(1, std::memory_order_relaxed);
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(decision.extra_delay.seconds()));
-    }
-    const auto sent_at = std::chrono::steady_clock::now();
-    const auto deadline = sent_at + config_.request_timeout;
-    if (decision.drop) {
-      // The request vanishes in the wire: never sent, so this attempt can
-      // only time out. The retry after the timeout is the recovery path.
-      conn.injected_drops.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      if (!conn.connection.valid() || !conn.connection.SendAll(bytes)) {
-        conn.reconnects.fetch_add(1, std::memory_order_relaxed);
-        conn.connection = TcpConnection::ConnectLoopback(conn.port);
-        continue;
-      }
-      if (decision.duplicate) {
-        conn.injected_duplicates.fetch_add(1, std::memory_order_relaxed);
-        if (!conn.connection.SendAll(bytes)) {
-          conn.reconnects.fetch_add(1, std::memory_order_relaxed);
-          conn.connection = TcpConnection::ConnectLoopback(conn.port);
-          continue;
+    // Shut down under the send mutex so this cannot race EnsureLink's
+    // connection swap.
+    if (!sent) link.connection.ShutdownBoth();
+  }
+  if (!sent) {
+    std::scoped_lock lock(link.mutex);
+    link.pending.erase(ticket.id);
+    link.link_up = false;
+    return;  // attempt consumed; next attempt reconnects
+  }
+  ticket.in_flight = true;
+}
+
+void ShardClient::IssueUntilInFlight(Ticket& ticket) {
+  while (!ticket.in_flight) {
+    SPECSYNC_CHECK(ticket.attempts < config_.max_attempts)
+        << "shard " << ticket.shard << " unreachable after "
+        << config_.max_attempts << " attempts";
+    IssueAttempt(ticket);
+  }
+}
+
+WireMessage ShardClient::Await(Ticket& ticket) {
+  Link& link = *ticket.link;
+  for (;;) {
+    bool done = false;
+    {
+      std::unique_lock lock(link.mutex);
+      const auto deadline = ticket.sent_at + config_.request_timeout;
+      ticket.slot->cv.wait_until(lock, deadline, [&] {
+        return ticket.slot->done || ticket.slot->failed;
+      });
+      done = ticket.slot->done;
+      if (!done) {
+        if (!ticket.slot->failed) {
+          // Timed out: deregister so a late frame for this id counts as
+          // stale instead of fulfilling a slot nobody awaits.
+          link.pending.erase(ticket.id);
+          link.timeouts.fetch_add(1, std::memory_order_relaxed);
+          if (timeout_counter_ != nullptr) timeout_counter_->Increment();
         }
+        // On failure the receiver already deregistered everything.
+        ticket.in_flight = false;
       }
     }
-
-    for (;;) {
-      const auto status = conn.connection.valid()
-                              ? conn.connection.RecvFrame(frame, deadline)
-                              : TcpConnection::RecvStatus::kError;
-      if (status == TcpConnection::RecvStatus::kTimeout ||
-          (decision.drop && status != TcpConnection::RecvStatus::kFrame)) {
-        conn.timeouts.fetch_add(1, std::memory_order_relaxed);
-        if (timeout_counter_ != nullptr) timeout_counter_->Increment();
-        break;  // retry
-      }
-      if (status == TcpConnection::RecvStatus::kClosed ||
-          status == TcpConnection::RecvStatus::kError ||
-          status == TcpConnection::RecvStatus::kBadFrame) {
-        conn.reconnects.fetch_add(1, std::memory_order_relaxed);
-        conn.connection = TcpConnection::ConnectLoopback(conn.port);
-        break;  // retry
-      }
-      std::uint64_t response_id = 0;
-      WireMessage response;
-      if (DecodeFrame(frame, response_id, response) != WireStatus::kOk) {
-        conn.reconnects.fetch_add(1, std::memory_order_relaxed);
-        conn.connection = TcpConnection::ConnectLoopback(conn.port);
-        break;  // framing is lost; retry on a fresh stream
-      }
-      if (response_id != id) {
-        // Late answer to an earlier attempt, or the echo of an injected
-        // duplicate. Drain and keep waiting for ours.
-        conn.stale_frames.fetch_add(1, std::memory_order_relaxed);
-        continue;
-      }
-      if (const auto* ack = std::get_if<AckResp>(&response)) {
-        // Error acks mean the client routed a request the server does not
-        // own — a wiring bug, not a transient fault.
-        SPECSYNC_CHECK(ack->status == kAckOk)
-            << "shard " << s << " rejected request (status " << ack->status
-            << ")";
-      }
+    if (done) {
+      ticket.in_flight = false;
       const double rtt = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - sent_at)
+                             std::chrono::steady_clock::now() - ticket.sent_at)
                              .count();
       if (rtt_hist_ != nullptr) {
         rtt_hist_->Record(rtt);
-        shard_rtt_[s]->Record(rtt);
+        shard_rtt_[ticket.shard]->Record(rtt);
       }
-      return response;
+      if (const auto* ack = std::get_if<AckResp>(&ticket.slot->response)) {
+        // Error acks mean the client routed a request the server does not
+        // own — a wiring bug, not a transient fault.
+        SPECSYNC_CHECK(ack->status == kAckOk)
+            << "shard " << ticket.shard << " rejected request (status "
+            << ack->status << ")";
+      }
+      return std::move(ticket.slot->response);
     }
+    IssueUntilInFlight(ticket);
   }
-  SPECSYNC_CHECK(false) << "shard " << s << " unreachable after "
-                        << config_.max_attempts << " attempts";
-  return AckResp{};
+}
+
+WireMessage ShardClient::Call(std::size_t shard, const WireMessage& request) {
+  Ticket ticket = MakeTicket(shard, &request);
+  IssueUntilInFlight(ticket);
+  return Await(ticket);
 }
 
 std::size_t ShardClient::ShardOf(std::size_t index) const {
   SPECSYNC_CHECK_LT(index, dim_);
-  // Mirrors ParameterServer::ShardOf over the endpoint table.
+  // Mirrors ParameterServer::ShardOf over the placement table.
+  const auto& shards = config_.topology.shards;
   std::size_t lo = 0;
-  std::size_t hi = config_.shards.size();
+  std::size_t hi = shards.size();
   while (hi - lo > 1) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (config_.shards[mid].offset <= index) {
+    if (shards[mid].offset <= index) {
       lo = mid;
     } else {
       hi = mid;
@@ -199,12 +390,12 @@ std::size_t ShardClient::ShardOf(std::size_t index) const {
 }
 
 ShardPullResult ShardClient::PullShard(std::size_t s) {
-  SPECSYNC_CHECK_LT(s, conns_.size());
+  SPECSYNC_CHECK_LT(s, num_shards());
   WireMessage response = Call(s, PullShardReq{static_cast<std::uint32_t>(s)});
   auto* resp = std::get_if<PullShardResp>(&response);
   SPECSYNC_CHECK(resp != nullptr);
-  SPECSYNC_CHECK_EQ(resp->offset, config_.shards[s].offset);
-  SPECSYNC_CHECK_EQ(resp->params.size(), config_.shards[s].length);
+  SPECSYNC_CHECK_EQ(resp->offset, config_.topology.shards[s].offset);
+  SPECSYNC_CHECK_EQ(resp->params.size(), config_.topology.shards[s].length);
   ShardPullResult out;
   out.offset = resp->offset;
   out.params = std::move(resp->params);
@@ -213,45 +404,49 @@ ShardPullResult ShardClient::PullShard(std::size_t s) {
   return out;
 }
 
-PullResult ShardClient::Pull(ThreadPool* pool) {
+PullResult ShardClient::Pull(ThreadPool* /*pool*/) {
+  // Issue every shard's pull before awaiting any: all requests ride the
+  // shared links back-to-back, so the batch completes in ~one round trip
+  // regardless of shard count (the v2 pipelining payoff).
+  std::vector<WireMessage> requests;
+  requests.reserve(num_shards());
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    requests.emplace_back(PullShardReq{static_cast<std::uint32_t>(s)});
+  }
+  std::vector<Ticket> tickets;
+  tickets.reserve(num_shards());
+  for (std::size_t s = 0; s < num_shards(); ++s) {
+    Ticket ticket = MakeTicket(s, &requests[s]);
+    IssueUntilInFlight(ticket);
+    tickets.push_back(std::move(ticket));
+  }
+
   PullResult out;
   out.params.resize(dim_);
-  std::atomic<std::uint64_t> version{0};
-  const auto pull_one = [this, &out, &version](std::size_t s) {
-    ShardPullResult shard = PullShard(s);
-    std::copy(shard.params.begin(), shard.params.end(),
-              out.params.begin() + static_cast<std::ptrdiff_t>(shard.offset));
-    std::uint64_t seen = version.load(std::memory_order_relaxed);
-    while (seen < shard.version &&
-           !version.compare_exchange_weak(seen, shard.version,
-                                          std::memory_order_relaxed)) {
-    }
-  };
-  if (pool == nullptr || conns_.size() == 1) {
-    for (std::size_t s = 0; s < conns_.size(); ++s) pull_one(s);
-  } else {
-    std::latch done(static_cast<std::ptrdiff_t>(conns_.size()));
-    for (std::size_t s = 0; s < conns_.size(); ++s) {
-      pool->Submit([&pull_one, &done, s] {
-        pull_one(s);
-        done.count_down();
-      });
-    }
-    done.wait();
+  std::uint64_t version = 0;
+  for (std::size_t s = 0; s < tickets.size(); ++s) {
+    WireMessage response = Await(tickets[s]);
+    auto* resp = std::get_if<PullShardResp>(&response);
+    SPECSYNC_CHECK(resp != nullptr);
+    SPECSYNC_CHECK_EQ(resp->offset, config_.topology.shards[s].offset);
+    SPECSYNC_CHECK_EQ(resp->params.size(), config_.topology.shards[s].length);
+    std::copy(resp->params.begin(), resp->params.end(),
+              out.params.begin() + static_cast<std::ptrdiff_t>(resp->offset));
+    version = std::max(version, resp->global_version);
   }
-  out.version = version.load(std::memory_order_relaxed);
+  out.version = version;
   return out;
 }
 
 std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
-                                ThreadPool* pool) {
+                                ThreadPool* /*pool*/) {
   // Build the per-shard messages (the client-side half of RouteGradient).
-  std::vector<PushShardReq> messages;
+  std::vector<std::size_t> shards;
+  std::vector<WireMessage> requests;
   if (!grad.is_sparse()) {
     SPECSYNC_CHECK_EQ(grad.dense().size(), dim_);
-    messages.reserve(conns_.size());
-    for (std::size_t s = 0; s < conns_.size(); ++s) {
-      const ShardEndpoint& shard = config_.shards[s];
+    for (std::size_t s = 0; s < num_shards(); ++s) {
+      const ShardPlacement& shard = config_.topology.shards[s];
       PushShardReq req;
       req.shard = static_cast<std::uint32_t>(s);
       req.epoch = epoch;
@@ -260,10 +455,11 @@ std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
                            static_cast<std::ptrdiff_t>(shard.offset),
                        grad.dense().begin() + static_cast<std::ptrdiff_t>(
                                                   shard.offset + shard.length));
-      messages.push_back(std::move(req));
+      shards.push_back(s);
+      requests.emplace_back(std::move(req));
     }
   } else {
-    std::vector<PushShardReq> by_shard(conns_.size());
+    std::vector<PushShardReq> by_shard(num_shards());
     const auto indices = grad.sparse().indices();
     const auto values = grad.sparse().values();
     for (std::size_t i = 0; i < indices.size(); ++i) {
@@ -276,45 +472,59 @@ std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
       by_shard[s].shard = static_cast<std::uint32_t>(s);
       by_shard[s].epoch = epoch;
       by_shard[s].sparse = true;
-      messages.push_back(std::move(by_shard[s]));
+      shards.push_back(s);
+      requests.emplace_back(std::move(by_shard[s]));
     }
     // Like RouteGradient: an empty gradient still crosses the wire as one
     // empty message, so the push protocol sees exactly one logical push.
-    if (messages.empty()) {
+    if (requests.empty()) {
       PushShardReq req;
       req.shard = 0;
       req.epoch = epoch;
       req.sparse = true;
-      messages.push_back(std::move(req));
+      shards.push_back(0);
+      requests.emplace_back(std::move(req));
     }
   }
 
-  if (pool == nullptr || messages.size() == 1) {
-    for (const PushShardReq& req : messages) Call(req.shard, req);
-  } else {
-    std::latch done(static_cast<std::ptrdiff_t>(messages.size()));
-    for (const PushShardReq& req : messages) {
-      pool->Submit([this, &req, &done] {
-        Call(req.shard, req);
-        done.count_down();
-      });
-    }
-    done.wait();
+  // Pipeline all slices, then await them all.
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Ticket ticket = MakeTicket(shards[i], &requests[i]);
+    IssueUntilInFlight(ticket);
+    tickets.push_back(std::move(ticket));
   }
+  for (Ticket& ticket : tickets) Await(ticket);
 
   // One commit per distinct server touched (a server's global version counts
-  // the logical pushes that reached it). All slices have landed by now, so
-  // the commit orders after them exactly as CommitPush does in-process.
-  std::uint64_t version = 0;
-  std::vector<std::uint16_t> committed_ports;
-  for (const PushShardReq& req : messages) {
-    const std::uint16_t port = config_.shards[req.shard].port;
-    if (std::find(committed_ports.begin(), committed_ports.end(), port) !=
-        committed_ports.end()) {
+  // the logical pushes that reached it). All slices have been acked by now,
+  // so the commit orders after them exactly as CommitPush does in-process —
+  // which is why the commits form a second pipelined batch instead of riding
+  // with the slices.
+  std::vector<std::size_t> commit_shards;
+  std::vector<std::size_t> committed_links;
+  for (std::size_t s : shards) {
+    const std::size_t l = shard_link_[s];
+    if (std::find(committed_links.begin(), committed_links.end(), l) !=
+        committed_links.end()) {
       continue;
     }
-    committed_ports.push_back(port);
-    WireMessage response = Call(req.shard, CommitPushReq{});
+    committed_links.push_back(l);
+    commit_shards.push_back(s);
+  }
+  std::vector<WireMessage> commit_requests(commit_shards.size(),
+                                           WireMessage(CommitPushReq{}));
+  std::vector<Ticket> commit_tickets;
+  commit_tickets.reserve(commit_shards.size());
+  for (std::size_t i = 0; i < commit_shards.size(); ++i) {
+    Ticket ticket = MakeTicket(commit_shards[i], &commit_requests[i]);
+    IssueUntilInFlight(ticket);
+    commit_tickets.push_back(std::move(ticket));
+  }
+  std::uint64_t version = 0;
+  for (Ticket& ticket : commit_tickets) {
+    WireMessage response = Await(ticket);
     const auto* ack = std::get_if<AckResp>(&response);
     SPECSYNC_CHECK(ack != nullptr);
     version = std::max(version, ack->value);
@@ -324,17 +534,17 @@ std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
 
 ShardClient::Stats ShardClient::stats() const {
   Stats out;
-  for (const auto& conn : conns_) {
-    out.requests += conn->requests.load(std::memory_order_relaxed);
-    out.retries += conn->retries.load(std::memory_order_relaxed);
-    out.timeouts += conn->timeouts.load(std::memory_order_relaxed);
-    out.reconnects += conn->reconnects.load(std::memory_order_relaxed);
-    out.stale_frames += conn->stale_frames.load(std::memory_order_relaxed);
-    out.injected_drops += conn->injected_drops.load(std::memory_order_relaxed);
+  for (const auto& link : links_) {
+    out.requests += link->requests.load(std::memory_order_relaxed);
+    out.retries += link->retries.load(std::memory_order_relaxed);
+    out.timeouts += link->timeouts.load(std::memory_order_relaxed);
+    out.reconnects += link->reconnects.load(std::memory_order_relaxed);
+    out.stale_frames += link->stale_frames.load(std::memory_order_relaxed);
+    out.injected_drops += link->injected_drops.load(std::memory_order_relaxed);
     out.injected_delays +=
-        conn->injected_delays.load(std::memory_order_relaxed);
+        link->injected_delays.load(std::memory_order_relaxed);
     out.injected_duplicates +=
-        conn->injected_duplicates.load(std::memory_order_relaxed);
+        link->injected_duplicates.load(std::memory_order_relaxed);
   }
   return out;
 }

@@ -1,32 +1,51 @@
-// ShardClient: the worker side of the tcp_loopback transport.
+// ShardClient: the worker side of the tcp transport, multiplexed and
+// pipelined (wire v2).
 //
-// Replaces the runtime's direct ParameterServer calls with real per-shard
-// requests: Pull() fans one PullShardReq out to every shard concurrently
-// (over an optional ThreadPool, exactly like ParameterServer::Pull's
-// in-process fan-out) and Push() routes a gradient to its owning shards —
-// dense gradients ship each shard only its slice, sparse gradients ship each
-// owning shard only its entries — followed by one CommitPushReq per distinct
-// server touched.
+// One connection per distinct server endpoint — not per shard. All shards a
+// server owns share that server's link, and any number of requests may be in
+// flight on it at once: Pull() issues every shard's PullShardReq back-to-back
+// and only then starts awaiting responses, so N outstanding pulls cost ~1
+// batched round trip instead of N serial ones (the pipelining regression test
+// pins exactly this). Push() does the same for the per-shard slices, then one
+// CommitPushReq per distinct server touched.
 //
-// Reliability: every request is timeout + bounded retry. An attempt that
-// times out is retried with a fresh request id; late or duplicated responses
-// from earlier attempts are discarded by id match. The protocol is therefore
-// at-least-once: a retried pull is harmless (idempotent read), a retried
-// push may re-apply its slice if the original was executed but its ack was
-// lost — the asynchronous-SGD tolerance the paper's protocol already assumes
-// for duplicated gradient messages. A shard still unreachable after
-// `max_attempts` is a cluster failure and fails loudly (SPECSYNC_CHECK).
+// Link anatomy. Each link owns a receiver thread and a pending-request table
+// (request_id → caller's stack slot + deadline). A caller registers its slot,
+// sends its frame, and sleeps on its slot's condition variable; the receiver
+// matches each arriving frame to its slot by id and wakes exactly that
+// caller. Responses may arrive in any order — that is the v2 contract. A
+// frame whose id has no pending entry (late answer to a timed-out attempt,
+// echo of an injected duplicate) counts as stale and is dropped.
 //
-// Fault injection: when a FaultPlan is attached, every attempt draws one
-// data-link decision. Drop = the request is never sent (the attempt burns
-// its timeout, then retries), delay = the send is held back by the injected
-// extra delay, duplicate = the frame is sent twice (exercising the server's
-// double-execution path and the client's stale-frame discard).
+// Locking. Two mutexes per link, never held together:
+//   - the state mutex guards the pending table, id allocation, and link
+//     up/down status;
+//   - the send mutex serializes socket writes so concurrent senders
+//     interleave at frame granularity.
+// Senders must NOT hold the state mutex across a blocking send: when deep
+// pipelining fills the kernel socket buffer, the send blocks until the
+// server drains — which it can only do if our receiver keeps consuming
+// responses, which it could not do if the sender sat on the one lock the
+// receiver needs. Registering the pending entry first, then sending outside
+// the state mutex, is what makes backpressure safe.
 //
-// Thread safety: each shard has its own connection guarded by its own mutex,
-// so concurrent requests to different shards proceed in parallel; concurrent
-// requests to the same shard serialize (give each worker its own client to
-// model independent machines).
+// Reliability. Unchanged at-least-once semantics: every request is timeout +
+// bounded retry with a fresh id per attempt; a shard still unreachable after
+// `max_attempts` fails loudly (SPECSYNC_CHECK). When a link dies (recv/send
+// error, malformed frame), the receiver fails every pending slot so waiters
+// retry immediately instead of burning their full timeout; the first
+// retrying caller reconnects the link and respawns the receiver while the
+// rest wait on the reconnect.
+//
+// Fault injection: with a FaultPlan attached, every attempt draws one
+// data-link decision on the shared link. Drop = the frame is never sent (the
+// attempt burns its timeout), delay = the send is held back, duplicate = the
+// frame is sent twice (exercising the server's double-execution path and the
+// stale-frame discard).
+//
+// Thread safety: the whole client is thread-safe; concurrent callers share
+// links and pipeline naturally. Give each worker its own client to model
+// independent machines.
 #pragma once
 
 #include <chrono>
@@ -35,6 +54,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "net/endpoint.h"
 #include "net/wire.h"
 #include "ps/param_store.h"
 
@@ -49,18 +69,11 @@ class Counter;
 
 namespace specsync::net {
 
-// One shard's placement: its slice of the parameter vector and the loopback
-// port of the server process that owns it. Shard id = index in the config's
-// vector; offsets must be contiguous ascending (ParameterServer::ShardSplit
-// produces the canonical layout).
-struct ShardEndpoint {
-  std::size_t offset = 0;
-  std::size_t length = 0;
-  std::uint16_t port = 0;
-};
-
 struct ShardClientConfig {
-  std::vector<ShardEndpoint> shards;
+  // Shard → endpoint map (shard id = index; ParameterServer::ShardSplit
+  // produces the canonical slicing). Shards sharing an endpoint share one
+  // multiplexed connection.
+  ClusterTopology topology;
   // Per-attempt response deadline.
   std::chrono::milliseconds request_timeout{250};
   // Total attempts per request before declaring the shard unreachable.
@@ -81,27 +94,32 @@ class ShardClient {
   ShardClient(const ShardClient&) = delete;
   ShardClient& operator=(const ShardClient&) = delete;
 
-  // Connects to every endpoint (retrying within connect_timeout). False if
-  // any endpoint stays unreachable.
+  // Opens one connection per distinct endpoint (retrying within
+  // connect_timeout) and starts the receivers. False if any endpoint stays
+  // unreachable.
   bool Connect();
 
-  // Composed full-vector snapshot assembled from per-shard responses; with a
-  // pool the shard requests fly concurrently. Like the in-process store's
-  // composed Pull, the cross-shard snapshot may be torn under concurrent
-  // pushes; `version` is the largest global version any response reported.
+  // Composed full-vector snapshot assembled from per-shard responses, all
+  // shards pipelined in one batch. Like the in-process store's composed
+  // Pull, the cross-shard snapshot may be torn under concurrent pushes;
+  // `version` is the largest global version any response reported. `pool` is
+  // accepted for call-site compatibility and unused — pipelining already
+  // overlaps the shard requests without extra threads.
   PullResult Pull(ThreadPool* pool = nullptr);
 
   // One shard's snapshot over the wire.
   ShardPullResult PullShard(std::size_t s);
 
-  // Routes `grad` to its owning shards (PushShardReq each, concurrently over
-  // `pool` when given), then commits once per distinct server touched.
-  // Returns the largest committed global version reported.
+  // Routes `grad` to its owning shards (all slice messages pipelined), then
+  // commits once per distinct server touched. Returns the largest committed
+  // global version reported. `pool` is accepted and unused, as in Pull().
   std::uint64_t Push(const Gradient& grad, EpochId epoch,
                      ThreadPool* pool = nullptr);
 
   std::size_t dim() const { return dim_; }
-  std::size_t num_shards() const { return config_.shards.size(); }
+  std::size_t num_shards() const { return config_.topology.shards.size(); }
+  // Physical connections (distinct endpoints), not shards.
+  std::size_t num_links() const { return links_.size(); }
 
   struct Stats {
     std::uint64_t requests = 0;
@@ -117,17 +135,34 @@ class ShardClient {
   Stats stats() const;
 
  private:
-  struct Conn;
+  struct Link;
+  struct PendingSlot;
+  struct Ticket;
 
-  // Sends `request` on shard `s`'s connection and returns the matching
-  // response (retry loop lives here). Fatal after max_attempts.
-  WireMessage Call(std::size_t s, const WireMessage& request);
+  // (Re)establishes the link if down; only one caller reconnects, the rest
+  // wait for its verdict. False = the endpoint refused this round.
+  bool EnsureLink(Link& link);
+  void ReceiverLoop(Link* link);
+  Ticket MakeTicket(std::size_t shard, const WireMessage* request);
+  // One attempt: fault draw, pending registration, send. Leaves the ticket
+  // in-flight on success; a failed attempt is consumed silently (the caller
+  // loops).
+  void IssueAttempt(Ticket& ticket);
+  // Attempts until the ticket is in flight; SPECSYNC_CHECK-fails once
+  // max_attempts is exhausted.
+  void IssueUntilInFlight(Ticket& ticket);
+  // Blocks until the ticket's response arrives, retrying timed-out and
+  // link-failed attempts. Validates error acks.
+  WireMessage Await(Ticket& ticket);
+  // Issue + Await: one synchronous request.
+  WireMessage Call(std::size_t shard, const WireMessage& request);
   std::size_t ShardOf(std::size_t index) const;
 
   ShardClientConfig config_;
   FaultPlan* faults_;
   std::size_t dim_ = 0;
-  std::vector<std::unique_ptr<Conn>> conns_;
+  std::vector<std::size_t> shard_link_;  // shard id → links_ index
+  std::vector<std::unique_ptr<Link>> links_;
 
   obs::LatencyHistogram* rtt_hist_ = nullptr;
   std::vector<obs::LatencyHistogram*> shard_rtt_;

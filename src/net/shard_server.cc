@@ -1,58 +1,70 @@
 #include "net/shard_server.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "net/event_loop_server.h"
 #include "net/socket.h"
 #include "net/wire.h"
-#include "obs/metrics.h"
 
 namespace specsync::net {
+
+std::unique_ptr<ShardServerBase> MakeShardServer(
+    ParameterServer* store, ShardServerConfig config,
+    obs::MetricsRegistry* metrics) {
+  if (config.model == ServerModel::kEventLoop) {
+    return std::make_unique<EventLoopServer>(store, std::move(config), metrics);
+  }
+  return std::make_unique<ShardServer>(store, std::move(config), metrics);
+}
 
 struct ShardServer::Conn {
   TcpConnection connection;
   std::thread handler;
+  // Set by the handler as its last act; the accept loop joins and erases
+  // finished connections between accepts (see ReapFinishedLocked).
+  std::atomic<bool> finished{false};
 };
 
 ShardServer::ShardServer(ParameterServer* store, ShardServerConfig config,
                          obs::MetricsRegistry* metrics)
-    : store_(store), config_(std::move(config)) {
-  SPECSYNC_CHECK(store_ != nullptr);
-  for (std::size_t s : config_.served_shards) {
-    SPECSYNC_CHECK_LT(s, store_->num_shards());
-  }
-  if (metrics != nullptr) {
-    pull_hist_ = &metrics->histogram("net.server.pull_s");
-    push_hist_ = &metrics->histogram("net.server.push_s");
-  }
-}
+    : store_(store),
+      config_(std::move(config)),
+      executor_(store, config_.served_shards, metrics, config_.service_delay) {}
 
 ShardServer::~ShardServer() { Stop(); }
 
 bool ShardServer::Start() {
+  std::scoped_lock lock(lifecycle_mutex_);
   SPECSYNC_CHECK(!started_);
-  listener_ = TcpListener::BindLoopback(config_.port);
+  listener_ = TcpListener::Bind(config_.bind);
   if (listener_ == nullptr) {
-    SPECSYNC_LOG(kWarning) << "ShardServer: cannot bind loopback port "
-                          << config_.port;
+    SPECSYNC_LOG(kWarning) << "ShardServer: cannot bind "
+                          << ToString(config_.bind);
     return false;
   }
   port_ = listener_->port();
-  started_ = true;
+  stopping_.store(false, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
   return true;
 }
 
 void ShardServer::Stop() {
+  std::scoped_lock lock(lifecycle_mutex_);
   if (!started_) return;
   stopping_.store(true, std::memory_order_release);
   listener_->Shutdown();
+  // Join the accept thread *before* draining conns_: after this join no new
+  // handler can ever be registered, so the drain below cannot race a
+  // concurrent push_back (the join-while-accepting window the old code
+  // left open). The lifecycle mutex makes concurrent Stop() calls (e.g.
+  // explicit Stop racing the destructor) queue up instead of double-joining.
   if (accept_thread_.joinable()) accept_thread_.join();
   std::vector<std::unique_ptr<Conn>> conns;
   {
-    std::scoped_lock lock(conns_mutex_);
+    std::scoped_lock conns_lock(conns_mutex_);
     conns.swap(conns_);
   }
   for (auto& conn : conns) {
@@ -63,19 +75,18 @@ void ShardServer::Stop() {
   started_ = false;
 }
 
-bool ShardServer::ServesShard(std::size_t shard) const {
-  if (shard >= store_->num_shards()) return false;
-  if (config_.served_shards.empty()) return true;
-  return std::find(config_.served_shards.begin(), config_.served_shards.end(),
-                   shard) != config_.served_shards.end();
-}
-
 void ShardServer::AcceptLoop() {
   for (;;) {
     TcpConnection client = listener_->Accept();
-    if (!client.valid()) return;  // shutdown (or fatal accept error)
-    if (stopping_.load(std::memory_order_acquire)) return;
+    const bool stopping = stopping_.load(std::memory_order_acquire);
+    if (!client.valid() || stopping) {
+      // A client accepted in the same instant Stop() fired still gets an
+      // active close instead of a silently leaked socket.
+      if (client.valid()) client.ShutdownBoth();
+      return;
+    }
     std::scoped_lock lock(conns_mutex_);
+    ReapFinishedLocked();
     auto conn = std::make_unique<Conn>();
     conn->connection = std::move(client);
     Conn* raw = conn.get();
@@ -84,13 +95,27 @@ void ShardServer::AcceptLoop() {
   }
 }
 
+void ShardServer::ReapFinishedLocked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->handler.joinable()) (*it)->handler.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ShardServer::HandleConnection(Conn* conn) {
+  live_handlers_.fetch_add(1, std::memory_order_relaxed);
   ServeConnection(conn);
   // Actively close on every exit path (bad frame, send failure, clean EOF):
-  // the connection object itself lives until Stop(), so without this a peer
+  // the connection object may outlive the handler, so without this a peer
   // whose stream was abandoned mid-protocol would block instead of seeing
   // the close.
   conn->connection.ShutdownBoth();
+  live_handlers_.fetch_sub(1, std::memory_order_relaxed);
+  conn->finished.store(true, std::memory_order_release);
 }
 
 void ShardServer::ServeConnection(Conn* conn) {
@@ -113,74 +138,21 @@ void ShardServer::ServeConnection(Conn* conn) {
       bad_frames_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-
-    WireMessage response = AckResp{kAckBadRequest, 0};
-    if (const auto* pull = std::get_if<PullShardReq>(&request)) {
-      if (!ServesShard(pull->shard)) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        response = AckResp{kAckBadShard, pull->shard};
-      } else {
-        obs::ScopedTimer timer(pull_hist_);
-        ShardPullResult result = store_->PullShard(pull->shard);
-        pulls_.fetch_add(1, std::memory_order_relaxed);
-        PullShardResp resp;
-        resp.shard = pull->shard;
-        resp.offset = result.offset;
-        resp.shard_version = result.shard_version;
-        resp.global_version = result.version;
-        resp.params = std::move(result.params);
-        response = std::move(resp);
-      }
-    } else if (const auto* push = std::get_if<PushShardReq>(&request)) {
-      if (!ServesShard(push->shard)) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
-        response = AckResp{kAckBadShard, push->shard};
-      } else if (push->sparse) {
-        obs::ScopedTimer timer(push_hist_);
-        Gradient grad = Gradient::Sparse();
-        grad.sparse().Reserve(push->indices.size());
-        for (std::size_t i = 0; i < push->indices.size(); ++i) {
-          grad.sparse().Add(push->indices[i], push->values[i]);
-        }
-        const bool touched =
-            store_->PushShard(push->shard, grad, push->epoch);
-        pushes_.fetch_add(1, std::memory_order_relaxed);
-        response = AckResp{kAckOk, touched ? 1u : 0u};
-      } else {
-        const ShardInfo info = store_->shard(push->shard);
-        if (push->dense_offset != info.offset ||
-            push->dense.size() != info.length) {
-          rejected_.fetch_add(1, std::memory_order_relaxed);
-          response = AckResp{kAckBadRequest, push->shard};
-        } else {
-          obs::ScopedTimer timer(push_hist_);
-          const bool touched = store_->PushShardDenseSlice(
-              push->shard, push->dense, push->epoch);
-          pushes_.fetch_add(1, std::memory_order_relaxed);
-          response = AckResp{kAckOk, touched ? 1u : 0u};
-        }
-      }
-    } else if (std::holds_alternative<CommitPushReq>(request)) {
-      const std::uint64_t version = store_->CommitPush();
-      commits_.fetch_add(1, std::memory_order_relaxed);
-      response = AckResp{kAckOk, version};
-    } else {
-      // A response type arriving at the server is a confused peer.
-      rejected_.fetch_add(1, std::memory_order_relaxed);
-    }
-
+    const WireMessage response = executor_.Execute(request);
     if (!conn->connection.SendAll(EncodeFrame(response, request_id))) return;
   }
 }
 
-ShardServer::Stats ShardServer::stats() const {
-  Stats out;
-  out.pulls = pulls_.load(std::memory_order_relaxed);
-  out.pushes = pushes_.load(std::memory_order_relaxed);
-  out.commits = commits_.load(std::memory_order_relaxed);
-  out.rejected = rejected_.load(std::memory_order_relaxed);
+ServerStats ShardServer::stats() const {
+  ServerStats out = executor_.stats();
   out.bad_frames = bad_frames_.load(std::memory_order_relaxed);
   return out;
+}
+
+std::size_t ShardServer::thread_count() const {
+  std::scoped_lock lock(lifecycle_mutex_);
+  if (!started_) return 0;
+  return 1 + live_handlers_.load(std::memory_order_relaxed);
 }
 
 }  // namespace specsync::net

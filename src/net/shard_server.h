@@ -1,37 +1,45 @@
-// ShardServer: one or more ParameterServer shards behind a listening socket.
+// Shard servers: one or more ParameterServer shards behind a listening
+// socket, in either of two concurrency models.
 //
-// The server side of the tcp_loopback transport. It owns no parameters
-// itself — it serves the shards of an existing ParameterServer (the single
+// Both models serve the shards of an existing ParameterServer (the single
 // source of truth for layout and versions) over the wire protocol in
-// net/wire.h. `served_shards` restricts which shard ids this server answers
-// for: the runtime's loopback mode runs one server serving every shard, the
-// multi-process bench runs one server process per shard, each serving only
-// its own (requests for a shard a server does not own are answered with
-// kAckBadShard — misrouting is a client bug and must be loud, not silent).
+// net/wire.h, share one RequestExecutor (so request semantics are identical
+// by construction), and answer requests for shards they do not own with
+// kAckBadShard — misrouting is a client bug and must be loud, not silent.
 //
-// Concurrency: one accept thread plus one handler thread per connection.
-// Handlers call straight into the ParameterServer, whose per-shard locks are
-// the real serialization point, so concurrent clients contend exactly like
-// in-process pullers/pushers.
+//   ServerModel::kThreadPerConn → ShardServer (this file): one accept thread
+//     plus one handler thread per connection. Simple, strictly serial per
+//     connection, and kept as the A/B-equivalence reference — but one thread
+//     per client collapses at fan-in scale.
+//   ServerModel::kEventLoop → EventLoopServer (event_loop_server.h): one
+//     epoll loop plus a bounded execution pool; thousands of concurrent
+//     clients on a constant thread count, with pipelined (v2) out-of-order
+//     responses.
 //
-// Failure semantics: requests are processed at-most-once per received frame,
-// but the transport as a whole is at-least-once — a client that times out
-// retries, and a retried PushShard re-applies its slice (see shard_client.h).
-// A malformed frame kills only its connection; the server keeps serving.
+// MakeShardServer() is the seam callers use; the concrete classes exist for
+// tests that pin model-specific behavior.
+//
+// Failure semantics (both models): requests are processed at-most-once per
+// received frame, but the transport as a whole is at-least-once — a client
+// that times out retries, and a retried PushShard re-applies its slice (see
+// shard_client.h). A malformed frame kills only its connection; the server
+// keeps serving.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "net/endpoint.h"
+#include "net/request_executor.h"
 #include "ps/param_store.h"
 
 namespace specsync::obs {
 class MetricsRegistry;
-class LatencyHistogram;
 }  // namespace specsync::obs
 
 namespace specsync::net {
@@ -40,44 +48,72 @@ class TcpListener;
 class TcpConnection;
 
 struct ShardServerConfig {
-  // 0 = pick an ephemeral port (read it back via port() after Start()).
-  std::uint16_t port = 0;
+  // Address to bind. port 0 = pick an ephemeral port (read it back via
+  // port() after Start()). The default binds loopback; a topology naming a
+  // real interface flows through the same field.
+  Endpoint bind{"127.0.0.1", 0};
   // Shard ids this server answers for; empty = all shards of the store.
   std::vector<std::size_t> served_shards;
+  // Which concurrency model fronts the store.
+  ServerModel model = ServerModel::kThreadPerConn;
+  // kEventLoop only: bounded execution pool size. Requests run on this pool
+  // so a slow shard lock never stalls the loop; total server threads =
+  // 1 (loop) + pool_threads, independent of client count.
+  std::size_t pool_threads = 4;
+  // Test/bench injection: artificial per-request service time (see
+  // RequestExecutor). Zero = off.
+  std::chrono::microseconds service_delay{0};
 };
 
-class ShardServer {
+// Common surface of both server models.
+class ShardServerBase {
+ public:
+  virtual ~ShardServerBase() = default;
+
+  // Binds and starts serving. False if the endpoint cannot be bound.
+  virtual bool Start() = 0;
+
+  // Stops accepting, drops every open connection, joins all threads.
+  // Idempotent and safe to call from multiple threads; also run by the
+  // destructor.
+  virtual void Stop() = 0;
+
+  // Listening port (valid after a successful Start()).
+  virtual std::uint16_t port() const = 0;
+
+  virtual ServerStats stats() const = 0;
+
+  // Threads the server currently owns (accept/loop + handlers/pool). The
+  // fan-in bench pins this: kEventLoop must stay constant in client count.
+  virtual std::size_t thread_count() const = 0;
+};
+
+// Builds the server named by `config.model`.
+std::unique_ptr<ShardServerBase> MakeShardServer(
+    ParameterServer* store, ShardServerConfig config,
+    obs::MetricsRegistry* metrics = nullptr);
+
+// The thread-per-connection model.
+class ShardServer : public ShardServerBase {
  public:
   // `store` is not owned and must outlive the server. `metrics` (optional)
   // receives service-time histograms "net.server.pull_s" / "net.server.push_s"
   // and request counters.
   ShardServer(ParameterServer* store, ShardServerConfig config,
               obs::MetricsRegistry* metrics = nullptr);
-  ~ShardServer();
+  ~ShardServer() override;
 
   ShardServer(const ShardServer&) = delete;
   ShardServer& operator=(const ShardServer&) = delete;
 
-  // Binds and starts the accept loop. False if the port cannot be bound.
-  bool Start();
-
-  // Stops accepting, drops every open connection, joins all threads.
-  // Idempotent; also run by the destructor.
-  void Stop();
-
-  // Listening port (valid after a successful Start()).
-  std::uint16_t port() const { return port_; }
-
-  struct Stats {
-    std::uint64_t pulls = 0;
-    std::uint64_t pushes = 0;
-    std::uint64_t commits = 0;
-    // Requests answered with an error ack (bad shard / bad request).
-    std::uint64_t rejected = 0;
-    // Connections dropped on malformed frames or socket errors.
-    std::uint64_t bad_frames = 0;
-  };
-  Stats stats() const;
+  bool Start() override;
+  void Stop() override;
+  std::uint16_t port() const override { return port_; }
+  using Stats = ServerStats;
+  ServerStats stats() const override;
+  // 1 accept thread + live handler threads (grows with clients — the model's
+  // structural cost, measured rather than hidden).
+  std::size_t thread_count() const override;
 
  private:
   struct Conn;
@@ -85,27 +121,31 @@ class ShardServer {
   void AcceptLoop();
   void HandleConnection(Conn* conn);
   void ServeConnection(Conn* conn);
-  bool ServesShard(std::size_t shard) const;
+  // Joins and erases connections whose handlers have finished (accept-loop
+  // thread only, called between accepts so a long-lived server with many
+  // short connections does not accumulate dead threads).
+  void ReapFinishedLocked();
 
   ParameterServer* store_;
   ShardServerConfig config_;
+  RequestExecutor executor_;
   std::unique_ptr<TcpListener> listener_;
   std::uint16_t port_ = 0;
 
+  // Start/Stop lifecycle. `lifecycle_mutex_` makes Stop() safe against
+  // concurrent Stop()/destructor calls (the join-while-accepting audit:
+  // Stop() must join the accept thread *before* touching conns_, so the
+  // accept loop can never register a handler that Stop() has already missed,
+  // and only one stopper may run the join sequence at all).
+  mutable std::mutex lifecycle_mutex_;
   std::thread accept_thread_;
   std::mutex conns_mutex_;
   std::vector<std::unique_ptr<Conn>> conns_;  // guarded by conns_mutex_
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
+  bool started_ = false;  // guarded by lifecycle_mutex_
 
-  std::atomic<std::uint64_t> pulls_{0};
-  std::atomic<std::uint64_t> pushes_{0};
-  std::atomic<std::uint64_t> commits_{0};
-  std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> bad_frames_{0};
-
-  obs::LatencyHistogram* pull_hist_ = nullptr;
-  obs::LatencyHistogram* push_hist_ = nullptr;
+  std::atomic<std::size_t> live_handlers_{0};
 };
 
 }  // namespace specsync::net

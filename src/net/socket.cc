@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -22,12 +23,39 @@ void SetNoDelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-sockaddr_in LoopbackAddr(std::uint16_t port) {
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  return addr;
+// Resolves `host` to an IPv4 address: "" / "localhost" short-circuit to
+// loopback, dotted quads parse directly, anything else goes through
+// getaddrinfo (the true-remote seam; never reached on the loopback paths).
+bool ResolveIpv4(const std::string& host, in_addr* out) {
+  if (host.empty() || host == "localhost" || host == "127.0.0.1") {
+    out->s_addr = htonl(INADDR_LOOPBACK);
+    return true;
+  }
+  if (::inet_pton(AF_INET, host.c_str(), out) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &result) != 0 ||
+      result == nullptr) {
+    return false;
+  }
+  *out = reinterpret_cast<const sockaddr_in*>(result->ai_addr)->sin_addr;
+  ::freeaddrinfo(result);
+  return true;
+}
+
+bool EndpointAddr(const Endpoint& endpoint, sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(endpoint.port);
+  return ResolveIpv4(endpoint.host, &addr->sin_addr);
+}
+
+bool MakeNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
 // Remaining poll budget in milliseconds, clamped to int range; -1 = forever.
@@ -62,10 +90,11 @@ TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
   return *this;
 }
 
-TcpConnection TcpConnection::ConnectLoopback(std::uint16_t port) {
+TcpConnection TcpConnection::Connect(const Endpoint& endpoint) {
+  sockaddr_in addr;
+  if (!EndpointAddr(endpoint, &addr)) return TcpConnection();
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return TcpConnection();
-  const sockaddr_in addr = LoopbackAddr(port);
   int rc;
   do {
     rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
@@ -75,6 +104,14 @@ TcpConnection TcpConnection::ConnectLoopback(std::uint16_t port) {
     return TcpConnection();
   }
   return TcpConnection(fd);
+}
+
+TcpConnection TcpConnection::ConnectLoopback(std::uint16_t port) {
+  return Connect(Endpoint{"127.0.0.1", port});
+}
+
+bool TcpConnection::SetNonBlocking() {
+  return fd_ >= 0 && MakeNonBlocking(fd_);
 }
 
 bool TcpConnection::SendAll(std::span<const std::uint8_t> bytes) {
@@ -130,6 +167,44 @@ TcpConnection::RecvStatus TcpConnection::RecvFrame(
   }
 }
 
+TcpConnection::IoStatus TcpConnection::RecvSome(std::vector<std::uint8_t>& out,
+                                                std::size_t max,
+                                                std::size_t& n) {
+  n = 0;
+  if (fd_ < 0) return IoStatus::kError;
+  const std::size_t old_size = out.size();
+  out.resize(old_size + max);
+  ssize_t got;
+  do {
+    got = ::recv(fd_, out.data() + old_size, max, 0);
+  } while (got < 0 && errno == EINTR);
+  if (got > 0) {
+    n = static_cast<std::size_t>(got);
+    out.resize(old_size + n);
+    return IoStatus::kOk;
+  }
+  out.resize(old_size);
+  if (got == 0) return IoStatus::kClosed;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+  return IoStatus::kError;
+}
+
+TcpConnection::IoStatus TcpConnection::SendSome(
+    std::span<const std::uint8_t> bytes, std::size_t& n) {
+  n = 0;
+  if (fd_ < 0) return IoStatus::kError;
+  ssize_t sent;
+  do {
+    sent = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  } while (sent < 0 && errno == EINTR);
+  if (sent >= 0) {
+    n = static_cast<std::size_t>(sent);
+    return IoStatus::kOk;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+  return IoStatus::kError;
+}
+
 void TcpConnection::ShutdownBoth() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -146,14 +221,15 @@ TcpListener::~TcpListener() {
   if (wake_wr_ >= 0) ::close(wake_wr_);
 }
 
-std::unique_ptr<TcpListener> TcpListener::BindLoopback(std::uint16_t port) {
+std::unique_ptr<TcpListener> TcpListener::Bind(const Endpoint& endpoint) {
+  sockaddr_in addr;
+  if (!EndpointAddr(endpoint, &addr)) return nullptr;
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return nullptr;
   int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr = LoopbackAddr(port);
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 128) < 0) {
+      ::listen(fd, 1024) < 0) {
     ::close(fd);
     return nullptr;
   }
@@ -169,6 +245,14 @@ std::unique_ptr<TcpListener> TcpListener::BindLoopback(std::uint16_t port) {
   }
   return std::unique_ptr<TcpListener>(new TcpListener(
       fd, pipe_fds[0], pipe_fds[1], ntohs(addr.sin_port)));
+}
+
+std::unique_ptr<TcpListener> TcpListener::BindLoopback(std::uint16_t port) {
+  return Bind(Endpoint{"127.0.0.1", port});
+}
+
+bool TcpListener::SetNonBlocking() {
+  return listen_fd_ >= 0 && MakeNonBlocking(listen_fd_);
 }
 
 TcpConnection TcpListener::Accept() {
@@ -187,6 +271,15 @@ TcpConnection TcpListener::Accept() {
       return TcpConnection();
     }
     return TcpConnection(client);
+  }
+}
+
+TcpConnection TcpListener::TryAccept() {
+  for (;;) {
+    const int client = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (client >= 0) return TcpConnection(client);
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return TcpConnection();  // EAGAIN (no client) or a real error: none now
   }
 }
 

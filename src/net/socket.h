@@ -1,9 +1,11 @@
-// RAII POSIX TCP primitives for the loopback shard transport.
+// RAII POSIX TCP primitives for the shard transport.
 //
-// Deliberately minimal: IPv4 loopback only (the multi-process bench and the
-// runtime's tcp_loopback transport both live on 127.0.0.1), blocking sockets
-// with poll()-bounded receives, TCP_NODELAY on every connection (the protocol
-// is request/response with small frames — Nagle would serialize the per-shard
+// Deliberately minimal: IPv4 with a resolvable-host seam (loopback remains
+// the tested default — see net/endpoint.h), blocking sockets with
+// poll()-bounded receives for the thread-per-connection paths, a small
+// non-blocking surface (TryAccept / RecvSome / SendSome) for the epoll
+// event-loop server, TCP_NODELAY on every connection (the protocol is
+// request/response with small frames — Nagle would serialize the pipelined
 // fan-out), and a self-pipe so Accept() can be woken for shutdown without
 // racing a close().
 #pragma once
@@ -14,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "net/endpoint.h"
 #include "net/wire.h"
 
 namespace specsync::net {
@@ -30,13 +33,23 @@ class TcpConnection {
   TcpConnection(const TcpConnection&) = delete;
   TcpConnection& operator=(const TcpConnection&) = delete;
 
-  // Connects to 127.0.0.1:port. Invalid connection on failure.
+  // Connects to `endpoint` ("" / "localhost" → 127.0.0.1). Invalid
+  // connection on failure.
+  static TcpConnection Connect(const Endpoint& endpoint);
+
+  // Connects to 127.0.0.1:port (loopback convenience, equivalent to
+  // Connect({"127.0.0.1", port})).
   static TcpConnection ConnectLoopback(std::uint16_t port);
 
   bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Switches the socket to non-blocking mode (event-loop connections only;
+  // the blocking SendAll/RecvFrame paths assume blocking sockets).
+  bool SetNonBlocking();
 
   // Writes all of `bytes` (handles partial writes and EINTR; SIGPIPE is
-  // suppressed). False on a broken connection.
+  // suppressed). False on a broken connection. Blocking sockets only.
   bool SendAll(std::span<const std::uint8_t> bytes);
 
   enum class RecvStatus {
@@ -49,9 +62,25 @@ class TcpConnection {
 
   // Receives exactly one frame, blocking until `deadline` (steady clock;
   // time_point::max() blocks indefinitely). On kBadFrame the caller must
-  // drop the connection: framing is lost.
+  // drop the connection: framing is lost. Blocking sockets only.
   RecvStatus RecvFrame(std::vector<std::uint8_t>& frame,
                        std::chrono::steady_clock::time_point deadline);
+
+  // Non-blocking IO results (event-loop paths).
+  enum class IoStatus {
+    kOk,          // made progress (`n` bytes moved)
+    kWouldBlock,  // no progress possible now (EAGAIN)
+    kClosed,      // peer closed (recv only)
+    kError,       // socket error; drop the connection
+  };
+
+  // Reads at most `max` bytes into `out` (appended). Non-blocking sockets.
+  IoStatus RecvSome(std::vector<std::uint8_t>& out, std::size_t max,
+                    std::size_t& n);
+
+  // Writes a prefix of `bytes`; `n` reports how much went out. Non-blocking
+  // sockets.
+  IoStatus SendSome(std::span<const std::uint8_t> bytes, std::size_t& n);
 
   // Half-closes both directions, waking a peer blocked in RecvFrame.
   void ShutdownBoth();
@@ -60,21 +89,35 @@ class TcpConnection {
   int fd_ = -1;
 };
 
-// Listening socket on 127.0.0.1 with a self-pipe shutdown.
+// Listening socket with a self-pipe shutdown.
 class TcpListener {
  public:
-  // Binds and listens; port 0 picks an ephemeral port. Null on failure.
+  // Binds `endpoint` and listens; port 0 picks an ephemeral port (read it
+  // back via port()). Null on failure.
+  static std::unique_ptr<TcpListener> Bind(const Endpoint& endpoint);
+
+  // Binds 127.0.0.1:port (loopback convenience).
   static std::unique_ptr<TcpListener> BindLoopback(std::uint16_t port);
+
   ~TcpListener();
 
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
   std::uint16_t port() const { return port_; }
+  int listen_fd() const { return listen_fd_; }
+
+  // Switches the listening socket to non-blocking mode (for TryAccept from
+  // an event loop; Accept() assumes blocking mode).
+  bool SetNonBlocking();
 
   // Blocks until a client connects or Shutdown() is called (then returns an
   // invalid connection, as it does on accept errors after shutdown).
   TcpConnection Accept();
+
+  // Non-blocking accept: invalid connection when no client is waiting (or
+  // on transient accept errors). Never blocks.
+  TcpConnection TryAccept();
 
   // Unblocks Accept(); idempotent and callable from any thread.
   void Shutdown();

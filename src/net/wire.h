@@ -14,6 +14,20 @@
 //                      over from timed-out or duplicated attempts
 //   u32 payload_bytes  length of the payload that follows (<= kMaxPayload)
 //
+// Version 2 — pipelining. The framing is byte-identical to v1; what changed
+// is the *contract* around request_id:
+//   - A client MAY have any number of requests in flight on one connection
+//     (v1 promised strict request/response lockstep per connection).
+//   - A server MAY answer out of order: responses are matched to requests by
+//     request_id, never by arrival position. Servers that execute requests
+//     concurrently (the event-loop model's bounded pool) reply as each
+//     finishes.
+//   - request_id is an opaque 64-bit token chosen by the client; a server
+//     echoes it verbatim and never interprets it. Clients that pipeline must
+//     keep ids unique among their own in-flight requests on a connection.
+// Decoders stay strict: a v1 frame (or any other version) is kBadVersion —
+// mixed-version peers must fail loudly at the first frame, not renegotiate.
+//
 // Payloads (all integers little-endian, doubles as IEEE-754 bit patterns in
 // little-endian u64):
 //   PullShardReq   u32 shard
@@ -40,7 +54,7 @@
 namespace specsync::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x53505359u;
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 20;
 // Caps one frame's payload (1 GiB). A header announcing more is rejected
 // before any allocation, so a corrupt length field cannot OOM the receiver.

@@ -79,7 +79,7 @@ struct RuntimeCluster::Impl {
   std::unique_ptr<ThreadPool> pull_pool;
   // tcp_loopback transport: the store behind a loopback socket plus one
   // client per worker (empty clients vector = in-process direct calls).
-  std::unique_ptr<net::ShardServer> shard_server;
+  std::unique_ptr<net::ShardServerBase> shard_server;
   std::vector<std::unique_ptr<net::ShardClient>> shard_clients;
   WallClock clock;
   FaultPlan faults;
@@ -153,18 +153,21 @@ struct RuntimeCluster::Impl {
     if (config.transport == RuntimeTransport::kTcpLoopback) {
       obs::MetricsRegistry* metrics =
           config.obs != nullptr ? &config.obs->metrics : nullptr;
-      shard_server = std::make_unique<net::ShardServer>(
-          server.get(), net::ShardServerConfig{}, metrics);
+      net::ShardServerConfig server_config;
+      server_config.model = config.server_model;
+      shard_server =
+          net::MakeShardServer(server.get(), std::move(server_config), metrics);
       SPECSYNC_CHECK(shard_server->Start())
-          << "tcp_loopback transport: cannot start ShardServer";
+          << "tcp_loopback transport: cannot start "
+          << net::ServerModelName(config.server_model) << " shard server";
       net::ShardClientConfig client_config;
       client_config.request_timeout = config.net_timeout;
       client_config.max_attempts = config.net_attempts;
+      const net::Endpoint endpoint{"127.0.0.1", shard_server->port()};
       for (std::size_t s = 0; s < server->num_shards(); ++s) {
         const ShardInfo info = server->shard(s);
-        client_config.shards.push_back(
-            net::ShardEndpoint{info.offset, info.length,
-                               shard_server->port()});
+        client_config.topology.shards.push_back(
+            net::ShardPlacement{info.offset, info.length, endpoint});
       }
       for (WorkerId w = 0; w < config.num_workers; ++w) {
         auto client = std::make_unique<net::ShardClient>(

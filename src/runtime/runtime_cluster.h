@@ -17,6 +17,7 @@
 #include "core/speculation.h"
 #include "fault/fault_plan.h"
 #include "models/model.h"
+#include "net/endpoint.h"
 #include "optim/lr_schedule.h"
 #include "ps/consistency.h"
 #include "ps/param_store.h"
@@ -79,6 +80,10 @@ struct RuntimeConfig {
   double sgd_clip = 0.0;
   std::uint64_t seed = 123;
   RuntimeTransport transport = RuntimeTransport::kInProcess;
+  // tcp_loopback only: which server model fronts the store. Training results
+  // must be equivalent under both (the golden-digest test pins this); the
+  // event-loop model holds its thread count constant in worker count.
+  net::ServerModel server_model = net::ServerModel::kThreadPerConn;
   // tcp_loopback only: per-request response deadline and total attempts
   // before a shard is declared unreachable (which fails the run loudly).
   std::chrono::milliseconds net_timeout{250};

@@ -1,9 +1,15 @@
-// Loopback transport tests: a ShardServer + ShardClient pair must be an
+// Loopback transport tests: a shard server + ShardClient pair must be an
 // observable no-op relative to direct ParameterServer calls — same parameter
 // bytes, same versions, same scheduler decisions — and must survive injected
 // drop / delay / duplicate faults without hanging.
+//
+// The whole behavioral suite is value-parameterized over ServerModel: every
+// guarantee must hold identically behind the thread-per-connection server and
+// the epoll event-loop server (the A/B seam MakeShardServer exists for).
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
 #include <numeric>
@@ -12,10 +18,12 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/hash.h"
 #include "common/thread_pool.h"
 #include "core/scheduler.h"
 #include "core/speculation.h"
 #include "fault/fault_plan.h"
+#include "net/endpoint.h"
 #include "net/shard_client.h"
 #include "net/shard_server.h"
 #include "net/socket.h"
@@ -43,37 +51,56 @@ std::unique_ptr<ParameterServer> MakeStore(std::size_t dim,
 ShardClientConfig ClientConfigFor(const ParameterServer& store,
                                   std::uint16_t port) {
   ShardClientConfig config;
+  const Endpoint endpoint{"127.0.0.1", port};
   for (std::size_t s = 0; s < store.num_shards(); ++s) {
     const ShardInfo info = store.shard(s);
-    config.shards.push_back(ShardEndpoint{info.offset, info.length, port});
+    config.topology.shards.push_back(
+        ShardPlacement{info.offset, info.length, endpoint});
   }
   return config;
 }
 
-TEST(TransportTest, ServerStartStopIsClean) {
+class TransportTest : public ::testing::TestWithParam<ServerModel> {
+ protected:
+  // Builds + starts the parameterized server model for `store`.
+  std::unique_ptr<ShardServerBase> StartServer(ParameterServer* store,
+                                               ShardServerConfig config = {}) {
+    config.model = GetParam();
+    auto server = MakeShardServer(store, std::move(config));
+    EXPECT_TRUE(server->Start());
+    return server;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, TransportTest,
+    ::testing::Values(ServerModel::kThreadPerConn, ServerModel::kEventLoop),
+    [](const ::testing::TestParamInfo<ServerModel>& info) {
+      return info.param == ServerModel::kEventLoop ? "EventLoop"
+                                                   : "ThreadPerConn";
+    });
+
+TEST_P(TransportTest, ServerStartStopIsClean) {
   auto store = MakeStore(10, 3);
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
-  EXPECT_GT(server.port(), 0);
-  server.Stop();
-  server.Stop();  // idempotent
+  auto server = StartServer(store.get());
+  EXPECT_GT(server->port(), 0);
+  server->Stop();
+  server->Stop();  // idempotent
 }
 
-TEST(TransportTest, TwoServersGetDistinctEphemeralPorts) {
+TEST_P(TransportTest, TwoServersGetDistinctEphemeralPorts) {
   auto store = MakeStore(10, 2);
-  ShardServer a(store.get(), ShardServerConfig{});
-  ShardServer b(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(a.Start());
-  ASSERT_TRUE(b.Start());
-  EXPECT_NE(a.port(), b.port());
+  auto a = StartServer(store.get());
+  auto b = StartServer(store.get());
+  EXPECT_NE(a->port(), b->port());
 }
 
-TEST(TransportTest, PullMatchesDirectPullBitwise) {
+TEST_P(TransportTest, PullMatchesDirectPullBitwise) {
   auto store = MakeStore(17, 4);
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
-  ShardClient client(ClientConfigFor(*store, server.port()));
+  auto server = StartServer(store.get());
+  ShardClient client(ClientConfigFor(*store, server->port()));
   ASSERT_TRUE(client.Connect());
+  EXPECT_EQ(client.num_links(), 1u);  // 4 shards, one endpoint, one socket
 
   const PullResult direct = store->Pull();
   const PullResult wire = client.Pull();
@@ -88,11 +115,12 @@ TEST(TransportTest, PullMatchesDirectPullBitwise) {
   EXPECT_EQ(shard_wire.version, shard_direct.version);
 }
 
-TEST(TransportTest, ConcurrentPullUsesPool) {
+TEST_P(TransportTest, PoolArgumentStaysCompatible) {
+  // Pre-mux call sites passed a pull pool; the pipelined client accepts and
+  // ignores it, and the composed pull still matches the direct one.
   auto store = MakeStore(101, 5);
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
-  ShardClient client(ClientConfigFor(*store, server.port()));
+  auto server = StartServer(store.get());
+  ShardClient client(ClientConfigFor(*store, server->port()));
   ASSERT_TRUE(client.Connect());
   ThreadPool pool(4);
   const PullResult wire = client.Pull(&pool);
@@ -182,7 +210,7 @@ std::string SchedulerDecisions(const std::vector<OpObservation>& log) {
   return trace;
 }
 
-TEST(TransportTest, LoopbackTimelineIsEquivalentToInProcess) {
+TEST_P(TransportTest, LoopbackTimelineIsEquivalentToInProcess) {
   // Direct run.
   auto direct_store = MakeStore(10, 3);
   const auto direct_log = RunScriptedTimeline(
@@ -191,9 +219,8 @@ TEST(TransportTest, LoopbackTimelineIsEquivalentToInProcess) {
 
   // Wire run against an identically initialized store.
   auto wire_store = MakeStore(10, 3);
-  ShardServer server(wire_store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
-  ShardClient client(ClientConfigFor(*wire_store, server.port()));
+  auto server = StartServer(wire_store.get());
+  ShardClient client(ClientConfigFor(*wire_store, server->port()));
   ASSERT_TRUE(client.Connect());
   const auto wire_log = RunScriptedTimeline(
       [&] { return client.Pull(); },
@@ -221,11 +248,10 @@ TEST(TransportTest, LoopbackTimelineIsEquivalentToInProcess) {
   EXPECT_EQ(SchedulerDecisions(wire_log), SchedulerDecisions(direct_log));
 }
 
-TEST(TransportTest, SparsePushAcrossShardBoundary) {
+TEST_P(TransportTest, SparsePushAcrossShardBoundary) {
   auto store = MakeStore(10, 2);  // shards [0,5) and [5,10)
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
-  ShardClient client(ClientConfigFor(*store, server.port()));
+  auto server = StartServer(store.get());
+  ShardClient client(ClientConfigFor(*store, server->port()));
   ASSERT_TRUE(client.Connect());
 
   Gradient g = Gradient::Sparse();
@@ -241,25 +267,23 @@ TEST(TransportTest, SparsePushAcrossShardBoundary) {
   EXPECT_EQ(store->version(), 1u);
 }
 
-TEST(TransportTest, EmptyGradientPushStillCommits) {
+TEST_P(TransportTest, EmptyGradientPushStillCommits) {
   auto store = MakeStore(10, 2);
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
-  ShardClient client(ClientConfigFor(*store, server.port()));
+  auto server = StartServer(store.get());
+  ShardClient client(ClientConfigFor(*store, server->port()));
   ASSERT_TRUE(client.Connect());
   EXPECT_EQ(client.Push(Gradient::Sparse(), 0), 1u);
   EXPECT_EQ(store->version(), 1u);
   EXPECT_EQ(store->shard(0).version, 0u);  // empty slice touches nothing
 }
 
-TEST(TransportTest, UnservedShardAnsweredWithBadShardAck) {
+TEST_P(TransportTest, UnservedShardAnsweredWithBadShardAck) {
   auto store = MakeStore(10, 2);
   ShardServerConfig config;
   config.served_shards = {0};  // this server owns shard 0 only
-  ShardServer server(store.get(), config);
-  ASSERT_TRUE(server.Start());
+  auto server = StartServer(store.get(), std::move(config));
 
-  TcpConnection conn = TcpConnection::ConnectLoopback(server.port());
+  TcpConnection conn = TcpConnection::ConnectLoopback(server->port());
   ASSERT_TRUE(conn.valid());
   const auto frame = EncodeFrame(PullShardReq{1}, 77);
   ASSERT_TRUE(conn.SendAll(frame));
@@ -274,16 +298,15 @@ TEST(TransportTest, UnservedShardAnsweredWithBadShardAck) {
   EXPECT_EQ(id, 77u);
   ASSERT_TRUE(std::holds_alternative<AckResp>(out));
   EXPECT_EQ(std::get<AckResp>(out).status, kAckBadShard);
-  EXPECT_EQ(server.stats().rejected, 1u);
+  EXPECT_EQ(server->stats().rejected, 1u);
 }
 
-TEST(TransportTest, MalformedFrameKillsOnlyItsConnection) {
+TEST_P(TransportTest, MalformedFrameKillsOnlyItsConnection) {
   auto store = MakeStore(10, 2);
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
+  auto server = StartServer(store.get());
 
   // Connection 1 sends garbage with a valid-looking length and dies.
-  TcpConnection bad = TcpConnection::ConnectLoopback(server.port());
+  TcpConnection bad = TcpConnection::ConnectLoopback(server->port());
   ASSERT_TRUE(bad.valid());
   std::vector<std::uint8_t> garbage(kHeaderBytes, 0xff);
   ASSERT_TRUE(bad.SendAll(garbage));
@@ -294,16 +317,75 @@ TEST(TransportTest, MalformedFrameKillsOnlyItsConnection) {
             TcpConnection::RecvStatus::kClosed);
 
   // The server keeps serving new clients.
-  ShardClient client(ClientConfigFor(*store, server.port()));
+  ShardClient client(ClientConfigFor(*store, server->port()));
   ASSERT_TRUE(client.Connect());
   EXPECT_EQ(client.Pull().params, store->Pull().params);
-  EXPECT_GE(server.stats().bad_frames, 1u);
+  EXPECT_GE(server->stats().bad_frames, 1u);
 }
 
-TEST(TransportTest, SurvivesDropDelayDuplicateInjection) {
+TEST_P(TransportTest, ReconnectsAfterServerRestartOnSamePort) {
+  auto store = MakeStore(12, 3);
+  auto first = StartServer(store.get());
+  const std::uint16_t port = first->port();
+
+  ShardClientConfig client_config = ClientConfigFor(*store, port);
+  client_config.request_timeout = std::chrono::milliseconds(100);
+  client_config.max_attempts = 64;
+  ShardClient client(client_config);
+  ASSERT_TRUE(client.Connect());
+  EXPECT_EQ(client.Pull().params, store->Pull().params);
+
+  // Restart on the same port (SO_REUSEADDR makes the rebind immediate). The
+  // client's link dies with the first server; the next request must notice,
+  // reconnect, and succeed — no new ShardClient.
+  first->Stop();
+  ShardServerConfig restart_config;
+  restart_config.bind.port = port;
+  auto second = StartServer(store.get(), std::move(restart_config));
+  ASSERT_EQ(second->port(), port);
+
+  EXPECT_EQ(client.Pull().params, store->Pull().params);
+  EXPECT_GE(client.stats().reconnects, 1u);
+}
+
+// The join-while-accepting audit: Stop() racing live connection churn must
+// join the accept thread before reaping connections, never deadlock, and
+// never crash. Hammered across repeated start/stop rounds with raw
+// connections arriving the whole time, plus concurrent Stop() callers.
+TEST_P(TransportTest, StartStopSurvivesConnectionHammer) {
+  auto store = MakeStore(16, 2);
+  for (int round = 0; round < 8; ++round) {
+    auto server = StartServer(store.get());
+    const std::uint16_t port = server->port();
+    std::atomic<bool> quit{false};
+    std::vector<std::jthread> hammers;
+    for (int t = 0; t < 4; ++t) {
+      hammers.emplace_back([&, t] {
+        const auto frame = EncodeFrame(PullShardReq{0}, 1 + t);
+        while (!quit.load(std::memory_order_relaxed)) {
+          TcpConnection conn = TcpConnection::ConnectLoopback(port);
+          if (!conn.valid()) continue;  // server already gone this round
+          if (!conn.SendAll(frame)) continue;
+          std::vector<std::uint8_t> reply;
+          (void)conn.RecvFrame(reply, std::chrono::steady_clock::now() +
+                                          std::chrono::milliseconds(100));
+        }
+      });
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // Two concurrent stoppers while connections keep arriving.
+    std::jthread other_stopper([&] { server->Stop(); });
+    server->Stop();
+    other_stopper.join();
+    quit.store(true);
+    hammers.clear();
+    server->Stop();  // idempotent after the storm
+  }
+}
+
+TEST_P(TransportTest, SurvivesDropDelayDuplicateInjection) {
   auto store = MakeStore(40, 4);
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
+  auto server = StartServer(store.get());
 
   FaultPlanConfig fault_config;
   fault_config.data.drop_probability = 0.15;
@@ -313,7 +395,7 @@ TEST(TransportTest, SurvivesDropDelayDuplicateInjection) {
   fault_config.seed = 99;
   FaultPlan faults(fault_config);
 
-  ShardClientConfig client_config = ClientConfigFor(*store, server.port());
+  ShardClientConfig client_config = ClientConfigFor(*store, server->port());
   client_config.request_timeout = std::chrono::milliseconds(50);
   client_config.max_attempts = 64;
   ShardClient client(client_config, &faults);
@@ -350,16 +432,15 @@ TEST(TransportTest, SurvivesDropDelayDuplicateInjection) {
   (void)stats;  // per-worker clients carry the interesting counters
 }
 
-TEST(TransportTest, ClientStatsCountInjectedFaults) {
+TEST_P(TransportTest, ClientStatsCountInjectedFaults) {
   auto store = MakeStore(10, 1);
-  ShardServer server(store.get(), ShardServerConfig{});
-  ASSERT_TRUE(server.Start());
+  auto server = StartServer(store.get());
 
   FaultPlanConfig fault_config;
   fault_config.data.drop_probability = 1.0;  // every attempt times out
   FaultPlan faults(fault_config);
 
-  ShardClientConfig client_config = ClientConfigFor(*store, server.port());
+  ShardClientConfig client_config = ClientConfigFor(*store, server->port());
   client_config.request_timeout = std::chrono::milliseconds(10);
   client_config.max_attempts = 3;
   ShardClient client(client_config, &faults);
@@ -369,6 +450,89 @@ TEST(TransportTest, ClientStatsCountInjectedFaults) {
   EXPECT_EQ(stats.injected_drops, 3u);
   EXPECT_EQ(stats.timeouts, 3u);
   EXPECT_EQ(stats.retries, 2u);
+}
+
+// --- Golden 8-worker digest -------------------------------------------------
+
+// Bit-exact digest of the store: every parameter's bit pattern plus the
+// global and per-shard version counters.
+std::uint64_t StoreDigest(const ParameterServer& store) {
+  Fnv1a h;
+  for (const double v : store.Snapshot()) h.F64(v);
+  h.U64(store.version());
+  for (std::size_t s = 0; s < store.num_shards(); ++s) {
+    h.U64(store.shard(s).version);
+  }
+  return h.digest();
+}
+
+// Deterministic 8-worker schedule, serialized round-robin so the op order —
+// and therefore the float application order — is identical however the ops
+// travel. Alternates dense pushes with boundary-spanning sparse pushes; all
+// values are dyadic so nothing depends on rounding.
+template <typename PullFn, typename PushFn>
+void RunGoldenSchedule(std::size_t dim, PullFn pull, PushFn push) {
+  constexpr std::size_t kGoldenWorkers = 8;
+  constexpr std::size_t kRounds = 5;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    for (std::size_t w = 0; w < kGoldenWorkers; ++w) {
+      const PullResult snapshot = pull(w);
+      ASSERT_EQ(snapshot.params.size(), dim);
+      if ((r + w) % 3 == 2) {
+        Gradient g = Gradient::Sparse();
+        g.sparse().Add((w * 7) % dim, 0.25 * static_cast<double>(w + 1));
+        g.sparse().Add((w * 7 + dim / 2) % dim, -0.125);
+        push(w, g, r);
+      } else {
+        Gradient g = Gradient::Dense(dim);
+        for (std::size_t i = 0; i < dim; ++i) {
+          g.dense()[i] = 0.0078125 * static_cast<double>((w + 1) * (r + 1)) +
+                         0.015625 * static_cast<double>(i % 5);
+        }
+        push(w, g, r);
+      }
+    }
+  }
+}
+
+// The acceptance gate: an 8-worker loopback schedule produces the same
+// training digest as the direct in-process run, under BOTH server models.
+TEST(TransportGoldenTest, EightWorkerDigestIdenticalAcrossModelsAndDirect) {
+  constexpr std::size_t kDim = 64;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kGoldenWorkers = 8;
+
+  auto direct_store = MakeStore(kDim, kShards);
+  RunGoldenSchedule(
+      kDim, [&](std::size_t) { return direct_store->Pull(); },
+      [&](std::size_t, const Gradient& g, EpochId e) {
+        direct_store->Push(g, e);
+      });
+  const std::uint64_t direct_digest = StoreDigest(*direct_store);
+
+  for (const ServerModel model :
+       {ServerModel::kThreadPerConn, ServerModel::kEventLoop}) {
+    auto store = MakeStore(kDim, kShards);
+    ShardServerConfig config;
+    config.model = model;
+    auto server = MakeShardServer(store.get(), std::move(config));
+    ASSERT_TRUE(server->Start());
+
+    // One client per worker: eight live connections into one server.
+    std::vector<std::unique_ptr<ShardClient>> clients;
+    for (std::size_t w = 0; w < kGoldenWorkers; ++w) {
+      clients.push_back(std::make_unique<ShardClient>(
+          ClientConfigFor(*store, server->port())));
+      ASSERT_TRUE(clients.back()->Connect());
+    }
+    RunGoldenSchedule(
+        kDim, [&](std::size_t w) { return clients[w]->Pull(); },
+        [&](std::size_t w, const Gradient& g, EpochId e) {
+          clients[w]->Push(g, e);
+        });
+    EXPECT_EQ(StoreDigest(*store), direct_digest)
+        << "model " << ServerModelName(model);
+  }
 }
 
 }  // namespace

@@ -145,6 +145,17 @@ TEST(WireTest, BadVersionRejected) {
   EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kBadVersion);
 }
 
+TEST(WireTest, V1FrameRejectedByV2Parser) {
+  // The current protocol is v2 (pipelining contract); a v1 peer must be
+  // refused outright — mixed-version pipelining would be undebuggable.
+  static_assert(kWireVersion == 2);
+  auto frame = EncodeFrame(PullShardReq{0}, 1);
+  PutU16(frame, 4, 1);
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kBadVersion);
+}
+
 TEST(WireTest, BadTypeRejected) {
   auto frame = EncodeFrame(PullShardReq{0}, 1);
   PutU16(frame, 6, 999);
