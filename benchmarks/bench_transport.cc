@@ -44,6 +44,15 @@
 //   --smoke           CI variant: tiny grid, and drop/delay default to 0.05
 //                     so the retry path is exercised on every CI run
 //   --metrics_out=P   write the metrics.json snapshot to P
+//   --trace_out=P     attach a SpanRecorder to every soak process: the parent
+//                     writes its client spans (one track per worker) to P and
+//                     each forked shard server writes its serve spans to
+//                     P.server<k>. Every file carries its own pid and
+//                     CLOCK_MONOTONIC epoch ("clock_epoch_ns"), so
+//                     scripts/specsync_obsctl merge can align the timelines
+//                     and verify that client request spans link to server-side
+//                     child spans via wire trace-context flow ids
+//                     (DESIGN.md §14).
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -65,6 +74,7 @@
 #include "net/shard_client.h"
 #include "net/shard_server.h"
 #include "obs/obs.h"
+#include "obs/span_recorder.h"
 #include "optim/lr_schedule.h"
 #include "ps/param_store.h"
 
@@ -88,6 +98,7 @@ struct Args {
   double dup = -1.0;
   bool smoke = false;
   std::string metrics_out;
+  std::string trace_out;  // empty = no span recording
 };
 
 [[noreturn]] void Usage(const std::string& bad) {
@@ -98,7 +109,7 @@ struct Args {
                " [--pool_threads=N] [--clients=N] [--fanin_iters=N]"
                " [--fanin_p99_ceiling_us=X]"
                " [--drop=P] [--delay=P] [--dup=P]"
-               " [--smoke] [--metrics_out=PATH]\n";
+               " [--smoke] [--metrics_out=PATH] [--trace_out=PATH]\n";
   std::exit(2);
 }
 
@@ -146,6 +157,8 @@ Args ParseArgs(int argc, char** argv) {
         args.smoke = true;
       } else if (key == "--metrics_out") {
         args.metrics_out = value;
+      } else if (key == "--trace_out") {
+        args.trace_out = value;
       } else {
         Usage(arg);
       }
@@ -223,11 +236,26 @@ int RunShardProcess(std::size_t shard, const Args& args, int port_wr,
   }
   store.SetParams(std::move(params));
 
+  // Each server process records its serve spans into its own file; the
+  // epoch is anchored at process start so the merge tool can shift this
+  // timeline onto the client's (same host ⇒ same CLOCK_MONOTONIC).
+  obs::SpanRecorder spans;
+  obs::SpanRecorder* spans_ptr = nullptr;
+  if (!args.trace_out.empty()) {
+    spans.SetProcessInfo(static_cast<std::uint32_t>(::getpid()),
+                         "bench_server_shard" + std::to_string(shard));
+    spans.EnsureWallEpochNanos();
+    spans.SetTrackName(static_cast<std::uint32_t>(shard),
+                       "serve shard " + std::to_string(shard));
+    spans_ptr = &spans;
+  }
+
   net::ShardServerConfig config;
   config.served_shards = {shard};
   config.model = args.server_model;
   config.pool_threads = args.pool_threads;
-  auto server = net::MakeShardServer(&store, std::move(config));
+  auto server =
+      net::MakeShardServer(&store, std::move(config), nullptr, spans_ptr);
   if (!server->Start()) return 1;
 
   const std::uint16_t port = server->port();
@@ -242,6 +270,11 @@ int RunShardProcess(std::size_t shard, const Args& args, int port_wr,
   }
   ::close(shutdown_rd);
   server->Stop();
+  if (spans_ptr != nullptr) {
+    const std::string path =
+        args.trace_out + ".server" + std::to_string(shard);
+    if (!obs::WriteChromeTraceFile(*spans_ptr, path)) return 1;
+  }
   return 0;
 }
 
@@ -451,6 +484,22 @@ int main(int argc, char** argv) {
   FaultPlan* fault_ptr = faults.enabled() ? &faults : nullptr;
 
   obs::ObsContext obs;
+  // Client-side request spans: one recorder for the parent process, one
+  // track per worker so each worker's pipelined pulls/pushes read as a
+  // timeline. Flow ids stitch these to the serve spans the forked server
+  // processes record on the far side of the wire.
+  obs::SpanRecorder client_spans;
+  obs::SpanRecorder* client_spans_ptr = nullptr;
+  if (!args.trace_out.empty()) {
+    client_spans.SetProcessInfo(static_cast<std::uint32_t>(::getpid()),
+                                "bench_client");
+    client_spans.EnsureWallEpochNanos();
+    for (std::size_t w = 0; w < args.workers; ++w) {
+      client_spans.SetTrackName(static_cast<std::uint32_t>(w),
+                                "worker " + std::to_string(w));
+    }
+    client_spans_ptr = &client_spans;
+  }
   const auto bench_start = std::chrono::steady_clock::now();
   std::vector<WorkerTally> tallies(args.workers);
   {
@@ -458,7 +507,10 @@ int main(int argc, char** argv) {
     for (std::size_t w = 0; w < args.workers; ++w) {
       workers.emplace_back([&, w] {
         try {
-          net::ShardClient client(client_config, fault_ptr, &obs.metrics);
+          net::ShardClientConfig worker_config = client_config;
+          worker_config.trace_track = static_cast<std::uint32_t>(w);
+          net::ShardClient client(worker_config, fault_ptr, &obs.metrics,
+                                  client_spans_ptr);
           if (!client.Connect()) {
             std::cerr << "worker " << w << ": connect failed\n";
             return;
@@ -564,6 +616,17 @@ int main(int argc, char** argv) {
       std::cout << "metrics: wrote " << args.metrics_out << "\n";
     } else {
       std::cerr << "metrics: cannot write " << args.metrics_out << "\n";
+      all_ok = false;
+    }
+  }
+  if (client_spans_ptr != nullptr) {
+    if (obs::WriteChromeTraceFile(*client_spans_ptr, args.trace_out)) {
+      std::cout << "trace: wrote " << args.trace_out << " ("
+                << client_spans_ptr->event_count() << " events; per-server "
+                << "traces land in " << args.trace_out << ".server<k> — "
+                << "merge with scripts/specsync_obsctl)\n";
+    } else {
+      std::cerr << "trace: cannot write " << args.trace_out << "\n";
       all_ok = false;
     }
   }

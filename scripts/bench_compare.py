@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Compare two SpecSync bench telemetry files cell-by-cell.
+
+Usage:
+  bench_compare.py BASELINE.json CANDIDATE.json [options]
+
+Both files use the BenchReporter schema (BENCH_harness.json /
+BENCH_scale.json): a JSON array of per-bench records, each carrying
+run-level telemetry, a "metrics" map of headline numbers, and "per_cell"
+rows keyed by (workload, scheme, label, replicate).
+
+Two classes of field, compared differently:
+
+  Determinism fields — seed, sim_events, pushes, sim_end_seconds,
+  final_loss, trace_digest — must be bit-identical between runs of the
+  same commit: the deterministic engines guarantee it, so ANY drift is a
+  hard failure regardless of tolerance. Pass --no-exact when comparing
+  across commits whose seed derivation or model code legitimately changed.
+
+  Performance fields — wall seconds, events/sec, headline metrics — are
+  noisy, so each is gated with a relative tolerance in its bad direction
+  only (slower wall = bad, lower throughput = bad; improvements never
+  fail). Cells faster than --min-wall-s in BOTH runs are skipped for
+  timing: sub-noise-floor cells produce pure-jitter ratios.
+
+The direction of a headline metric is inferred from its name
+("*_per_s", "speedup*", "*ops*" → higher is better; "*wall*", "*rtt*",
+"*_us", "*latency*" → lower is better); unrecognized names are reported
+but never gated.
+
+Exit status: 0 = no regressions, 1 = regressions found, 2 = bad input.
+A machine-readable verdict goes to --json-out when given.
+"""
+
+import argparse
+import json
+import sys
+
+# Per-cell fields the deterministic engines reproduce bit-identically.
+EXACT_CELL_FIELDS = (
+    "seed",
+    "sim_events",
+    "pushes",
+    "sim_end_seconds",
+    "final_loss",
+    "trace_digest",
+)
+
+LOWER_IS_BETTER_HINTS = ("wall", "rtt", "latency", "_us", "seconds", "time_to")
+HIGHER_IS_BETTER_HINTS = ("per_s", "per_sec", "speedup", "ops", "events",
+                          "throughput", "rate")
+
+
+def metric_direction(name):
+    """-1 = lower is better, +1 = higher is better, 0 = don't gate."""
+    lowered = name.lower()
+    # Time-ish hints win: "workers1000_wall_seconds" must not read as
+    # higher-is-better just because "workers" contains no hint.
+    if any(h in lowered for h in LOWER_IS_BETTER_HINTS):
+        return -1
+    if any(h in lowered for h in HIGHER_IS_BETTER_HINTS):
+        return +1
+    return 0
+
+
+def load_records(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.stderr.write(f"bench_compare: cannot load {path}: {e}\n")
+        sys.exit(2)
+    if not isinstance(data, list):
+        sys.stderr.write(f"bench_compare: {path} is not a JSON array\n")
+        sys.exit(2)
+    records = {}
+    for record in data:
+        name = record.get("bench")
+        if not name:
+            sys.stderr.write(f"bench_compare: {path}: record without 'bench'\n")
+            sys.exit(2)
+        records[name] = record
+    return records
+
+
+def cell_key(cell):
+    return (cell.get("workload", ""), cell.get("scheme", ""),
+            cell.get("label", ""), cell.get("replicate", 0))
+
+
+class Report:
+    def __init__(self):
+        self.regressions = []
+        self.improvements = []
+        self.notes = []
+
+    def regress(self, where, message):
+        self.regressions.append(f"{where}: {message}")
+
+    def improve(self, where, message):
+        self.improvements.append(f"{where}: {message}")
+
+    def note(self, where, message):
+        self.notes.append(f"{where}: {message}")
+
+
+def compare_timing(report, where, field, base, cand, tolerance, min_wall):
+    """Gate a lower-is-better wall-clock pair, skipping sub-floor noise."""
+    if base < min_wall and cand < min_wall:
+        return
+    if base <= 0.0:
+        return
+    ratio = cand / base
+    if ratio > 1.0 + tolerance:
+        report.regress(where, f"{field} {base:.6g}s -> {cand:.6g}s "
+                              f"({(ratio - 1.0) * 100:+.1f}%, "
+                              f"tolerance {tolerance * 100:.0f}%)")
+    elif ratio < 1.0 - tolerance:
+        report.improve(where, f"{field} {base:.6g}s -> {cand:.6g}s "
+                              f"({(ratio - 1.0) * 100:+.1f}%)")
+
+
+def compare_higher_better(report, where, field, base, cand, tolerance):
+    if base <= 0.0:
+        return
+    ratio = cand / base
+    if ratio < 1.0 - tolerance:
+        report.regress(where, f"{field} {base:.6g} -> {cand:.6g} "
+                              f"({(ratio - 1.0) * 100:+.1f}%, "
+                              f"tolerance {tolerance * 100:.0f}%)")
+    elif ratio > 1.0 + tolerance:
+        report.improve(where, f"{field} {base:.6g} -> {cand:.6g} "
+                              f"({(ratio - 1.0) * 100:+.1f}%)")
+
+
+def compare_metrics(report, where, base_metrics, cand_metrics, tolerance):
+    for name, base_value in base_metrics.items():
+        if name not in cand_metrics:
+            report.regress(where, f"metric '{name}' missing from candidate")
+            continue
+        cand_value = cand_metrics[name]
+        direction = metric_direction(name)
+        if direction == 0:
+            if base_value != cand_value:
+                report.note(where, f"metric '{name}' {base_value:.6g} -> "
+                                   f"{cand_value:.6g} (ungated)")
+            continue
+        if base_value <= 0.0:
+            continue
+        ratio = cand_value / base_value
+        bad = ratio > 1.0 + tolerance if direction < 0 else \
+            ratio < 1.0 - tolerance
+        good = ratio < 1.0 - tolerance if direction < 0 else \
+            ratio > 1.0 + tolerance
+        if bad:
+            report.regress(where, f"metric '{name}' {base_value:.6g} -> "
+                                  f"{cand_value:.6g} "
+                                  f"({(ratio - 1.0) * 100:+.1f}%, tolerance "
+                                  f"{tolerance * 100:.0f}%)")
+        elif good:
+            report.improve(where, f"metric '{name}' {base_value:.6g} -> "
+                                  f"{cand_value:.6g} "
+                                  f"({(ratio - 1.0) * 100:+.1f}%)")
+    for name in cand_metrics:
+        if name not in base_metrics:
+            report.note(where, f"metric '{name}' new in candidate")
+
+
+def compare_cells(report, bench, base_cells, cand_cells, args):
+    base_by_key = {cell_key(c): c for c in base_cells}
+    cand_by_key = {cell_key(c): c for c in cand_cells}
+    for key, base_cell in base_by_key.items():
+        where = f"{bench} cell {key}"
+        cand_cell = cand_by_key.get(key)
+        if cand_cell is None:
+            report.regress(where, "missing from candidate")
+            continue
+        if args.exact:
+            for field in EXACT_CELL_FIELDS:
+                if base_cell.get(field) != cand_cell.get(field):
+                    report.regress(
+                        where, f"determinism field '{field}' drifted: "
+                               f"{base_cell.get(field)} -> "
+                               f"{cand_cell.get(field)}")
+        compare_timing(report, where, "wall_seconds",
+                       float(base_cell.get("wall_seconds", 0.0)),
+                       float(cand_cell.get("wall_seconds", 0.0)),
+                       args.wall_tolerance, args.min_wall_s)
+    for key in cand_by_key:
+        if key not in base_by_key:
+            report.note(f"{bench} cell {key}", "new in candidate")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Cell-by-cell bench telemetry comparison.")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--wall-tolerance", type=float, default=0.50,
+                        help="relative slowdown allowed on wall clocks "
+                             "(default 0.50 = 50%%; CI machines are noisy)")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.50,
+                        help="relative drop allowed on rates/headline "
+                             "metrics (default 0.50)")
+    parser.add_argument("--min-wall-s", type=float, default=0.05,
+                        help="skip timing gates when both runs are under "
+                             "this many seconds (default 0.05)")
+    parser.add_argument("--no-exact", dest="exact", action="store_false",
+                        help="skip determinism fields (use when comparing "
+                             "across commits that changed seeding/models)")
+    parser.add_argument("--json-out", default="",
+                        help="write the verdict as JSON to this path")
+    args = parser.parse_args()
+
+    base_records = load_records(args.baseline)
+    cand_records = load_records(args.candidate)
+    report = Report()
+
+    for bench, base in base_records.items():
+        cand = cand_records.get(bench)
+        if cand is None:
+            report.regress(bench, "bench record missing from candidate")
+            continue
+        compare_timing(report, bench, "parallel_wall_seconds",
+                       float(base.get("parallel_wall_seconds", 0.0)),
+                       float(cand.get("parallel_wall_seconds", 0.0)),
+                       args.wall_tolerance, args.min_wall_s)
+        base_rate = float(base.get("des_events_per_wall_second", 0.0))
+        cand_rate = float(cand.get("des_events_per_wall_second", 0.0))
+        compare_higher_better(report, bench, "des_events_per_wall_second",
+                              base_rate, cand_rate,
+                              args.throughput_tolerance)
+        compare_metrics(report, bench, base.get("metrics", {}) or {},
+                        cand.get("metrics", {}) or {},
+                        args.throughput_tolerance)
+        compare_cells(report, bench, base.get("per_cell", []) or [],
+                      cand.get("per_cell", []) or [], args)
+    for bench in cand_records:
+        if bench not in base_records:
+            report.note(bench, "bench record new in candidate")
+
+    print(f"bench_compare: {args.baseline} vs {args.candidate}")
+    print(f"  benches compared: "
+          f"{len(set(base_records) & set(cand_records))}"
+          f" (baseline {len(base_records)}, candidate {len(cand_records)})")
+    for line in report.improvements:
+        print(f"  IMPROVED  {line}")
+    for line in report.notes:
+        print(f"  note      {line}")
+    for line in report.regressions:
+        print(f"  REGRESSED {line}")
+    verdict = "REGRESSED" if report.regressions else "OK"
+    print(f"bench_compare: {verdict} "
+          f"({len(report.regressions)} regressions, "
+          f"{len(report.improvements)} improvements)")
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump({
+                "baseline": args.baseline,
+                "candidate": args.candidate,
+                "verdict": verdict,
+                "regressions": report.regressions,
+                "improvements": report.improvements,
+                "notes": report.notes,
+            }, f, indent=1)
+            f.write("\n")
+    return 1 if report.regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "fault/fault_plan.h"
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 
 namespace specsync {
 
@@ -94,13 +95,29 @@ const CrashEvent* FaultPlan::CrashFor(WorkerId worker) const {
 }
 
 void FaultPlan::CountCrash() {
-  std::scoped_lock lock(mutex_);
-  ++stats_.crashes;
+  {
+    std::scoped_lock lock(mutex_);
+    ++stats_.crashes;
+  }
+  // A crash is exactly the moment the flight recorder exists for: snapshot
+  // the per-thread rings now, while the events leading up to it are still on
+  // tape. No-ops (and costs one atomic load) unless the recorder is armed.
+  auto& flight = obs::FlightRecorder::Instance();
+  if (flight.enabled()) {
+    flight.Record(obs::FlightKind::kLifecycle, "worker_crash");
+    flight.DumpNow("fault_plan_crash");
+  }
 }
 
 void FaultPlan::CountRejoin() {
-  std::scoped_lock lock(mutex_);
-  ++stats_.rejoins;
+  {
+    std::scoped_lock lock(mutex_);
+    ++stats_.rejoins;
+  }
+  auto& flight = obs::FlightRecorder::Instance();
+  if (flight.enabled()) {
+    flight.Record(obs::FlightKind::kLifecycle, "worker_rejoin");
+  }
 }
 
 FaultStats FaultPlan::stats() const {

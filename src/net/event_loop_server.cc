@@ -15,6 +15,7 @@
 #include "common/thread_pool.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace specsync::net {
 
@@ -31,9 +32,15 @@ struct EventLoopServer::Conn {
   std::vector<std::uint8_t> in;
   // Encoded response frames waiting to go out, and how much of the front
   // frame already left. Pool threads append; the loop thread flushes.
+  // queued_ns stamps when the frame entered the queue so the flush side can
+  // record the full queue → wire residency ("net.eloop.out_queue_s").
+  struct OutFrame {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t queued_ns = 0;
+  };
   std::mutex out_mutex;
-  std::deque<std::vector<std::uint8_t>> out;  // guarded by out_mutex
-  std::size_t out_offset = 0;                 // guarded by out_mutex
+  std::deque<OutFrame> out;    // guarded by out_mutex
+  std::size_t out_offset = 0;  // guarded by out_mutex
   bool want_write = false;  // EPOLLOUT registered; loop thread only
   // Set when the loop drops the connection; in-flight pool tasks still hold
   // shared_ptrs and may queue responses, which are simply never flushed.
@@ -42,11 +49,24 @@ struct EventLoopServer::Conn {
 
 EventLoopServer::EventLoopServer(ParameterServer* store,
                                  ShardServerConfig config,
-                                 obs::MetricsRegistry* metrics)
+                                 obs::MetricsRegistry* metrics,
+                                 obs::SpanRecorder* spans)
     : store_(store),
       config_(std::move(config)),
-      executor_(store, config_.served_shards, metrics,
-                config_.service_delay) {}
+      executor_(store, config_.served_shards, metrics, config_.service_delay,
+                spans, config_.trace_track_base) {
+  if (metrics != nullptr) {
+    epoll_wait_hist_ = &metrics->histogram("net.eloop.epoll_wait_s");
+    dispatch_hist_ = &metrics->histogram("net.eloop.dispatch_s");
+    pool_wait_hist_ = &metrics->histogram("net.eloop.pool_wait_s");
+    out_queue_hist_ = &metrics->histogram("net.eloop.out_queue_s");
+    reassembly_gauge_ = &metrics->gauge("net.eloop.reassembly_bytes");
+    out_bytes_gauge_ = &metrics->gauge("net.eloop.out_queue_bytes");
+    conns_gauge_ = &metrics->gauge("net.eloop.conns");
+    accepts_counter_ = &metrics->counter("net.eloop.accepts");
+    drops_counter_ = &metrics->counter("net.eloop.drops");
+  }
+}
 
 EventLoopServer::~EventLoopServer() { Stop(); }
 
@@ -99,6 +119,11 @@ void EventLoopServer::Stop() {
     std::scoped_lock dirty_lock(dirty_mutex_);
     dirty_.clear();
   }
+  // The byte gauges track live per-conn buffers; with every connection gone
+  // they must read zero rather than whatever the last drop left behind.
+  if (conns_gauge_ != nullptr) conns_gauge_->Set(0.0);
+  if (reassembly_gauge_ != nullptr) reassembly_gauge_->Set(0.0);
+  if (out_bytes_gauge_ != nullptr) out_bytes_gauge_->Set(0.0);
   Cleanup();
   started_ = false;
 }
@@ -120,11 +145,22 @@ void EventLoopServer::Loop() {
   constexpr int kMaxEvents = 64;
   epoll_event events[kMaxEvents];
   while (!stopping_.load(std::memory_order_acquire)) {
+    // Time blocked in epoll (loop idleness) and time spent on the batch
+    // (loop busyness) are the two halves of the loop's duty cycle; their
+    // histograms together show whether the loop or the pool is the
+    // bottleneck at fan-in scale.
+    const std::uint64_t wait_begin_ns =
+        epoll_wait_hist_ != nullptr ? obs::WallNanos() : 0;
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, -1);
+    if (epoll_wait_hist_ != nullptr) {
+      epoll_wait_hist_->Record((obs::WallNanos() - wait_begin_ns) * 1e-9);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return;
     }
+    const std::uint64_t dispatch_begin_ns =
+        dispatch_hist_ != nullptr ? obs::WallNanos() : 0;
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd_) {
@@ -154,6 +190,9 @@ void EventLoopServer::Loop() {
         DropConn(fd);
       }
     }
+    if (dispatch_hist_ != nullptr) {
+      dispatch_hist_->Record((obs::WallNanos() - dispatch_begin_ns) * 1e-9);
+    }
   }
 }
 
@@ -170,6 +209,8 @@ void EventLoopServer::AcceptNew() {
     ev.data.fd = fd;
     if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) continue;
     conns_.emplace(fd, std::move(conn));
+    if (accepts_counter_ != nullptr) accepts_counter_->Increment();
+    if (conns_gauge_ != nullptr) conns_gauge_->Add(1.0);
   }
 }
 
@@ -177,6 +218,9 @@ bool EventLoopServer::ReadAndDispatch(const std::shared_ptr<Conn>& conn) {
   for (;;) {
     std::size_t got = 0;
     const auto status = conn->connection.RecvSome(conn->in, kRecvChunk, got);
+    if (reassembly_gauge_ != nullptr && got > 0) {
+      reassembly_gauge_->Add(static_cast<double>(got));
+    }
     if (status == TcpConnection::IoStatus::kWouldBlock) return true;
     if (status != TcpConnection::IoStatus::kOk) return false;  // EOF or error
 
@@ -197,23 +241,35 @@ bool EventLoopServer::ReadAndDispatch(const std::shared_ptr<Conn>& conn) {
       const std::size_t total = kHeaderBytes + header.payload_bytes;
       if (avail < total) break;
       WireMessage request;
+      TraceContext trace;
       if (DecodePayload(header,
                         buf.subspan(consumed + kHeaderBytes,
                                     header.payload_bytes),
-                        request) != WireStatus::kOk) {
+                        request, &trace) != WireStatus::kOk) {
         bad_frames_.fetch_add(1, std::memory_order_relaxed);
         return false;
       }
       consumed += total;
-      pool_->Submit([this, conn, id = header.request_id,
+      // submit_ns measures the submit → task-start gap on the pool side:
+      // under fan-in pressure this histogram is the queueing delay a request
+      // spends waiting for an execution slot.
+      const std::uint64_t submit_ns =
+          pool_wait_hist_ != nullptr ? obs::WallNanos() : 0;
+      pool_->Submit([this, conn, id = header.request_id, trace, submit_ns,
                      request = std::move(request)]() mutable {
-        WireMessage response = executor_.Execute(request);
+        if (pool_wait_hist_ != nullptr) {
+          pool_wait_hist_->Record((obs::WallNanos() - submit_ns) * 1e-9);
+        }
+        WireMessage response = executor_.Execute(request, &trace);
         QueueResponse(conn, EncodeFrame(response, id));
       });
     }
     if (consumed > 0) {
       conn->in.erase(conn->in.begin(),
                      conn->in.begin() + static_cast<std::ptrdiff_t>(consumed));
+      if (reassembly_gauge_ != nullptr) {
+        reassembly_gauge_->Add(-static_cast<double>(consumed));
+      }
     }
   }
 }
@@ -222,7 +278,17 @@ void EventLoopServer::QueueResponse(const std::shared_ptr<Conn>& conn,
                                     std::vector<std::uint8_t> frame) {
   {
     std::scoped_lock lock(conn->out_mutex);
-    conn->out.push_back(std::move(frame));
+    // A dead connection's queue is never flushed; dropping the frame here
+    // (instead of parking it forever) keeps the out-bytes gauge honest —
+    // DropConn already zeroed this conn's contribution under the same lock.
+    if (conn->dead.load(std::memory_order_acquire)) return;
+    if (out_bytes_gauge_ != nullptr) {
+      out_bytes_gauge_->Add(static_cast<double>(frame.size()));
+    }
+    Conn::OutFrame entry;
+    entry.bytes = std::move(frame);
+    entry.queued_ns = out_queue_hist_ != nullptr ? obs::WallNanos() : 0;
+    conn->out.push_back(std::move(entry));
   }
   {
     std::scoped_lock lock(dirty_mutex_);
@@ -246,17 +312,23 @@ void EventLoopServer::DrainDirty() {
 bool EventLoopServer::FlushOut(const std::shared_ptr<Conn>& conn) {
   std::scoped_lock lock(conn->out_mutex);
   while (!conn->out.empty()) {
-    const std::vector<std::uint8_t>& front = conn->out.front();
+    const Conn::OutFrame& front = conn->out.front();
     std::size_t sent = 0;
     const auto status = conn->connection.SendSome(
-        std::span(front).subspan(conn->out_offset), sent);
+        std::span(front.bytes).subspan(conn->out_offset), sent);
     if (status == TcpConnection::IoStatus::kWouldBlock) {
       // Kernel buffer full mid-frame: lean on EPOLLOUT until it drains.
       return conn->want_write || UpdateEpoll(conn.get(), true);
     }
     if (status != TcpConnection::IoStatus::kOk) return false;
     conn->out_offset += sent;
-    if (conn->out_offset == front.size()) {
+    if (conn->out_offset == front.bytes.size()) {
+      if (out_queue_hist_ != nullptr && front.queued_ns != 0) {
+        out_queue_hist_->Record((obs::WallNanos() - front.queued_ns) * 1e-9);
+      }
+      if (out_bytes_gauge_ != nullptr) {
+        out_bytes_gauge_->Add(-static_cast<double>(front.bytes.size()));
+      }
       conn->out.pop_front();
       conn->out_offset = 0;
     }
@@ -284,6 +356,23 @@ void EventLoopServer::DropConn(int fd) {
   // Make the close visible to the peer now; the descriptor itself lives
   // until the last in-flight task releases its shared_ptr.
   conn->connection.ShutdownBoth();
+  // Retire this connection's contribution to the byte gauges. Taking
+  // out_mutex here serializes with QueueResponse: any append that won the
+  // lock first is subtracted below; any that loses sees `dead` and drops
+  // its frame without counting it.
+  if (reassembly_gauge_ != nullptr && !conn->in.empty()) {
+    reassembly_gauge_->Add(-static_cast<double>(conn->in.size()));
+  }
+  if (out_bytes_gauge_ != nullptr) {
+    std::scoped_lock lock(conn->out_mutex);
+    std::size_t queued = 0;
+    for (const Conn::OutFrame& frame : conn->out) queued += frame.bytes.size();
+    if (queued > 0) out_bytes_gauge_->Add(-static_cast<double>(queued));
+    conn->out.clear();
+    conn->out_offset = 0;
+  }
+  if (drops_counter_ != nullptr) drops_counter_->Increment();
+  if (conns_gauge_ != nullptr) conns_gauge_->Add(-1.0);
   conns_.erase(it);
 }
 

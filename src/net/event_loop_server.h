@@ -51,9 +51,15 @@ class EventLoopServer : public ShardServerBase {
  public:
   // `store` is not owned and must outlive the server. `config.model` is
   // ignored (callers go through MakeShardServer; constructing this class
-  // directly always yields the event-loop model).
+  // directly always yields the event-loop model). `metrics` (optional)
+  // additionally darks the loop internals: "net.eloop.epoll_wait_s" /
+  // "net.eloop.dispatch_s" / "net.eloop.pool_wait_s" / "net.eloop.out_queue_s"
+  // histograms, "net.eloop.reassembly_bytes" / "net.eloop.out_queue_bytes" /
+  // "net.eloop.conns" gauges, and "net.eloop.accepts" / "net.eloop.drops"
+  // counters. `spans` (optional) records trace-linked serve spans.
   EventLoopServer(ParameterServer* store, ShardServerConfig config,
-                  obs::MetricsRegistry* metrics = nullptr);
+                  obs::MetricsRegistry* metrics = nullptr,
+                  obs::SpanRecorder* spans = nullptr);
   ~EventLoopServer() override;
 
   EventLoopServer(const EventLoopServer&) = delete;
@@ -95,6 +101,18 @@ class EventLoopServer : public ShardServerBase {
   RequestExecutor executor_;
   std::unique_ptr<TcpListener> listener_;
   std::uint16_t port_ = 0;
+
+  // Loop telemetry (all null when no registry was given; every use is
+  // pointer-guarded so the un-instrumented server pays nothing).
+  obs::LatencyHistogram* epoll_wait_hist_ = nullptr;  // time blocked in epoll
+  obs::LatencyHistogram* dispatch_hist_ = nullptr;    // one event batch
+  obs::LatencyHistogram* pool_wait_hist_ = nullptr;   // submit → task start
+  obs::LatencyHistogram* out_queue_hist_ = nullptr;   // queue → fully sent
+  obs::Gauge* reassembly_gauge_ = nullptr;  // Σ per-conn `in` bytes
+  obs::Gauge* out_bytes_gauge_ = nullptr;   // Σ per-conn queued out bytes
+  obs::Gauge* conns_gauge_ = nullptr;       // live connection count
+  obs::Counter* accepts_counter_ = nullptr;
+  obs::Counter* drops_counter_ = nullptr;
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: dirty-connection + stop notifications

@@ -1,21 +1,45 @@
 #include "net/request_executor.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
+#include "common/sim_time.h"
 #include "obs/metrics.h"
+#include "obs/span_recorder.h"
 
 namespace specsync::net {
+
+namespace {
+
+std::string TraceIdHex(std::uint64_t id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = (id >> shift) & 0xf;
+    if (!started && nibble == 0 && shift != 0) continue;
+    started = true;
+    out += kHex[nibble];
+  }
+  return out;
+}
+
+}  // namespace
 
 RequestExecutor::RequestExecutor(ParameterServer* store,
                                  std::vector<std::size_t> served_shards,
                                  obs::MetricsRegistry* metrics,
-                                 std::chrono::microseconds service_delay)
+                                 std::chrono::microseconds service_delay,
+                                 obs::SpanRecorder* spans,
+                                 std::uint32_t span_track_base)
     : store_(store),
       served_shards_(std::move(served_shards)),
-      service_delay_(service_delay) {
+      service_delay_(service_delay),
+      spans_(spans),
+      span_track_base_(span_track_base) {
   SPECSYNC_CHECK(store_ != nullptr);
   for (std::size_t s : served_shards_) {
     SPECSYNC_CHECK_LT(s, store_->num_shards());
@@ -33,7 +57,43 @@ bool RequestExecutor::ServesShard(std::size_t shard) const {
          served_shards_.end();
 }
 
-WireMessage RequestExecutor::Execute(const WireMessage& request) {
+WireMessage RequestExecutor::Execute(const WireMessage& request,
+                                     const TraceContext* trace) {
+  if (spans_ == nullptr || trace == nullptr || !trace->valid()) {
+    return ExecuteInner(request);
+  }
+  // The serve span covers everything the client's RTT contains on this side:
+  // the injected service delay, shard-lock wait inside the store, and the
+  // store work itself. flow_in ties it under the client span whose trace_id
+  // the frame carried.
+  const std::uint64_t epoch = spans_->EnsureWallEpochNanos();
+  const std::uint64_t begin_ns = obs::WallNanos();
+  WireMessage response = ExecuteInner(request);
+  const std::uint64_t end_ns = obs::WallNanos();
+  const char* name = "serve.commit";
+  std::uint32_t shard = 0;
+  if (const auto* pull = std::get_if<PullShardReq>(&request)) {
+    name = "serve.pull";
+    shard = pull->shard;
+  } else if (const auto* push = std::get_if<PushShardReq>(&request)) {
+    name = "serve.push";
+    shard = push->shard;
+  } else if (!std::holds_alternative<CommitPushReq>(request)) {
+    name = "serve.reject";
+  }
+  const double begin_s =
+      begin_ns > epoch ? (begin_ns - epoch) * 1e-9 : 0.0;
+  const double end_s = end_ns > epoch ? (end_ns - epoch) * 1e-9 : 0.0;
+  spans_->AddSpanWithFlow(name, "net.server", span_track_base_ + shard,
+                          SimTime::FromSeconds(begin_s),
+                          SimTime::FromSeconds(end_s), /*flow_out=*/0,
+                          /*flow_in=*/trace->trace_id,
+                          {{"trace_id", TraceIdHex(trace->trace_id)},
+                           {"shard", std::to_string(shard)}});
+  return response;
+}
+
+WireMessage RequestExecutor::ExecuteInner(const WireMessage& request) {
   if (service_delay_.count() > 0) {
     std::this_thread::sleep_for(service_delay_);
   }

@@ -25,6 +25,7 @@
 namespace specsync::obs {
 class MetricsRegistry;
 class LatencyHistogram;
+class SpanRecorder;
 }  // namespace specsync::obs
 
 namespace specsync::net {
@@ -50,14 +51,24 @@ class RequestExecutor {
   // `service_delay` stalls every request's execution by that much before
   // touching the store — a test/bench injection point that makes service
   // time controllable when pinning pipelining behavior (zero = off).
+  // `spans` (optional) records one "net.server" serve span per request that
+  // arrived with a wire trace context, flow-linked back to the client span
+  // that caused it (DESIGN.md §14). Serve spans land on track
+  // `span_track_base + shard`, letting a recorder shared with other span
+  // sources (the in-process runtime) give server activity its own tracks.
   RequestExecutor(ParameterServer* store,
                   std::vector<std::size_t> served_shards,
                   obs::MetricsRegistry* metrics = nullptr,
-                  std::chrono::microseconds service_delay = {});
+                  std::chrono::microseconds service_delay = {},
+                  obs::SpanRecorder* spans = nullptr,
+                  std::uint32_t span_track_base = 0);
 
   // Executes one decoded request and returns the response to send back. A
   // response-typed message (a confused peer) gets a kAckBadRequest ack.
-  WireMessage Execute(const WireMessage& request);
+  // `trace` (optional) is the request frame's trace context; valid contexts
+  // become serve spans when a SpanRecorder is attached.
+  WireMessage Execute(const WireMessage& request,
+                      const TraceContext* trace = nullptr);
 
   bool ServesShard(std::size_t shard) const;
 
@@ -65,9 +76,13 @@ class RequestExecutor {
   ServerStats stats() const;
 
  private:
+  WireMessage ExecuteInner(const WireMessage& request);
+
   ParameterServer* store_;
   std::vector<std::size_t> served_shards_;
   std::chrono::microseconds service_delay_;
+  obs::SpanRecorder* spans_ = nullptr;
+  std::uint32_t span_track_base_ = 0;
 
   std::atomic<std::uint64_t> pulls_{0};
   std::atomic<std::uint64_t> pushes_{0};

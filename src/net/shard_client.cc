@@ -1,5 +1,7 @@
 #include "net/shard_client.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -13,9 +15,44 @@
 #include "common/logging.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/span_recorder.h"
 
 namespace specsync::net {
+
+namespace {
+
+// Process-unique, nonzero trace ids: high half = pid so ids from different
+// bench_transport processes never collide in a merged trace, low half = a
+// per-process sequence. The same id rides every retry attempt of one logical
+// request, so injected duplicates collapse onto one flow in Perfetto.
+std::uint64_t NextTraceId() {
+  static std::atomic<std::uint64_t> counter{1};
+  const std::uint64_t seq = counter.fetch_add(1, std::memory_order_relaxed);
+  return (static_cast<std::uint64_t>(::getpid()) << 32) |
+         (seq & 0xffffffffull);
+}
+
+std::string TraceIdHex(std::uint64_t id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out = "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = (id >> shift) & 0xf;
+    if (!started && nibble == 0 && shift != 0) continue;
+    started = true;
+    out += kHex[nibble];
+  }
+  return out;
+}
+
+void RecordNetState(const char* label, std::int64_t a) {
+  auto& flight = obs::FlightRecorder::Instance();
+  if (flight.enabled()) flight.Record(obs::FlightKind::kNetState, label, a);
+}
+
+}  // namespace
 
 // A caller's wait state, stack-owned by its Ticket. The receiver finds it
 // through the pending table and fulfills it under the link's state mutex.
@@ -57,6 +94,21 @@ struct ShardClient::Link {
   std::atomic<std::uint64_t> injected_drops{0};
   std::atomic<std::uint64_t> injected_delays{0};
   std::atomic<std::uint64_t> injected_duplicates{0};
+
+  // Registry mirrors of the per-link state, labeled with this link's
+  // endpoint; null without an attached MetricsRegistry.
+  obs::Counter* reconnects_counter = nullptr;
+  obs::Counter* stale_counter = nullptr;
+  obs::Counter* deaths_counter = nullptr;
+  obs::Gauge* in_flight_gauge = nullptr;
+  obs::Gauge* pending_gauge = nullptr;
+
+  // Call under `mutex` after any pending-table mutation.
+  void SyncPendingGauge() {
+    if (pending_gauge != nullptr) {
+      pending_gauge->Set(static_cast<double>(pending.size()));
+    }
+  }
 };
 
 // One logical request's lifecycle across attempts. Owns the slot; the
@@ -68,6 +120,9 @@ struct ShardClient::Ticket {
   const WireMessage* request = nullptr;  // caller-owned, outlives the ticket
   std::unique_ptr<PendingSlot> slot;
   std::uint64_t id = 0;
+  // Stable across retry attempts (unlike `id`); 0 = tracing off.
+  std::uint64_t trace_id = 0;
+  std::uint64_t started_ns = 0;
   std::chrono::steady_clock::time_point sent_at{};
   std::size_t attempts = 0;
   bool in_flight = false;
@@ -82,8 +137,12 @@ struct ShardClient::Ticket {
       request = std::exchange(other.request, nullptr);
       slot = std::move(other.slot);
       id = other.id;
+      trace_id = other.trace_id;
+      started_ns = other.started_ns;
       sent_at = other.sent_at;
       attempts = other.attempts;
+      // Raw transfer: the in-flight gauge tracks the logical request, which
+      // just changed owner, not state.
       in_flight = std::exchange(other.in_flight, false);
     }
     return *this;
@@ -92,18 +151,30 @@ struct ShardClient::Ticket {
   Ticket& operator=(const Ticket&) = delete;
   ~Ticket() { Abandon(); }
 
+  // Flips the flag and keeps the per-link in-flight gauge in step; every
+  // state change (as opposed to ownership transfer) goes through here.
+  void SetInFlight(bool value) {
+    if (in_flight == value) return;
+    in_flight = value;
+    if (link != nullptr && link->in_flight_gauge != nullptr) {
+      link->in_flight_gauge->Add(value ? 1.0 : -1.0);
+    }
+  }
+
   void Abandon() {
     if (link != nullptr && in_flight) {
       std::scoped_lock lock(link->mutex);
       link->pending.erase(id);
-      in_flight = false;
+      link->SyncPendingGauge();
+      SetInFlight(false);
     }
   }
 };
 
 ShardClient::ShardClient(ShardClientConfig config, FaultPlan* faults,
-                         obs::MetricsRegistry* metrics)
-    : config_(std::move(config)), faults_(faults) {
+                         obs::MetricsRegistry* metrics,
+                         obs::SpanRecorder* spans)
+    : config_(std::move(config)), faults_(faults), spans_(spans) {
   std::string error;
   SPECSYNC_CHECK(config_.topology.Validate(&error)) << error;
   SPECSYNC_CHECK_GT(config_.max_attempts, 0u);
@@ -123,7 +194,23 @@ ShardClient::ShardClient(ShardClientConfig config, FaultPlan* faults,
     }
     retry_counter_ = &metrics->counter("net.retries");
     timeout_counter_ = &metrics->counter("net.timeouts");
+    for (auto& link : links_) {
+      // The brace block is the registry's label convention: the Prometheus
+      // exporter renders it as {link="host:port"}, the JSON exporter keeps
+      // the composite name verbatim.
+      const std::string label = "{link=" + ToString(link->endpoint) + "}";
+      link->reconnects_counter =
+          &metrics->counter("net.link.reconnects" + label);
+      link->stale_counter = &metrics->counter("net.link.stale_frames" + label);
+      link->deaths_counter = &metrics->counter("net.link.link_deaths" + label);
+      link->in_flight_gauge = &metrics->gauge("net.link.in_flight" + label);
+      link->pending_gauge = &metrics->gauge("net.link.pending_depth" + label);
+    }
   }
+  // Anchor the span clock before the first request so every span maps onto
+  // a defined monotonic epoch (a runtime that owns a run clock has already
+  // pinned it; EnsureWallEpochNanos is then a no-op).
+  if (spans_ != nullptr) spans_->EnsureWallEpochNanos();
 }
 
 ShardClient::~ShardClient() {
@@ -181,6 +268,7 @@ bool ShardClient::EnsureLink(Link& link) {
   link.reconnecting = false;
   link.link_up = up;
   if (up) {
+    RecordNetState("link_up", link.endpoint.port);
     link.receiver = std::thread([this, &link] { ReceiverLoop(&link); });
   }
   link.reconnect_cv.notify_all();
@@ -202,10 +290,12 @@ void ShardClient::ReceiverLoop(Link* link) {
       // Late answer to a timed-out attempt, or the echo of an injected
       // duplicate: nobody is waiting for this id any more.
       link->stale_frames.fetch_add(1, std::memory_order_relaxed);
+      if (link->stale_counter != nullptr) link->stale_counter->Increment();
       continue;
     }
     PendingSlot* slot = it->second;
     link->pending.erase(it);
+    link->SyncPendingGauge();
     slot->response = std::move(response);
     slot->done = true;
     slot->cv.notify_one();
@@ -213,6 +303,8 @@ void ShardClient::ReceiverLoop(Link* link) {
   // The link is dead (EOF, error, or lost framing). Fail every waiter so it
   // retries immediately instead of burning its full timeout; the first
   // retrying caller runs the reconnect.
+  if (link->deaths_counter != nullptr) link->deaths_counter->Increment();
+  RecordNetState("link_down", link->endpoint.port);
   std::scoped_lock lock(link->mutex);
   link->link_up = false;
   for (auto& [id, slot] : link->pending) {
@@ -220,6 +312,7 @@ void ShardClient::ReceiverLoop(Link* link) {
     slot->cv.notify_one();
   }
   link->pending.clear();
+  link->SyncPendingGauge();
 }
 
 ShardClient::Ticket ShardClient::MakeTicket(std::size_t shard,
@@ -231,6 +324,10 @@ ShardClient::Ticket ShardClient::MakeTicket(std::size_t shard,
   ticket.request = request;
   ticket.slot = std::make_unique<PendingSlot>();
   ticket.link->requests.fetch_add(1, std::memory_order_relaxed);
+  if (spans_ != nullptr) {
+    ticket.trace_id = NextTraceId();
+    ticket.started_ns = obs::WallNanos();
+  }
   return ticket;
 }
 
@@ -262,6 +359,9 @@ void ShardClient::IssueAttempt(Ticket& ticket) {
   }
   if (was_down) {
     link.reconnects.fetch_add(1, std::memory_order_relaxed);
+    if (link.reconnects_counter != nullptr) {
+      link.reconnects_counter->Increment();
+    }
     if (!EnsureLink(link)) return;  // attempt consumed
   }
 
@@ -274,16 +374,21 @@ void ShardClient::IssueAttempt(Ticket& ticket) {
     ticket.slot->done = false;
     ticket.slot->failed = false;
     link.pending.emplace(ticket.id, ticket.slot.get());
+    link.SyncPendingGauge();
   }
-  const std::vector<std::uint8_t> bytes =
-      EncodeFrame(*ticket.request, ticket.id);
+  // The same trace context rides every attempt (the id is per-attempt, the
+  // trace is per logical request), so the server's serve spans for retries
+  // and duplicates all flow from one client span.
+  const TraceContext trace{ticket.trace_id, ticket.trace_id};
+  const std::vector<std::uint8_t> bytes = EncodeFrame(
+      *ticket.request, ticket.id, ticket.trace_id != 0 ? &trace : nullptr);
   ticket.sent_at = std::chrono::steady_clock::now();
 
   if (decision.drop) {
     // The frame vanishes in the wire: never sent, so this attempt can only
     // time out. The retry after the timeout is the recovery path.
     link.injected_drops.fetch_add(1, std::memory_order_relaxed);
-    ticket.in_flight = true;
+    ticket.SetInFlight(true);
     return;
   }
 
@@ -306,10 +411,11 @@ void ShardClient::IssueAttempt(Ticket& ticket) {
   if (!sent) {
     std::scoped_lock lock(link.mutex);
     link.pending.erase(ticket.id);
+    link.SyncPendingGauge();
     link.link_up = false;
     return;  // attempt consumed; next attempt reconnects
   }
-  ticket.in_flight = true;
+  ticket.SetInFlight(true);
 }
 
 void ShardClient::IssueUntilInFlight(Ticket& ticket) {
@@ -337,15 +443,16 @@ WireMessage ShardClient::Await(Ticket& ticket) {
           // Timed out: deregister so a late frame for this id counts as
           // stale instead of fulfilling a slot nobody awaits.
           link.pending.erase(ticket.id);
+          link.SyncPendingGauge();
           link.timeouts.fetch_add(1, std::memory_order_relaxed);
           if (timeout_counter_ != nullptr) timeout_counter_->Increment();
         }
         // On failure the receiver already deregistered everything.
-        ticket.in_flight = false;
+        ticket.SetInFlight(false);
       }
     }
     if (done) {
-      ticket.in_flight = false;
+      ticket.SetInFlight(false);
       const double rtt = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - ticket.sent_at)
                              .count();
@@ -353,6 +460,7 @@ WireMessage ShardClient::Await(Ticket& ticket) {
         rtt_hist_->Record(rtt);
         shard_rtt_[ticket.shard]->Record(rtt);
       }
+      if (spans_ != nullptr && ticket.trace_id != 0) RecordClientSpan(ticket);
       if (const auto* ack = std::get_if<AckResp>(&ticket.slot->response)) {
         // Error acks mean the client routed a request the server does not
         // own — a wiring bug, not a transient fault.
@@ -364,6 +472,27 @@ WireMessage ShardClient::Await(Ticket& ticket) {
     }
     IssueUntilInFlight(ticket);
   }
+}
+
+void ShardClient::RecordClientSpan(const Ticket& ticket) {
+  const std::uint64_t end_ns = obs::WallNanos();
+  const std::uint64_t epoch = spans_->EnsureWallEpochNanos();
+  const double begin_s =
+      ticket.started_ns > epoch ? (ticket.started_ns - epoch) * 1e-9 : 0.0;
+  const double end_s = end_ns > epoch ? (end_ns - epoch) * 1e-9 : 0.0;
+  const char* name = "commit.req";
+  if (std::holds_alternative<PullShardReq>(*ticket.request)) {
+    name = "pull.req";
+  } else if (std::holds_alternative<PushShardReq>(*ticket.request)) {
+    name = "push.req";
+  }
+  spans_->AddSpanWithFlow(
+      name, "net.client", config_.trace_track, SimTime::FromSeconds(begin_s),
+      SimTime::FromSeconds(end_s), /*flow_out=*/ticket.trace_id,
+      /*flow_in=*/0,
+      {{"trace_id", TraceIdHex(ticket.trace_id)},
+       {"shard", std::to_string(ticket.shard)},
+       {"attempts", std::to_string(ticket.attempts)}});
 }
 
 WireMessage ShardClient::Call(std::size_t shard, const WireMessage& request) {

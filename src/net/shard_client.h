@@ -64,6 +64,8 @@ namespace obs {
 class MetricsRegistry;
 class LatencyHistogram;
 class Counter;
+class Gauge;
+class SpanRecorder;
 }  // namespace obs
 }  // namespace specsync
 
@@ -80,15 +82,27 @@ struct ShardClientConfig {
   std::size_t max_attempts = 16;
   // Startup grace for connecting (covers the server racing its Start()).
   std::chrono::milliseconds connect_timeout{2000};
+  // Track ("tid") client request spans are recorded on when a SpanRecorder
+  // is attached — give each worker its own track so its net spans interleave
+  // with its compute spans on one timeline.
+  std::uint32_t trace_track = 0;
 };
 
 class ShardClient {
  public:
   // `faults` (optional, not owned) injects data-link faults per attempt.
   // `metrics` (optional, not owned) receives RTT histograms "net.rtt_s" and
-  // "net.shard<k>.rtt_s" plus retry/timeout counters.
+  // "net.shard<k>.rtt_s", retry/timeout counters, and per-link labeled
+  // instruments: "net.link.{reconnects,stale_frames,link_deaths}{link=...}"
+  // counters plus "net.link.{in_flight,pending_depth}{link=...}" gauges.
+  // `spans` (optional, not owned) records one "net.client" span per
+  // completed request, stamped with a process-unique trace_id that also
+  // rides every attempt's frame as the wire trace-context extension — the
+  // server echoes it into its serve span, stitching the two across
+  // processes (DESIGN.md §14).
   ShardClient(ShardClientConfig config, FaultPlan* faults = nullptr,
-              obs::MetricsRegistry* metrics = nullptr);
+              obs::MetricsRegistry* metrics = nullptr,
+              obs::SpanRecorder* spans = nullptr);
   ~ShardClient();
 
   ShardClient(const ShardClient&) = delete;
@@ -154,12 +168,15 @@ class ShardClient {
   // Blocks until the ticket's response arrives, retrying timed-out and
   // link-failed attempts. Validates error acks.
   WireMessage Await(Ticket& ticket);
+  // Emits the completed request's "net.client" span (spans_ attached only).
+  void RecordClientSpan(const Ticket& ticket);
   // Issue + Await: one synchronous request.
   WireMessage Call(std::size_t shard, const WireMessage& request);
   std::size_t ShardOf(std::size_t index) const;
 
   ShardClientConfig config_;
   FaultPlan* faults_;
+  obs::SpanRecorder* spans_ = nullptr;
   std::size_t dim_ = 0;
   std::vector<std::size_t> shard_link_;  // shard id → links_ index
   std::vector<std::unique_ptr<Link>> links_;

@@ -7,16 +7,19 @@
 #include "net/event_loop_server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace specsync::net {
 
 std::unique_ptr<ShardServerBase> MakeShardServer(
     ParameterServer* store, ShardServerConfig config,
-    obs::MetricsRegistry* metrics) {
+    obs::MetricsRegistry* metrics, obs::SpanRecorder* spans) {
   if (config.model == ServerModel::kEventLoop) {
-    return std::make_unique<EventLoopServer>(store, std::move(config), metrics);
+    return std::make_unique<EventLoopServer>(store, std::move(config), metrics,
+                                             spans);
   }
-  return std::make_unique<ShardServer>(store, std::move(config), metrics);
+  return std::make_unique<ShardServer>(store, std::move(config), metrics,
+                                       spans);
 }
 
 struct ShardServer::Conn {
@@ -28,10 +31,18 @@ struct ShardServer::Conn {
 };
 
 ShardServer::ShardServer(ParameterServer* store, ShardServerConfig config,
-                         obs::MetricsRegistry* metrics)
+                         obs::MetricsRegistry* metrics,
+                         obs::SpanRecorder* spans)
     : store_(store),
       config_(std::move(config)),
-      executor_(store, config_.served_shards, metrics, config_.service_delay) {}
+      executor_(store, config_.served_shards, metrics, config_.service_delay,
+                spans, config_.trace_track_base) {
+  if (metrics != nullptr) {
+    accepts_counter_ = &metrics->counter("net.server.accepts");
+    reaped_counter_ = &metrics->counter("net.server.reaped");
+    handlers_gauge_ = &metrics->gauge("net.server.live_handlers");
+  }
+}
 
 ShardServer::~ShardServer() { Stop(); }
 
@@ -90,6 +101,7 @@ void ShardServer::AcceptLoop() {
     auto conn = std::make_unique<Conn>();
     conn->connection = std::move(client);
     Conn* raw = conn.get();
+    if (accepts_counter_ != nullptr) accepts_counter_->Increment();
     conn->handler = std::thread([this, raw] { HandleConnection(raw); });
     conns_.push_back(std::move(conn));
   }
@@ -100,6 +112,7 @@ void ShardServer::ReapFinishedLocked() {
     if ((*it)->finished.load(std::memory_order_acquire)) {
       if ((*it)->handler.joinable()) (*it)->handler.join();
       it = conns_.erase(it);
+      if (reaped_counter_ != nullptr) reaped_counter_->Increment();
     } else {
       ++it;
     }
@@ -108,6 +121,7 @@ void ShardServer::ReapFinishedLocked() {
 
 void ShardServer::HandleConnection(Conn* conn) {
   live_handlers_.fetch_add(1, std::memory_order_relaxed);
+  if (handlers_gauge_ != nullptr) handlers_gauge_->Add(1.0);
   ServeConnection(conn);
   // Actively close on every exit path (bad frame, send failure, clean EOF):
   // the connection object may outlive the handler, so without this a peer
@@ -115,6 +129,7 @@ void ShardServer::HandleConnection(Conn* conn) {
   // the close.
   conn->connection.ShutdownBoth();
   live_handlers_.fetch_sub(1, std::memory_order_relaxed);
+  if (handlers_gauge_ != nullptr) handlers_gauge_->Add(-1.0);
   conn->finished.store(true, std::memory_order_release);
 }
 
@@ -132,13 +147,14 @@ void ShardServer::ServeConnection(Conn* conn) {
     }
     std::uint64_t request_id = 0;
     WireMessage request;
-    if (DecodeFrame(frame, request_id, request) != WireStatus::kOk) {
+    TraceContext trace;
+    if (DecodeFrame(frame, request_id, request, &trace) != WireStatus::kOk) {
       // Framing survived but the payload is corrupt; the stream cannot be
       // trusted past this point.
       bad_frames_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    const WireMessage response = executor_.Execute(request);
+    const WireMessage response = executor_.Execute(request, &trace);
     if (!conn->connection.SendAll(EncodeFrame(response, request_id))) return;
   }
 }

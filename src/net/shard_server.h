@@ -40,6 +40,9 @@
 
 namespace specsync::obs {
 class MetricsRegistry;
+class Counter;
+class Gauge;
+class SpanRecorder;
 }  // namespace specsync::obs
 
 namespace specsync::net {
@@ -63,6 +66,10 @@ struct ShardServerConfig {
   // Test/bench injection: artificial per-request service time (see
   // RequestExecutor). Zero = off.
   std::chrono::microseconds service_delay{0};
+  // Serve spans (when a SpanRecorder is attached) land on track
+  // `trace_track_base + shard`; set a base when the recorder is shared with
+  // other span sources so server tracks do not collide with theirs.
+  std::uint32_t trace_track_base = 0;
 };
 
 // Common surface of both server models.
@@ -88,19 +95,24 @@ class ShardServerBase {
   virtual std::size_t thread_count() const = 0;
 };
 
-// Builds the server named by `config.model`.
+// Builds the server named by `config.model`. `spans` (optional) gives the
+// executor a recorder for trace-context serve spans (DESIGN.md §14).
 std::unique_ptr<ShardServerBase> MakeShardServer(
     ParameterServer* store, ShardServerConfig config,
-    obs::MetricsRegistry* metrics = nullptr);
+    obs::MetricsRegistry* metrics = nullptr,
+    obs::SpanRecorder* spans = nullptr);
 
 // The thread-per-connection model.
 class ShardServer : public ShardServerBase {
  public:
   // `store` is not owned and must outlive the server. `metrics` (optional)
-  // receives service-time histograms "net.server.pull_s" / "net.server.push_s"
-  // and request counters.
+  // receives service-time histograms "net.server.pull_s" / "net.server.push_s",
+  // request counters, plus "net.server.accepts" / "net.server.reaped"
+  // counters and the "net.server.live_handlers" gauge. `spans` (optional)
+  // records trace-linked serve spans.
   ShardServer(ParameterServer* store, ShardServerConfig config,
-              obs::MetricsRegistry* metrics = nullptr);
+              obs::MetricsRegistry* metrics = nullptr,
+              obs::SpanRecorder* spans = nullptr);
   ~ShardServer() override;
 
   ShardServer(const ShardServer&) = delete;
@@ -146,6 +158,10 @@ class ShardServer : public ShardServerBase {
 
   std::atomic<std::uint64_t> bad_frames_{0};
   std::atomic<std::size_t> live_handlers_{0};
+
+  obs::Counter* accepts_counter_ = nullptr;
+  obs::Counter* reaped_counter_ = nullptr;
+  obs::Gauge* handlers_gauge_ = nullptr;
 };
 
 }  // namespace specsync::net

@@ -72,6 +72,10 @@ class Reader {
   }
   double TakeF64() { return std::bit_cast<double>(TakeU64()); }
 
+  void Skip(std::size_t n) {
+    if (Need(n)) pos_ += n;
+  }
+
   // True when `count` items of `item_bytes` each still fit (overflow-safe:
   // a corrupt count cannot wrap the product back into range).
   bool CanTake(std::uint64_t count, std::size_t item_bytes) const {
@@ -160,7 +164,8 @@ const char* WireStatusName(WireStatus status) {
 }
 
 std::vector<std::uint8_t> EncodeFrame(const WireMessage& message,
-                                      std::uint64_t request_id) {
+                                      std::uint64_t request_id,
+                                      const TraceContext* trace) {
   std::vector<std::uint8_t> frame;
   frame.reserve(kHeaderBytes + 64);
   PutU32(frame, kWireMagic);
@@ -169,6 +174,12 @@ std::vector<std::uint8_t> EncodeFrame(const WireMessage& message,
   PutU64(frame, request_id);
   PutU32(frame, 0);  // payload_bytes, patched below
   EncodePayload(message, frame);
+  if (trace != nullptr && trace->valid()) {
+    PutU32(frame, kTraceExtMagic);
+    PutU16(frame, kTraceExtBytes);
+    PutU64(frame, trace->trace_id);
+    PutU64(frame, trace->parent_span);
+  }
   const std::uint64_t payload = frame.size() - kHeaderBytes;
   frame[16] = static_cast<std::uint8_t>(payload);
   frame[17] = static_cast<std::uint8_t>(payload >> 8);
@@ -197,9 +208,36 @@ WireStatus DecodeHeader(std::span<const std::uint8_t> bytes,
   return WireStatus::kOk;
 }
 
+namespace {
+
+// Shared payload tail: either the payload is exhausted (no extension), or the
+// remainder must be a complete trace-context extension. Anything else keeps
+// the strict-decode contract: non-extension trailing bytes are kMalformed, a
+// extension cut short is kTruncated. `ext_bytes` longer than the 16 bytes we
+// understand is skipped for forward compatibility.
+WireStatus DecodeTraceTail(Reader& r, TraceContext* trace) {
+  if (trace != nullptr) *trace = TraceContext{};
+  if (r.exhausted()) return WireStatus::kOk;
+  TraceContext parsed;
+  const std::uint32_t ext_magic = r.TakeU32();
+  const std::uint16_t ext_bytes = r.TakeU16();
+  if (!r.ok() || ext_magic != kTraceExtMagic || ext_bytes < kTraceExtBytes) {
+    return WireStatus::kMalformed;
+  }
+  parsed.trace_id = r.TakeU64();
+  parsed.parent_span = r.TakeU64();
+  r.Skip(ext_bytes - kTraceExtBytes);
+  if (!r.ok()) return WireStatus::kTruncated;
+  if (!r.exhausted()) return WireStatus::kMalformed;
+  if (trace != nullptr) *trace = parsed;
+  return WireStatus::kOk;
+}
+
+}  // namespace
+
 WireStatus DecodePayload(const FrameHeader& header,
                          std::span<const std::uint8_t> payload,
-                         WireMessage& out) {
+                         WireMessage& out, TraceContext* trace) {
   if (payload.size() < header.payload_bytes) return WireStatus::kTruncated;
   if (payload.size() > header.payload_bytes) return WireStatus::kMalformed;
   Reader r(payload);
@@ -208,7 +246,8 @@ WireStatus DecodePayload(const FrameHeader& header,
       PullShardReq m;
       m.shard = r.TakeU32();
       if (!r.ok()) return WireStatus::kTruncated;
-      if (!r.exhausted()) return WireStatus::kMalformed;
+      const WireStatus tail = DecodeTraceTail(r, trace);
+      if (tail != WireStatus::kOk) return tail;
       out = std::move(m);
       return WireStatus::kOk;
     }
@@ -225,7 +264,8 @@ WireStatus DecodePayload(const FrameHeader& header,
       m.params.reserve(count);
       for (std::uint64_t i = 0; i < count; ++i) m.params.push_back(r.TakeF64());
       if (!r.ok()) return WireStatus::kTruncated;
-      if (!r.exhausted()) return WireStatus::kMalformed;
+      const WireStatus tail = DecodeTraceTail(r, trace);
+      if (tail != WireStatus::kOk) return tail;
       out = std::move(m);
       return WireStatus::kOk;
     }
@@ -259,12 +299,14 @@ WireStatus DecodePayload(const FrameHeader& header,
         }
       }
       if (!r.ok()) return WireStatus::kTruncated;
-      if (!r.exhausted()) return WireStatus::kMalformed;
+      const WireStatus tail = DecodeTraceTail(r, trace);
+      if (tail != WireStatus::kOk) return tail;
       out = std::move(m);
       return WireStatus::kOk;
     }
     case MsgType::kCommitPushReq: {
-      if (!r.exhausted()) return WireStatus::kMalformed;
+      const WireStatus tail = DecodeTraceTail(r, trace);
+      if (tail != WireStatus::kOk) return tail;
       out = CommitPushReq{};
       return WireStatus::kOk;
     }
@@ -273,7 +315,8 @@ WireStatus DecodePayload(const FrameHeader& header,
       m.status = r.TakeU32();
       m.value = r.TakeU64();
       if (!r.ok()) return WireStatus::kTruncated;
-      if (!r.exhausted()) return WireStatus::kMalformed;
+      const WireStatus tail = DecodeTraceTail(r, trace);
+      if (tail != WireStatus::kOk) return tail;
       out = m;
       return WireStatus::kOk;
     }
@@ -282,12 +325,13 @@ WireStatus DecodePayload(const FrameHeader& header,
 }
 
 WireStatus DecodeFrame(std::span<const std::uint8_t> frame,
-                       std::uint64_t& request_id, WireMessage& out) {
+                       std::uint64_t& request_id, WireMessage& out,
+                       TraceContext* trace) {
   FrameHeader header;
   const WireStatus header_status = DecodeHeader(frame, header);
   if (header_status != WireStatus::kOk) return header_status;
   request_id = header.request_id;
-  return DecodePayload(header, frame.subspan(kHeaderBytes), out);
+  return DecodePayload(header, frame.subspan(kHeaderBytes), out, trace);
 }
 
 }  // namespace specsync::net

@@ -44,6 +44,19 @@
 // Decoding is strict: short headers, bad magic/version/type, payloads longer
 // than kMaxPayload, truncated payloads, and trailing bytes are all distinct
 // errors — a transport must never guess at a malformed frame.
+//
+// Trace-context extension (optional, length-prefixed). A frame MAY carry a
+// trace context after its message fields, still inside payload_bytes:
+//   u32 ext_magic   kTraceExtMagic ("TRCX" on the wire, little-endian)
+//   u16 ext_bytes   length of the extension body that follows (>= 16)
+//   u64 trace_id    nonzero, process-unique per logical request (stable
+//                   across retry attempts so duplicates collapse in traces)
+//   u64 parent_span span id of the client-side span that caused this request
+//   ...             decoders skip any bytes past the first 16 (forward
+//                   compatibility for future extension fields)
+// Absent extension ⇒ the frame is byte-identical to a pre-extension frame,
+// so golden digests over traffic stay pinned and old captures still decode.
+// Trailing bytes that do not start with kTraceExtMagic remain kMalformed.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +79,18 @@ enum class MsgType : std::uint16_t {
   kPushShardReq = 3,
   kCommitPushReq = 4,
   kAck = 5,
+};
+
+// Trace-context extension framing ("XCRT" bytes little-endian spell TRCX).
+inline constexpr std::uint32_t kTraceExtMagic = 0x58435254u;
+inline constexpr std::uint16_t kTraceExtBytes = 16;
+
+// Cross-process trace identity carried by the extension. trace_id == 0 means
+// "absent": EncodeFrame emits no extension and decoders report no context.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span = 0;
+  bool valid() const { return trace_id != 0; }
 };
 
 // AckResp status codes.
@@ -132,21 +157,28 @@ struct FrameHeader {
   std::uint32_t payload_bytes = 0;
 };
 
-// Serializes one message into a complete frame (header + payload).
+// Serializes one message into a complete frame (header + payload). A valid
+// (nonzero trace_id) context is appended as the trace extension; null or
+// invalid contexts produce a byte-identical pre-extension frame.
 std::vector<std::uint8_t> EncodeFrame(const WireMessage& message,
-                                      std::uint64_t request_id);
+                                      std::uint64_t request_id,
+                                      const TraceContext* trace = nullptr);
 
 // Validates and parses the 20-byte header prefix of `bytes`.
 WireStatus DecodeHeader(std::span<const std::uint8_t> bytes, FrameHeader& out);
 
 // Parses a payload previously described by a valid header. `payload` must be
 // exactly header.payload_bytes long (the transport reads exactly that many).
+// When `trace` is non-null it receives the frame's trace context (zeroed if
+// the frame carries none); callers that pass null still decode extension
+// frames correctly — the context is parsed and discarded.
 WireStatus DecodePayload(const FrameHeader& header,
                          std::span<const std::uint8_t> payload,
-                         WireMessage& out);
+                         WireMessage& out, TraceContext* trace = nullptr);
 
 // Whole-buffer convenience: `frame` must hold exactly one frame.
 WireStatus DecodeFrame(std::span<const std::uint8_t> frame,
-                       std::uint64_t& request_id, WireMessage& out);
+                       std::uint64_t& request_id, WireMessage& out,
+                       TraceContext* trace = nullptr);
 
 }  // namespace specsync::net

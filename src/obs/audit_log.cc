@@ -1,5 +1,6 @@
 #include "obs/audit_log.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 
 namespace specsync::obs {
@@ -29,11 +30,23 @@ const char* RetuneKindName(RetuneKind kind) {
 }
 
 void DecisionAuditLog::RecordCheck(const CheckRecord& record) {
+  auto& flight = FlightRecorder::Instance();
+  if (flight.enabled()) {
+    flight.Record(FlightKind::kAudit, CheckOutcomeName(record.outcome),
+                  static_cast<std::int64_t>(record.worker),
+                  static_cast<std::int64_t>(record.pushes_seen));
+  }
   std::scoped_lock lock(mutex_);
   checks_.push_back(record);
 }
 
 void DecisionAuditLog::RecordRetune(const RetuneRecord& record) {
+  auto& flight = FlightRecorder::Instance();
+  if (flight.enabled()) {
+    flight.Record(FlightKind::kAudit, RetuneKindName(record.kind),
+                  static_cast<std::int64_t>(record.epoch),
+                  static_cast<std::int64_t>(record.staleness));
+  }
   std::scoped_lock lock(mutex_);
   retunes_.push_back(record);
 }

@@ -1,0 +1,288 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace specsync::obs {
+
+namespace {
+
+// The signal handler needs the recorder without any lock or allocation.
+std::atomic<FlightRecorder*> g_signal_recorder{nullptr};
+
+// Bumped whenever a recorder is destroyed so per-thread ring caches keyed on
+// the recorder's address cannot survive an address reuse (tests construct
+// recorders on the stack; the process singleton never bumps this).
+std::atomic<std::uint64_t> g_recorder_epoch{1};
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+
+void SigWrite(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t wrote = ::write(fd, data, len);
+    if (wrote <= 0) return;
+    data += wrote;
+    len -= static_cast<std::size_t>(wrote);
+  }
+}
+
+void SigWriteStr(int fd, const char* s) { SigWrite(fd, s, std::strlen(s)); }
+
+void SigWriteU64(int fd, std::uint64_t v) {
+  char buf[20];
+  std::size_t i = sizeof(buf);
+  do {
+    buf[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  SigWrite(fd, buf + i, sizeof(buf) - i);
+}
+
+void SigWriteI64(int fd, std::int64_t v) {
+  std::uint64_t mag = static_cast<std::uint64_t>(v);
+  if (v < 0) {
+    SigWrite(fd, "-", 1);
+    mag = ~mag + 1;
+  }
+  SigWriteU64(fd, mag);
+}
+
+// Labels are caller-supplied char arrays; in a crash dump a torn slot may
+// hold arbitrary bytes, so anything outside the printable-and-JSON-safe set
+// degrades to '?' rather than corrupting the document.
+void SigWriteLabel(int fd, const char* label, std::size_t max) {
+  for (std::size_t i = 0; i < max && label[i] != '\0'; ++i) {
+    char c = label[i];
+    if (c < 0x20 || c == '"' || c == '\\' || c < 0) c = '?';
+    SigWrite(fd, &c, 1);
+  }
+}
+
+void FatalSignalHandler(int signal) {
+  FlightRecorder* recorder = g_signal_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr) recorder->DumpToConfiguredPathSignalSafe(signal);
+  std::signal(signal, SIG_DFL);
+  ::raise(signal);
+}
+
+}  // namespace
+
+const char* FlightKindName(FlightKind kind) {
+  switch (kind) {
+    case FlightKind::kSpan: return "span";
+    case FlightKind::kInstant: return "instant";
+    case FlightKind::kAudit: return "audit";
+    case FlightKind::kNetState: return "net_state";
+    case FlightKind::kLifecycle: return "lifecycle";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::Instance() {
+  // Leaked on purpose: the fatal-signal path may fire during static
+  // destruction and must still find live rings.
+  static FlightRecorder* instance = [] {
+    auto* recorder = new FlightRecorder();
+    recorder->InitFromEnv();
+    return recorder;
+  }();
+  return *instance;
+}
+
+FlightRecorder::~FlightRecorder() {
+  FlightRecorder* self = this;
+  g_signal_recorder.compare_exchange_strong(self, nullptr);
+  g_recorder_epoch.fetch_add(1, std::memory_order_release);
+}
+
+void FlightRecorder::InitFromEnv() {
+  const char* path = std::getenv("SPECSYNC_FLIGHT_OUT");
+  if (path == nullptr || *path == '\0') return;
+  Enable();
+  SetDumpPath(path);
+  InstallFatalSignalHandlers();
+}
+
+void FlightRecorder::Enable(std::size_t events_per_thread) {
+  std::scoped_lock lock(mutex_);
+  capacity_ = std::max<std::size_t>(1, events_per_thread);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FlightRecorder::SetDumpPath(std::string path) {
+  std::scoped_lock lock(mutex_);
+  dump_path_ = std::move(path);
+  const std::size_t n =
+      std::min(dump_path_.size(), sizeof(dump_path_sig_) - 1);
+  std::memcpy(dump_path_sig_, dump_path_.data(), n);
+  dump_path_sig_[n] = '\0';
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::scoped_lock lock(mutex_);
+  return dump_path_;
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::RingForThisThread() {
+  std::scoped_lock lock(mutex_);
+  const auto it = by_thread_.find(std::this_thread::get_id());
+  if (it != by_thread_.end()) return it->second;
+  const std::size_t index = owned_.size();
+  if (index >= kMaxRings) return nullptr;
+  owned_.push_back(std::make_unique<ThreadRing>(capacity_));
+  ThreadRing* ring = owned_.back().get();
+  rings_[index].store(ring, std::memory_order_release);
+  ring_count_.store(owned_.size(), std::memory_order_release);
+  by_thread_.emplace(std::this_thread::get_id(), ring);
+  return ring;
+}
+
+void FlightRecorder::Record(FlightKind kind, const char* label, std::int64_t a,
+                            std::int64_t b) {
+  if (!enabled()) return;
+  static thread_local FlightRecorder* cached_owner = nullptr;
+  static thread_local ThreadRing* cached_ring = nullptr;
+  static thread_local std::uint64_t cached_epoch = 0;
+  const std::uint64_t epoch = g_recorder_epoch.load(std::memory_order_acquire);
+  if (cached_owner != this || cached_epoch != epoch) {
+    cached_ring = RingForThisThread();
+    cached_owner = this;
+    cached_epoch = epoch;
+  }
+  ThreadRing* ring = cached_ring;
+  if (ring == nullptr) return;  // > kMaxRings recording threads
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  FlightEvent& slot = ring->slots[head % ring->capacity];
+  slot.ts_ns = WallNanos();
+  slot.kind = kind;
+  slot.a = a;
+  slot.b = b;
+  std::size_t i = 0;
+  if (label != nullptr) {
+    for (; i + 1 < sizeof(slot.label) && label[i] != '\0'; ++i) {
+      slot.label[i] = label[i];
+    }
+  }
+  slot.label[i] = '\0';
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void FlightRecorder::DumpJson(std::ostream& os, const char* reason,
+                              int signal) const {
+  std::scoped_lock lock(mutex_);
+  os << "{\"reason\":\""
+     << internal::JsonEscape(reason != nullptr ? reason : "") << "\""
+     << ",\"signal\":" << signal << ",\"dumped_at_ns\":" << WallNanos()
+     << ",\"capacity_per_thread\":" << capacity_ << ",\"threads\":[";
+  for (std::size_t r = 0; r < owned_.size(); ++r) {
+    const ThreadRing& ring = *owned_[r];
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    const std::uint64_t count =
+        std::min<std::uint64_t>(head, ring.capacity);
+    if (r > 0) os << ",";
+    os << "{\"ring\":" << r << ",\"recorded\":" << head
+       << ",\"dropped\":" << head - count << ",\"events\":[";
+    for (std::uint64_t seq = head - count; seq < head; ++seq) {
+      const FlightEvent& event = ring.slots[seq % ring.capacity];
+      if (seq != head - count) os << ",";
+      os << "{\"ts_ns\":" << event.ts_ns << ",\"kind\":\""
+         << FlightKindName(event.kind) << "\",\"label\":\""
+         << internal::JsonEscape(event.label) << "\",\"a\":" << event.a
+         << ",\"b\":" << event.b << "}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+}
+
+bool FlightRecorder::DumpNow(const char* reason) {
+  if (!enabled()) return false;
+  std::string path = dump_path();
+  if (path.empty()) return false;
+  std::ofstream os(path);
+  if (!os) return false;
+  DumpJson(os, reason);
+  os.flush();
+  return os.good();
+}
+
+void FlightRecorder::DumpToFdSignalSafe(int fd, int signal) const {
+  SigWriteStr(fd, "{\"reason\":\"fatal_signal\",\"signal\":");
+  SigWriteI64(fd, signal);
+  SigWriteStr(fd, ",\"dumped_at_ns\":");
+  SigWriteU64(fd, WallNanos());
+  SigWriteStr(fd, ",\"capacity_per_thread\":0,\"threads\":[");
+  const std::size_t rings = ring_count_.load(std::memory_order_acquire);
+  bool first_ring = true;
+  for (std::size_t r = 0; r < rings && r < kMaxRings; ++r) {
+    const ThreadRing* ring = rings_[r].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    if (!first_ring) SigWriteStr(fd, ",");
+    first_ring = false;
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    const std::uint64_t count = std::min<std::uint64_t>(head, ring->capacity);
+    SigWriteStr(fd, "{\"ring\":");
+    SigWriteU64(fd, r);
+    SigWriteStr(fd, ",\"recorded\":");
+    SigWriteU64(fd, head);
+    SigWriteStr(fd, ",\"dropped\":");
+    SigWriteU64(fd, head - count);
+    SigWriteStr(fd, ",\"events\":[");
+    for (std::uint64_t seq = head - count; seq < head; ++seq) {
+      const FlightEvent& event = ring->slots[seq % ring->capacity];
+      if (seq != head - count) SigWriteStr(fd, ",");
+      SigWriteStr(fd, "{\"ts_ns\":");
+      SigWriteU64(fd, event.ts_ns);
+      SigWriteStr(fd, ",\"kind\":\"");
+      SigWriteStr(fd, FlightKindName(event.kind));
+      SigWriteStr(fd, "\",\"label\":\"");
+      SigWriteLabel(fd, event.label, sizeof(event.label));
+      SigWriteStr(fd, "\",\"a\":");
+      SigWriteI64(fd, event.a);
+      SigWriteStr(fd, ",\"b\":");
+      SigWriteI64(fd, event.b);
+      SigWriteStr(fd, "}");
+    }
+    SigWriteStr(fd, "]}");
+  }
+  SigWriteStr(fd, "]}\n");
+}
+
+void FlightRecorder::DumpToConfiguredPathSignalSafe(int signal) {
+  if (dump_path_sig_[0] == '\0') return;
+  const int fd = ::open(dump_path_sig_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  DumpToFdSignalSafe(fd, signal);
+  ::close(fd);
+}
+
+void FlightRecorder::InstallFatalSignalHandlers() {
+  g_signal_recorder.store(this, std::memory_order_release);
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &FatalSignalHandler;
+  sigemptyset(&action.sa_mask);
+  for (const int signal : kFatalSignals) {
+    ::sigaction(signal, &action, nullptr);
+  }
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : owned_) {
+    total += ring->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+}  // namespace specsync::obs

@@ -1,0 +1,137 @@
+// Crash flight recorder: the last N structured events per thread, always on
+// tape, dumpable when something dies.
+//
+// Post-mortems for the crash/rejoin scenarios FaultPlan injects need the
+// moments *before* the failure — exactly what metrics snapshots (cumulative)
+// and span exports (written at clean shutdown) cannot give. The recorder
+// keeps a fixed-size ring of plain-old-data events per thread: span edges,
+// decision-audit records, net link state transitions, worker lifecycle. Each
+// ring has one writer (its owning thread) and recording is lock-free: a slot
+// write plus one release store of the ring head. Older events are
+// overwritten; memory is bounded by rings × capacity × sizeof(FlightEvent).
+//
+// Dumps:
+//   - DumpJson / DumpNow: on demand (tests, FaultPlan crash events). Rings
+//     outlive their threads, so a post-join dump sees every event.
+//   - DumpToFdSignalSafe + InstallFatalSignalHandlers: from SIGSEGV/SIGABRT/
+//     SIGBUS/SIGFPE/SIGILL. The signal path takes no locks and allocates
+//     nothing — rings live behind a fixed array of atomic pointers and all
+//     formatting is manual integer printing into a stack buffer. A slot
+//     being written at crash time may read torn; every other slot is intact.
+//
+// The recorder is disabled by default and every hook guards on `enabled()`,
+// so the deterministic engines see zero behavior change unless a test or the
+// SPECSYNC_FLIGHT_OUT environment variable (dump path; also arms the signal
+// handlers) turns it on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace specsync::obs {
+
+enum class FlightKind : std::uint8_t {
+  kSpan = 0,
+  kInstant = 1,
+  kAudit = 2,
+  kNetState = 3,
+  kLifecycle = 4,
+};
+
+const char* FlightKindName(FlightKind kind);
+
+// POD by design: written in place inside a pre-allocated ring slot, readable
+// from a signal handler without touching allocator or destructor state.
+struct FlightEvent {
+  std::uint64_t ts_ns = 0;  // obs::WallNanos (CLOCK_MONOTONIC)
+  std::int64_t a = 0;       // event-kind-specific payload
+  std::int64_t b = 0;
+  FlightKind kind = FlightKind::kInstant;
+  char label[39] = {};  // NUL-terminated, truncated to fit
+};
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+  static constexpr std::size_t kMaxRings = 256;
+
+  // Process-wide recorder. First call reads SPECSYNC_FLIGHT_OUT: a nonempty
+  // value enables recording, sets the dump path, and installs the fatal
+  // signal handlers. Tests construct their own instances instead.
+  static FlightRecorder& Instance();
+
+  FlightRecorder() = default;
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Enable(std::size_t events_per_thread = kDefaultCapacity);
+  bool enabled() const { return enabled_.load(std::memory_order_acquire); }
+
+  void SetDumpPath(std::string path);
+  std::string dump_path() const;
+
+  // Lock-free after a thread's first event (which registers its ring under
+  // the registry mutex). No-op while disabled or once kMaxRings threads have
+  // registered.
+  void Record(FlightKind kind, const char* label, std::int64_t a = 0,
+              std::int64_t b = 0);
+
+  // Structured JSON dump: {"reason", "signal", "dumped_at_ns",
+  // "capacity_per_thread", "threads":[{"ring","recorded","dropped",
+  // "events":[...]}]}. Events are oldest-first within a ring.
+  void DumpJson(std::ostream& os, const char* reason, int signal = 0) const;
+
+  // DumpJson to dump_path(); false when disabled, pathless, or on IO error.
+  bool DumpNow(const char* reason);
+
+  // Async-signal-safe dump of the same JSON shape (no locks, no allocation).
+  void DumpToFdSignalSafe(int fd, int signal) const;
+
+  // Signal-handler entry: open dump_path() (the lock-free copy) and dump.
+  void DumpToConfiguredPathSignalSafe(int signal);
+
+  // Arms SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL to dump this recorder to
+  // dump_path() and then re-raise with the default disposition.
+  void InstallFatalSignalHandlers();
+
+  // Total events ever recorded across all rings, including overwritten ones.
+  std::uint64_t total_recorded() const;
+
+ private:
+  struct ThreadRing {
+    explicit ThreadRing(std::size_t capacity)
+        : slots(capacity), capacity(capacity) {}
+    std::vector<FlightEvent> slots;
+    std::size_t capacity;
+    // Monotonic event count; slot (head % capacity) is written before the
+    // release increment, so a reader at head h sees min(h, capacity) slots.
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  void InitFromEnv();
+  ThreadRing* RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::size_t> ring_count_{0};
+  // Fixed array of atomic pointers so the signal path can walk rings without
+  // the registry mutex. Slots are published once and never reused.
+  std::atomic<ThreadRing*> rings_[kMaxRings] = {};
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::vector<std::unique_ptr<ThreadRing>> owned_;
+  std::map<std::thread::id, ThreadRing*> by_thread_;
+  std::string dump_path_;
+  // Signal-handler copy of dump_path_ (read without locks).
+  char dump_path_sig_[256] = {};
+};
+
+}  // namespace specsync::obs

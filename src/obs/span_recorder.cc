@@ -1,6 +1,8 @@
 #include "obs/span_recorder.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 
 namespace specsync::obs {
 
@@ -24,6 +26,21 @@ void WriteArgs(std::ostream& os, const SpanArgs& args) {
   os << "}";
 }
 
+// Flow ids are 64-bit and may exceed JSON's 2^53 exact-integer range, so they
+// are exported as hex strings (Chrome accepts string ids).
+void WriteFlowId(std::ostream& os, std::uint64_t id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  os << "\"0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = (id >> shift) & 0xf;
+    if (!started && nibble == 0 && shift != 0) continue;
+    started = true;
+    os << kHex[nibble];
+  }
+  os << '"';
+}
+
 }  // namespace
 
 void SpanRecorder::SetTrackName(std::uint32_t track, std::string name) {
@@ -37,9 +54,31 @@ void SpanRecorder::SetTrackName(std::uint32_t track, std::string name) {
   track_names_.emplace_back(track, std::move(name));
 }
 
+void SpanRecorder::Append(TraceEvent event) {
+  auto& flight = FlightRecorder::Instance();
+  if (flight.enabled()) {
+    flight.Record(event.phase == TraceEvent::Phase::kSpan
+                      ? FlightKind::kSpan
+                      : FlightKind::kInstant,
+                  event.name.c_str(),
+                  static_cast<std::int64_t>(event.track),
+                  static_cast<std::int64_t>(event.begin.seconds() * 1e9));
+  }
+  std::scoped_lock lock(mutex_);
+  events_.push_back(std::move(event));
+}
+
 void SpanRecorder::AddSpan(std::string name, std::string category,
                            std::uint32_t track, SimTime begin, SimTime end,
                            SpanArgs args) {
+  AddSpanWithFlow(std::move(name), std::move(category), track, begin, end, 0,
+                  0, std::move(args));
+}
+
+void SpanRecorder::AddSpanWithFlow(std::string name, std::string category,
+                                   std::uint32_t track, SimTime begin,
+                                   SimTime end, std::uint64_t flow_out,
+                                   std::uint64_t flow_in, SpanArgs args) {
   TraceEvent event;
   event.phase = TraceEvent::Phase::kSpan;
   event.name = std::move(name);
@@ -48,8 +87,9 @@ void SpanRecorder::AddSpan(std::string name, std::string category,
   event.begin = begin;
   event.duration = end - begin;
   event.args = std::move(args);
-  std::scoped_lock lock(mutex_);
-  events_.push_back(std::move(event));
+  event.flow_out = flow_out;
+  event.flow_in = flow_in;
+  Append(std::move(event));
 }
 
 void SpanRecorder::AddInstant(std::string name, std::string category,
@@ -62,8 +102,29 @@ void SpanRecorder::AddInstant(std::string name, std::string category,
   event.track = track;
   event.begin = time;
   event.args = std::move(args);
+  Append(std::move(event));
+}
+
+void SpanRecorder::SetProcessInfo(std::uint32_t pid, std::string name) {
   std::scoped_lock lock(mutex_);
-  events_.push_back(std::move(event));
+  pid_ = pid;
+  process_name_ = std::move(name);
+}
+
+void SpanRecorder::SetWallEpochNanos(std::uint64_t epoch_ns) {
+  std::scoped_lock lock(mutex_);
+  wall_epoch_ns_ = epoch_ns;
+}
+
+std::uint64_t SpanRecorder::wall_epoch_nanos() const {
+  std::scoped_lock lock(mutex_);
+  return wall_epoch_ns_;
+}
+
+std::uint64_t SpanRecorder::EnsureWallEpochNanos() {
+  std::scoped_lock lock(mutex_);
+  if (wall_epoch_ns_ == 0) wall_epoch_ns_ = WallNanos();
+  return wall_epoch_ns_;
 }
 
 std::size_t SpanRecorder::event_count() const {
@@ -78,22 +139,30 @@ std::vector<TraceEvent> SpanRecorder::Events() const {
 
 void SpanRecorder::ExportChromeTrace(std::ostream& os) const {
   std::scoped_lock lock(mutex_);
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  os << "{\"displayTimeUnit\":\"ms\",\"clock_epoch_ns\":" << wall_epoch_ns_
+     << ",\"traceEvents\":[";
   bool first = true;
+  if (!process_name_.empty()) {
+    first = false;
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid_
+       << ",\"args\":{\"name\":\"" << JsonEscape(process_name_) << "\"}}";
+  }
   for (const auto& [track, name] : track_names_) {
     if (!first) os << ",";
     first = false;
-    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << track
-       << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid_
+       << ",\"tid\":" << track << ",\"args\":{\"name\":\"" << JsonEscape(name)
+       << "\"}}";
   }
   for (const TraceEvent& event : events_) {
     if (!first) os << ",";
     first = false;
+    const double ts_us = event.begin.seconds() * 1e6;
     os << "{\"name\":\"" << JsonEscape(event.name) << "\",\"cat\":\""
        << JsonEscape(event.category) << "\",\"ph\":\""
        << (event.phase == TraceEvent::Phase::kSpan ? "X" : "i")
-       << "\",\"pid\":1,\"tid\":" << event.track
-       << ",\"ts\":" << JsonNumber(event.begin.seconds() * 1e6);
+       << "\",\"pid\":" << pid_ << ",\"tid\":" << event.track
+       << ",\"ts\":" << JsonNumber(ts_us);
     if (event.phase == TraceEvent::Phase::kSpan) {
       os << ",\"dur\":" << JsonNumber(event.duration.seconds() * 1e6);
     } else {
@@ -104,6 +173,21 @@ void SpanRecorder::ExportChromeTrace(std::ostream& os) const {
       WriteArgs(os, event.args);
     }
     os << "}";
+    // Flow-begin rides the producing span's start; flow-end binds to the
+    // enclosing consuming span ("bp":"e"). Matching is by (name, cat, id).
+    if (event.flow_out != 0) {
+      os << ",{\"name\":\"req\",\"cat\":\"net.flow\",\"ph\":\"s\",\"id\":";
+      WriteFlowId(os, event.flow_out);
+      os << ",\"pid\":" << pid_ << ",\"tid\":" << event.track
+         << ",\"ts\":" << JsonNumber(ts_us) << "}";
+    }
+    if (event.flow_in != 0) {
+      os << ",{\"name\":\"req\",\"cat\":\"net.flow\",\"ph\":\"f\",\"bp\":\"e\""
+         << ",\"id\":";
+      WriteFlowId(os, event.flow_in);
+      os << ",\"pid\":" << pid_ << ",\"tid\":" << event.track
+         << ",\"ts\":" << JsonNumber(ts_us) << "}";
+    }
   }
   os << "]}\n";
 }

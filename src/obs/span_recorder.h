@@ -11,6 +11,17 @@
 // Recording only appends under a mutex and never feeds anything back into
 // the engines, so a recorder can be attached to a deterministic run without
 // changing its trace digest.
+//
+// Cross-process stitching. An event may carry flow ids: `flow_out` marks it
+// as the producer of a logical request (exported as a Chrome flow-begin "s"
+// event), `flow_in` as a consumer (flow-end "f" with bp:"e"). Perfetto draws
+// an arrow between any "s"/"f" pair sharing an id, even across processes, so
+// a worker's pull span links to the server-side serve span it caused. Each
+// process exports its own pid (SetProcessInfo) plus its span-clock epoch in
+// CLOCK_MONOTONIC nanoseconds (SetWallEpochNanos, exported as a top-level
+// "clock_epoch_ns" key): on one host the monotonic clock is shared by all
+// processes, so a merge tool (scripts/specsync_obsctl) aligns timelines by
+// shifting every file onto the earliest epoch. See DESIGN.md §14.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +49,10 @@ struct TraceEvent {
   SimTime begin;
   Duration duration = Duration::Zero();  // zero for instants
   SpanArgs args;
+  // Chrome flow-event ids (0 = none). flow_out emits a flow-begin at this
+  // event's start; flow_in emits an enclosing flow-end.
+  std::uint64_t flow_out = 0;
+  std::uint64_t flow_in = 0;
 
   SimTime end() const { return begin + duration; }
 };
@@ -49,8 +64,26 @@ class SpanRecorder {
 
   void AddSpan(std::string name, std::string category, std::uint32_t track,
                SimTime begin, SimTime end, SpanArgs args = {});
+  // AddSpan plus flow ids for cross-process request stitching (0 = none).
+  void AddSpanWithFlow(std::string name, std::string category,
+                       std::uint32_t track, SimTime begin, SimTime end,
+                       std::uint64_t flow_out, std::uint64_t flow_in,
+                       SpanArgs args = {});
   void AddInstant(std::string name, std::string category, std::uint32_t track,
                   SimTime time, SpanArgs args = {});
+
+  // Process identity stamped on every exported event (default pid 1, no
+  // process_name metadata) — required before merging traces from several
+  // processes, whose default pids would collide.
+  void SetProcessInfo(std::uint32_t pid, std::string name);
+
+  // The CLOCK_MONOTONIC instant (obs::WallNanos units) this recorder calls
+  // SimTime zero. Set explicitly by engines that own a run clock; transports
+  // that record against wall time call EnsureWallEpochNanos to self-anchor.
+  void SetWallEpochNanos(std::uint64_t epoch_ns);
+  std::uint64_t wall_epoch_nanos() const;
+  // Sets the epoch to WallNanos() now if unset; returns the (final) epoch.
+  std::uint64_t EnsureWallEpochNanos();
 
   std::size_t event_count() const;
   // Copy of all events in recording order (tests, post-run analysis).
@@ -61,9 +94,14 @@ class SpanRecorder {
   void ExportChromeTrace(std::ostream& os) const;
 
  private:
+  void Append(TraceEvent event);
+
   mutable std::mutex mutex_;
   std::vector<TraceEvent> events_;
   std::vector<std::pair<std::uint32_t, std::string>> track_names_;
+  std::uint32_t pid_ = 1;
+  std::string process_name_;
+  std::uint64_t wall_epoch_ns_ = 0;
 };
 
 }  // namespace specsync::obs

@@ -153,10 +153,17 @@ struct RuntimeCluster::Impl {
     if (config.transport == RuntimeTransport::kTcpLoopback) {
       obs::MetricsRegistry* metrics =
           config.obs != nullptr ? &config.obs->metrics : nullptr;
+      obs::SpanRecorder* spans =
+          config.obs != nullptr ? &config.obs->spans : nullptr;
       net::ShardServerConfig server_config;
       server_config.model = config.server_model;
-      shard_server =
-          net::MakeShardServer(server.get(), std::move(server_config), metrics);
+      // Serve spans get their own tracks past the worker tracks and the
+      // scheduler track (see the track naming in the obs block below).
+      server_config.trace_track_base =
+          static_cast<std::uint32_t>(config.num_workers) + 1;
+      shard_server = net::MakeShardServer(server.get(),
+                                          std::move(server_config), metrics,
+                                          spans);
       SPECSYNC_CHECK(shard_server->Start())
           << "tcp_loopback transport: cannot start "
           << net::ServerModelName(config.server_model) << " shard server";
@@ -170,8 +177,12 @@ struct RuntimeCluster::Impl {
             net::ShardPlacement{info.offset, info.length, endpoint});
       }
       for (WorkerId w = 0; w < config.num_workers; ++w) {
+        // Client request spans share the worker's track, so wire activity
+        // nests visually under the worker that caused it.
+        client_config.trace_track = w;
         auto client = std::make_unique<net::ShardClient>(
-            client_config, faults.enabled() ? &faults : nullptr, metrics);
+            client_config, faults.enabled() ? &faults : nullptr, metrics,
+            spans);
         SPECSYNC_CHECK(client->Connect())
             << "tcp_loopback transport: worker " << w << " cannot connect";
         shard_clients.push_back(std::move(client));
@@ -246,6 +257,21 @@ struct RuntimeCluster::Impl {
       }
       const auto sched_track = static_cast<std::uint32_t>(config.num_workers);
       obs->spans.SetTrackName(sched_track, "scheduler");
+      // Anchor span wall mapping on the run clock so client/server wire spans
+      // (recorded against WallNanos) share the axis with worker spans
+      // (recorded against clock.Now()). Overrides the fallback epoch the
+      // transport constructors may have pinned moments earlier.
+      obs->spans.SetWallEpochNanos(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              clock.start().time_since_epoch())
+              .count()));
+      if (config.transport == RuntimeTransport::kTcpLoopback) {
+        for (std::size_t s = 0; s < server->num_shards(); ++s) {
+          obs->spans.SetTrackName(
+              sched_track + 1 + static_cast<std::uint32_t>(s),
+              "server shard " + std::to_string(s));
+        }
+      }
       if (scheduler) scheduler->AttachObservability(obs, sched_track);
       // DecisionAuditLog is internally locked: DSSP retunes from worker
       // threads interleave safely with the scheduler thread's records.

@@ -8,6 +8,7 @@
 // the epoll event-loop server (the A/B seam MakeShardServer exists for).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -28,6 +29,8 @@
 #include "net/shard_server.h"
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/span_recorder.h"
 #include "optim/lr_schedule.h"
 #include "ps/param_store.h"
 
@@ -452,6 +455,124 @@ TEST_P(TransportTest, ClientStatsCountInjectedFaults) {
   EXPECT_EQ(stats.retries, 2u);
 }
 
+// --- observability ----------------------------------------------------------
+
+TEST_P(TransportTest, PerLinkCountersExportedToRegistry) {
+  // Same restart scenario as ReconnectsAfterServerRestartOnSamePort, but the
+  // assertion moves to the registry: the client's internal reconnect count
+  // must surface as a per-link labeled counter.
+  auto store = MakeStore(12, 3);
+  auto first = StartServer(store.get());
+  const std::uint16_t port = first->port();
+
+  obs::MetricsRegistry metrics;
+  ShardClientConfig client_config = ClientConfigFor(*store, port);
+  client_config.request_timeout = std::chrono::milliseconds(100);
+  client_config.max_attempts = 64;
+  ShardClient client(client_config, nullptr, &metrics);
+  ASSERT_TRUE(client.Connect());
+  EXPECT_EQ(client.Pull().params, store->Pull().params);
+
+  first->Stop();
+  ShardServerConfig restart_config;
+  restart_config.bind.port = port;
+  auto second = StartServer(store.get(), std::move(restart_config));
+  ASSERT_EQ(second->port(), port);
+  EXPECT_EQ(client.Pull().params, store->Pull().params);
+
+  const std::string label = "{link=127.0.0.1:" + std::to_string(port) + "}";
+  const std::uint64_t reconnects =
+      metrics.counter("net.link.reconnects" + label).value();
+  EXPECT_GE(reconnects, 1u);
+  EXPECT_EQ(reconnects, client.stats().reconnects);
+  EXPECT_EQ(metrics.counter("net.link.stale_frames" + label).value(),
+            client.stats().stale_frames);
+  // Quiescent client: nothing pending or in flight.
+  EXPECT_EQ(metrics.gauge("net.link.pending_depth" + label).value(), 0.0);
+  EXPECT_EQ(metrics.gauge("net.link.in_flight" + label).value(), 0.0);
+}
+
+TEST_P(TransportTest, ClientAndServerSpansStitchViaFlowIds) {
+  // Client and server each record into their own SpanRecorder (as two
+  // processes would); every client request span's flow_out id must appear as
+  // some server serve span's flow_in id — the in-process version of the
+  // >=95% stitch gate bench_transport's merged trace is held to.
+  auto store = MakeStore(20, 2);
+  obs::SpanRecorder server_spans;
+  ShardServerConfig server_config;
+  server_config.model = GetParam();
+  auto server =
+      MakeShardServer(store.get(), std::move(server_config), nullptr,
+                      &server_spans);
+  ASSERT_TRUE(server->Start());
+
+  obs::SpanRecorder client_spans;
+  ShardClient client(ClientConfigFor(*store, server->port()), nullptr, nullptr,
+                     &client_spans);
+  ASSERT_TRUE(client.Connect());
+
+  Gradient g = Gradient::Sparse();
+  g.sparse().Add(3, 0.5);
+  g.sparse().Add(12, -0.25);
+  for (int i = 0; i < 4; ++i) {
+    (void)client.Pull();
+    (void)client.Push(g, static_cast<EpochId>(i));
+  }
+  server->Stop();
+
+  std::vector<std::uint64_t> out_ids;
+  for (const obs::TraceEvent& event : client_spans.Events()) {
+    if (event.category != "net.client") continue;
+    EXPECT_NE(event.flow_out, 0u) << event.name;
+    out_ids.push_back(event.flow_out);
+  }
+  // 4 rounds x (2 shard pulls + commit + shard pushes + commit) — at minimum
+  // one client span per wire request; just require a healthy number.
+  ASSERT_GE(out_ids.size(), 8u);
+
+  std::vector<std::uint64_t> in_ids;
+  for (const obs::TraceEvent& event : server_spans.Events()) {
+    if (event.category != "net.server") continue;
+    EXPECT_NE(event.flow_in, 0u) << event.name;
+    in_ids.push_back(event.flow_in);
+  }
+  for (const std::uint64_t id : out_ids) {
+    EXPECT_NE(std::find(in_ids.begin(), in_ids.end(), id), in_ids.end())
+        << "client flow id 0x" << std::hex << id
+        << " has no server-side serve span";
+  }
+}
+
+TEST_P(TransportTest, EventLoopTelemetryReachesRegistry) {
+  if (GetParam() != ServerModel::kEventLoop) {
+    GTEST_SKIP() << "event-loop internals only";
+  }
+  auto store = MakeStore(16, 2);
+  obs::MetricsRegistry metrics;
+  ShardServerConfig config;
+  config.model = ServerModel::kEventLoop;
+  auto server = MakeShardServer(store.get(), std::move(config), &metrics);
+  ASSERT_TRUE(server->Start());
+
+  auto client = std::make_unique<ShardClient>(
+      ClientConfigFor(*store, server->port()));
+  ASSERT_TRUE(client->Connect());
+  for (int i = 0; i < 3; ++i) (void)client->Pull();
+  EXPECT_EQ(metrics.gauge("net.eloop.conns").value(), 1.0);
+  EXPECT_EQ(metrics.counter("net.eloop.accepts").value(), 1u);
+  EXPECT_GT(metrics.histogram("net.eloop.pool_wait_s").count(), 0u);
+  EXPECT_GT(metrics.histogram("net.eloop.out_queue_s").count(), 0u);
+  EXPECT_GT(metrics.histogram("net.eloop.epoll_wait_s").count(), 0u);
+  EXPECT_GT(metrics.histogram("net.eloop.dispatch_s").count(), 0u);
+
+  client.reset();  // disconnect: the loop sees EOF and drops the conn
+  server->Stop();
+  // Every byte gauge must return to zero once all connections are gone.
+  EXPECT_EQ(metrics.gauge("net.eloop.conns").value(), 0.0);
+  EXPECT_EQ(metrics.gauge("net.eloop.reassembly_bytes").value(), 0.0);
+  EXPECT_EQ(metrics.gauge("net.eloop.out_queue_bytes").value(), 0.0);
+}
+
 // --- Golden 8-worker digest -------------------------------------------------
 
 // Bit-exact digest of the store: every parameter's bit pattern plus the
@@ -532,6 +653,55 @@ TEST(TransportGoldenTest, EightWorkerDigestIdenticalAcrossModelsAndDirect) {
         });
     EXPECT_EQ(StoreDigest(*store), direct_digest)
         << "model " << ServerModelName(model);
+  }
+}
+
+// Tracing is record-only: the same schedule with full observability attached
+// (metrics registry, span recorders on both sides, trace-context extension on
+// every frame) must produce the same digest as the untraced direct run.
+TEST(TransportGoldenTest, EightWorkerDigestUnchangedByTracing) {
+  constexpr std::size_t kDim = 64;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kGoldenWorkers = 8;
+
+  auto direct_store = MakeStore(kDim, kShards);
+  RunGoldenSchedule(
+      kDim, [&](std::size_t) { return direct_store->Pull(); },
+      [&](std::size_t, const Gradient& g, EpochId e) {
+        direct_store->Push(g, e);
+      });
+  const std::uint64_t direct_digest = StoreDigest(*direct_store);
+
+  for (const ServerModel model :
+       {ServerModel::kThreadPerConn, ServerModel::kEventLoop}) {
+    auto store = MakeStore(kDim, kShards);
+    obs::MetricsRegistry metrics;
+    obs::SpanRecorder server_spans;
+    ShardServerConfig config;
+    config.model = model;
+    auto server =
+        MakeShardServer(store.get(), std::move(config), &metrics,
+                        &server_spans);
+    ASSERT_TRUE(server->Start());
+
+    obs::SpanRecorder client_spans;
+    std::vector<std::unique_ptr<ShardClient>> clients;
+    for (std::size_t w = 0; w < kGoldenWorkers; ++w) {
+      ShardClientConfig client_config = ClientConfigFor(*store, server->port());
+      client_config.trace_track = static_cast<std::uint32_t>(w);
+      clients.push_back(std::make_unique<ShardClient>(
+          std::move(client_config), nullptr, &metrics, &client_spans));
+      ASSERT_TRUE(clients.back()->Connect());
+    }
+    RunGoldenSchedule(
+        kDim, [&](std::size_t w) { return clients[w]->Pull(); },
+        [&](std::size_t w, const Gradient& g, EpochId e) {
+          clients[w]->Push(g, e);
+        });
+    EXPECT_EQ(StoreDigest(*store), direct_digest)
+        << "model " << ServerModelName(model);
+    EXPECT_GT(client_spans.event_count(), 0u);
+    EXPECT_GT(server_spans.event_count(), 0u);
   }
 }
 

@@ -225,5 +225,108 @@ TEST(WireTest, RequestIdZeroAndMaxSurvive) {
   RoundTrip(PullShardReq{1}, std::numeric_limits<std::uint64_t>::max());
 }
 
+// --- trace-context extension -------------------------------------------------
+
+TEST(WireTraceExtTest, AbsentExtensionEncodesByteIdenticalFrames) {
+  // The golden-digest pin depends on this: a frame without trace context
+  // must be indistinguishable from a pre-extension frame.
+  const PullShardReq req{3};
+  const auto plain = EncodeFrame(req, 9);
+  const auto with_null = EncodeFrame(req, 9, nullptr);
+  const TraceContext invalid;  // trace_id 0 = absent
+  const auto with_invalid = EncodeFrame(req, 9, &invalid);
+  EXPECT_EQ(plain, with_null);
+  EXPECT_EQ(plain, with_invalid);
+}
+
+TEST(WireTraceExtTest, TraceContextRoundTripsOnEveryMessageType) {
+  const TraceContext trace{0xdeadbeef12345678ull, 0x42ull};
+  const std::vector<WireMessage> messages = {
+      PullShardReq{1}, PushShardReq{}, CommitPushReq{}, AckResp{kAckOk, 0}};
+  for (const WireMessage& message : messages) {
+    const auto frame = std::visit(
+        [&](const auto& m) { return EncodeFrame(m, 5, &trace); }, message);
+    std::uint64_t id = 0;
+    WireMessage out;
+    TraceContext decoded;
+    ASSERT_EQ(DecodeFrame(frame, id, out, &decoded), WireStatus::kOk);
+    EXPECT_EQ(decoded.trace_id, trace.trace_id);
+    EXPECT_EQ(decoded.parent_span, trace.parent_span);
+    EXPECT_TRUE(decoded.valid());
+  }
+}
+
+TEST(WireTraceExtTest, ExtensionIgnoredByTracelessDecode) {
+  // A peer that does not understand the extension still decodes the message
+  // (it passes no TraceContext slot and the tail is skipped, not rejected).
+  const TraceContext trace{7, 7};
+  const auto frame = EncodeFrame(PullShardReq{2}, 11, &trace);
+  std::uint64_t id = 0;
+  WireMessage out;
+  ASSERT_EQ(DecodeFrame(frame, id, out), WireStatus::kOk);
+  EXPECT_EQ(std::get<PullShardReq>(out).shard, 2u);
+}
+
+TEST(WireTraceExtTest, AbsentExtensionDecodesInvalidContext) {
+  const auto frame = EncodeFrame(PullShardReq{2}, 11);
+  std::uint64_t id = 0;
+  WireMessage out;
+  TraceContext decoded{123, 456};  // stale values must be cleared
+  ASSERT_EQ(DecodeFrame(frame, id, out, &decoded), WireStatus::kOk);
+  EXPECT_FALSE(decoded.valid());
+  EXPECT_EQ(decoded.trace_id, 0u);
+}
+
+TEST(WireTraceExtTest, LongerExtensionSkippedForForwardCompat) {
+  // A future peer may append fields after parent_span; ext_bytes tells us
+  // how much to skip.
+  const TraceContext trace{0xabc, 0xdef};
+  auto frame = EncodeFrame(PullShardReq{4}, 13, &trace);
+  // Declare 4 extra extension bytes and append them.
+  const std::size_t ext_len_pos = frame.size() - kTraceExtBytes - 2;
+  PutU16(frame, ext_len_pos, kTraceExtBytes + 4);
+  for (int i = 0; i < 4; ++i) frame.push_back(0xee);
+  PutU32(frame, 16, static_cast<std::uint32_t>(frame.size() - kHeaderBytes));
+  std::uint64_t id = 0;
+  WireMessage out;
+  TraceContext decoded;
+  ASSERT_EQ(DecodeFrame(frame, id, out, &decoded), WireStatus::kOk);
+  EXPECT_EQ(decoded.trace_id, 0xabcu);
+  EXPECT_EQ(decoded.parent_span, 0xdefu);
+}
+
+TEST(WireTraceExtTest, TruncatedExtensionRejected) {
+  const TraceContext trace{1, 2};
+  auto frame = EncodeFrame(PullShardReq{4}, 13, &trace);
+  frame.resize(frame.size() - 3);
+  PutU32(frame, 16, static_cast<std::uint32_t>(frame.size() - kHeaderBytes));
+  std::uint64_t id = 0;
+  WireMessage out;
+  TraceContext decoded;
+  EXPECT_EQ(DecodeFrame(frame, id, out, &decoded), WireStatus::kTruncated);
+}
+
+TEST(WireTraceExtTest, UndersizedExtLengthRejected) {
+  const TraceContext trace{1, 2};
+  auto frame = EncodeFrame(PullShardReq{4}, 13, &trace);
+  const std::size_t ext_len_pos = frame.size() - kTraceExtBytes - 2;
+  PutU16(frame, ext_len_pos, kTraceExtBytes - 1);
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out, nullptr), WireStatus::kMalformed);
+}
+
+TEST(WireTraceExtTest, NonExtensionTrailingBytesStillRejected) {
+  // The extension does not relax the strict-length contract: trailing bytes
+  // that do not open with the extension magic remain malformed.
+  auto frame = EncodeFrame(PullShardReq{4}, 13);
+  for (int i = 0; i < 22; ++i) frame.push_back(0x00);
+  PutU32(frame, 16, static_cast<std::uint32_t>(frame.size() - kHeaderBytes));
+  std::uint64_t id = 0;
+  WireMessage out;
+  TraceContext decoded;
+  EXPECT_EQ(DecodeFrame(frame, id, out, &decoded), WireStatus::kMalformed);
+}
+
 }  // namespace
 }  // namespace specsync::net

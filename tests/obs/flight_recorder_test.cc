@@ -1,0 +1,156 @@
+// Flight recorder tests: bounded per-thread rings, overwrite semantics,
+// JSON dump shape, and the disabled-by-default contract the deterministic
+// engines rely on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace specsync::obs {
+namespace {
+
+TEST(FlightRecorderTest, DisabledRecorderRecordsNothing) {
+  FlightRecorder recorder;
+  recorder.Record(FlightKind::kInstant, "ignored", 1, 2);
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_EQ(recorder.total_recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, RecordsEventsWithPayloadAndLabel) {
+  FlightRecorder recorder;
+  recorder.Enable(16);
+  recorder.Record(FlightKind::kNetState, "link_up", 9000);
+  recorder.Record(FlightKind::kLifecycle, "worker_crash", 3, -1);
+  EXPECT_EQ(recorder.total_recorded(), 2u);
+
+  std::ostringstream os;
+  recorder.DumpJson(os, "test");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"reason\":\"test\""), std::string::npos);
+  EXPECT_NE(out.find("\"link_up\""), std::string::npos);
+  EXPECT_NE(out.find("\"worker_crash\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\":9000"), std::string::npos);
+  EXPECT_NE(out.find("\"b\":-1"), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"net_state\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"lifecycle\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestBeyondCapacity) {
+  FlightRecorder recorder;
+  recorder.Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record(FlightKind::kInstant, "e", i);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+
+  std::ostringstream os;
+  recorder.DumpJson(os, "overflow");
+  const std::string out = os.str();
+  // Only the last 4 events survive; 6 were overwritten.
+  EXPECT_NE(out.find("\"recorded\":10"), std::string::npos);
+  EXPECT_NE(out.find("\"dropped\":6"), std::string::npos);
+  EXPECT_EQ(out.find("\"a\":5"), std::string::npos);
+  EXPECT_NE(out.find("\"a\":6"), std::string::npos);
+  EXPECT_NE(out.find("\"a\":9"), std::string::npos);
+  // Oldest-first within the ring.
+  EXPECT_LT(out.find("\"a\":6"), out.find("\"a\":9"));
+}
+
+TEST(FlightRecorderTest, LongLabelsTruncateSafely) {
+  FlightRecorder recorder;
+  recorder.Enable(4);
+  const std::string longer(200, 'x');
+  recorder.Record(FlightKind::kInstant, longer.c_str());
+  std::ostringstream os;
+  recorder.DumpJson(os, "truncate");
+  const std::string out = os.str();
+  EXPECT_NE(out.find(std::string(38, 'x')), std::string::npos);
+  EXPECT_EQ(out.find(std::string(39, 'x')), std::string::npos);
+}
+
+TEST(FlightRecorderTest, EachThreadGetsItsOwnRing) {
+  FlightRecorder recorder;
+  recorder.Enable(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        recorder.Record(FlightKind::kSpan, "work", i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(recorder.total_recorded(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+
+  std::ostringstream os;
+  recorder.DumpJson(os, "threads");
+  const std::string out = os.str();
+  // One ring per writer thread, each holding all 50 of its events.
+  std::size_t rings = 0;
+  for (std::size_t pos = out.find("\"ring\":"); pos != std::string::npos;
+       pos = out.find("\"ring\":", pos + 1)) {
+    ++rings;
+  }
+  EXPECT_EQ(rings, static_cast<std::size_t>(kThreads));
+  EXPECT_NE(out.find("\"recorded\":50"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpNowWritesConfiguredPath) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.DumpNow("disabled"));
+  recorder.Enable(8);
+  EXPECT_FALSE(recorder.DumpNow("no path"));
+  const std::string path =
+      ::testing::TempDir() + "/flight_recorder_test_dump.json";
+  recorder.SetDumpPath(path);
+  recorder.Record(FlightKind::kAudit, "resync", 1, 2);
+  ASSERT_TRUE(recorder.DumpNow("unit"));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"reason\":\"unit\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"resync\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, SignalSafeDumpMatchesShape) {
+  FlightRecorder recorder;
+  recorder.Enable(8);
+  recorder.Record(FlightKind::kNetState, "link_down", 9001);
+  const std::string path =
+      ::testing::TempDir() + "/flight_recorder_test_sigdump.json";
+  FILE* file = ::fopen(path.c_str(), "w");
+  ASSERT_NE(file, nullptr);
+  recorder.DumpToFdSignalSafe(::fileno(file), 11);
+  ::fclose(file);
+
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  const std::string out = content.str();
+  EXPECT_NE(out.find("\"reason\":\"fatal_signal\""), std::string::npos);
+  EXPECT_NE(out.find("\"signal\":11"), std::string::npos);
+  EXPECT_NE(out.find("\"link_down\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\":9001"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, FlightKindNamesAreStable) {
+  EXPECT_STREQ(FlightKindName(FlightKind::kSpan), "span");
+  EXPECT_STREQ(FlightKindName(FlightKind::kInstant), "instant");
+  EXPECT_STREQ(FlightKindName(FlightKind::kAudit), "audit");
+  EXPECT_STREQ(FlightKindName(FlightKind::kNetState), "net_state");
+  EXPECT_STREQ(FlightKindName(FlightKind::kLifecycle), "lifecycle");
+}
+
+}  // namespace
+}  // namespace specsync::obs

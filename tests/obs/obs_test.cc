@@ -308,6 +308,104 @@ TEST(ObsExportTest, PrometheusTextShape) {
   EXPECT_NE(out.find("ps_pull_s_count 2"), std::string::npos);
 }
 
+TEST(ObsExportTest, PrometheusLabeledMetricsSplitNameAndLabels) {
+  ObsContext ctx;
+  ctx.metrics.counter("net.link.reconnects{link=127.0.0.1:9000}").Increment(2);
+  ctx.metrics.counter("net.link.reconnects{link=127.0.0.1:9001}").Increment(5);
+  ctx.metrics.gauge("net.link.pending_depth{link=127.0.0.1:9000}").Set(3.0);
+  ctx.metrics.histogram("net.rtt_s{link=127.0.0.1:9000}").Record(1e-3);
+
+  std::ostringstream os;
+  WriteMetricsPrometheus(ctx.metrics, os);
+  const std::string out = os.str();
+  // Embedded labels split off the name; values are quoted.
+  EXPECT_NE(out.find("net_link_reconnects{link=\"127.0.0.1:9000\"} 2"),
+            std::string::npos);
+  EXPECT_NE(out.find("net_link_reconnects{link=\"127.0.0.1:9001\"} 5"),
+            std::string::npos);
+  EXPECT_NE(out.find("net_link_pending_depth{link=\"127.0.0.1:9000\"} 3"),
+            std::string::npos);
+  // One # TYPE line per family even with several labeled variants.
+  const std::string type_line = "# TYPE net_link_reconnects counter";
+  const auto first = out.find(type_line);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find(type_line, first + 1), std::string::npos);
+  // Histogram labels merge with the le bucket label.
+  EXPECT_NE(out.find("net_rtt_s_bucket{link=\"127.0.0.1:9000\",le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("net_rtt_s_count{link=\"127.0.0.1:9000\"} 1"),
+            std::string::npos);
+}
+
+TEST(ObsExportTest, PrometheusNameAndLabelSanitization) {
+  ObsContext ctx;
+  // Dots/dashes fold to underscores; a leading digit gets a prefix.
+  ctx.metrics.counter("9lives.cat-metric").Increment();
+  // Label values must escape backslash, quote, and newline per the
+  // exposition format — and survive a round trip through the escaping.
+  const std::string raw_value = "pa\\th\"quo\nte";
+  ctx.metrics.counter("weird{path=" + raw_value + "}").Increment();
+
+  std::ostringstream os;
+  WriteMetricsPrometheus(ctx.metrics, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("_9lives_cat_metric 1"), std::string::npos);
+  const std::string escaped = "weird{path=\"pa\\\\th\\\"quo\\nte\"} 1";
+  const auto pos = out.find(escaped);
+  ASSERT_NE(pos, std::string::npos) << out;
+
+  // Round trip: un-escaping the exported value restores the raw label value.
+  std::string exported = out.substr(out.find("path=\"", pos) + 6);
+  exported = exported.substr(0, exported.find("\"} 1"));
+  std::string unescaped;
+  for (std::size_t i = 0; i < exported.size(); ++i) {
+    if (exported[i] == '\\' && i + 1 < exported.size()) {
+      const char next = exported[++i];
+      unescaped += next == 'n' ? '\n' : next;
+    } else {
+      unescaped += exported[i];
+    }
+  }
+  EXPECT_EQ(unescaped, raw_value);
+}
+
+TEST(ObsExportTest, PrometheusMalformedLabelBlockKeptVerbatim) {
+  ObsContext ctx;
+  // An unparsable label block (no '=' inside) is not a label convention hit:
+  // the whole composite name sanitizes as one identifier instead of emitting
+  // invalid exposition syntax.
+  ctx.metrics.counter("odd{notalabel}").Increment();
+  std::ostringstream os;
+  WriteMetricsPrometheus(ctx.metrics, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("odd_notalabel_ 1"), std::string::npos);
+  EXPECT_EQ(out.find("odd{"), std::string::npos);
+}
+
+TEST(SpanRecorderTest, FlowEventsExportAsChromeFlowPairs) {
+  SpanRecorder spans;
+  spans.SetProcessInfo(42, "bench_client");
+  spans.SetWallEpochNanos(1234567890);
+  spans.AddSpanWithFlow("pull.req", "net.client", 0, T(1.0), T(2.0),
+                        /*flow_out=*/0xabc, /*flow_in=*/0);
+  spans.AddSpanWithFlow("serve.pull", "net.server", 1, T(1.2), T(1.8),
+                        /*flow_out=*/0, /*flow_in=*/0xabc);
+  std::ostringstream os;
+  spans.ExportChromeTrace(os);
+  const std::string out = os.str();
+  // Flow begin rides the producing span's start; flow end encloses the
+  // consumer. Ids are hex strings (u64 does not fit JSON doubles).
+  EXPECT_NE(out.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(out.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(out.find("\"id\":\"0xabc\""), std::string::npos);
+  // Process identity + clock epoch for the cross-process merge tool.
+  EXPECT_NE(out.find("\"clock_epoch_ns\":1234567890"), std::string::npos);
+  EXPECT_NE(out.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(out.find("bench_client"), std::string::npos);
+  EXPECT_NE(out.find("\"pid\":42"), std::string::npos);
+}
+
 TEST(ObsExportTest, FileWritersRoundTrip) {
   ObsContext ctx;
   ctx.metrics.counter("c").Increment();

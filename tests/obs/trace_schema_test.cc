@@ -1,0 +1,354 @@
+// Schema validation for the Chrome trace stream: the export must be a
+// syntactically valid JSON document whose every traceEvents entry carries the
+// fields the Perfetto / chrome://tracing loaders require, with flow events
+// obeying the "s"/"f" pairing rules the cross-process merge tool depends on.
+//
+// The repo's obs layer is write-only JSON, so the minimal recursive-descent
+// parser lives here in the test: if it rejects the export, so would the
+// trace viewers.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "obs/span_recorder.h"
+
+namespace specsync::obs {
+namespace {
+
+// --- minimal JSON document model + parser -----------------------------------
+
+struct JsonValue;
+using JsonObject = std::map<std::string, std::shared_ptr<JsonValue>>;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value;
+
+  bool is_string() const { return std::holds_alternative<std::string>(value); }
+  bool is_number() const { return std::holds_alternative<double>(value); }
+  const std::string& str() const { return std::get<std::string>(value); }
+  double num() const { return std::get<double>(value); }
+  const JsonObject& obj() const { return std::get<JsonObject>(value); }
+  const JsonArray& arr() const { return std::get<JsonArray>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  // Parses the full document; nullopt-style failure = nullptr.
+  std::shared_ptr<JsonValue> Parse() {
+    auto value = ParseValue();
+    SkipWs();
+    if (value == nullptr || pos_ != text_.size()) return nullptr;
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::shared_ptr<JsonValue> ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return nullptr;
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  std::shared_ptr<JsonValue> ParseObject() {
+    if (!Consume('{')) return nullptr;
+    JsonObject obj;
+    SkipWs();
+    if (Consume('}')) {
+      return std::make_shared<JsonValue>(JsonValue{std::move(obj)});
+    }
+    for (;;) {
+      auto key = ParseString();
+      if (key == nullptr || !Consume(':')) return nullptr;
+      auto value = ParseValue();
+      if (value == nullptr) return nullptr;
+      obj.emplace(key->str(), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return nullptr;
+    }
+    return std::make_shared<JsonValue>(JsonValue{std::move(obj)});
+  }
+
+  std::shared_ptr<JsonValue> ParseArray() {
+    if (!Consume('[')) return nullptr;
+    JsonArray arr;
+    SkipWs();
+    if (Consume(']')) {
+      return std::make_shared<JsonValue>(JsonValue{std::move(arr)});
+    }
+    for (;;) {
+      auto value = ParseValue();
+      if (value == nullptr) return nullptr;
+      arr.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return nullptr;
+    }
+    return std::make_shared<JsonValue>(JsonValue{std::move(arr)});
+  }
+
+  std::shared_ptr<JsonValue> ParseString() {
+    SkipWs();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return nullptr;
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return nullptr;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return nullptr;
+            pos_ += 4;  // decoded fidelity is not under test
+            c = '?';
+            break;
+          }
+          default: return nullptr;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return nullptr;  // raw control character: invalid JSON
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) return nullptr;
+    ++pos_;  // closing quote
+    return std::make_shared<JsonValue>(JsonValue{std::move(out)});
+  }
+
+  std::shared_ptr<JsonValue> ParseBool() {
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return std::make_shared<JsonValue>(JsonValue{true});
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return std::make_shared<JsonValue>(JsonValue{false});
+    }
+    return nullptr;
+  }
+
+  std::shared_ptr<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) return nullptr;
+    pos_ += 4;
+    return std::make_shared<JsonValue>(JsonValue{nullptr});
+  }
+
+  std::shared_ptr<JsonValue> ParseNumber() {
+    const std::size_t begin = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == begin) return nullptr;
+    try {
+      return std::make_shared<JsonValue>(
+          JsonValue{std::stod(text_.substr(begin, pos_ - begin))});
+    } catch (...) {
+      return nullptr;
+    }
+  }
+
+  const std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// --- schema checks -----------------------------------------------------------
+
+SimTime T(double s) { return SimTime::FromSeconds(s); }
+
+std::shared_ptr<JsonValue> ExportAndParse(const SpanRecorder& spans) {
+  std::ostringstream os;
+  spans.ExportChromeTrace(os);
+  JsonParser parser(os.str());
+  auto doc = parser.Parse();
+  EXPECT_NE(doc, nullptr) << "export is not valid JSON:\n" << os.str();
+  return doc;
+}
+
+// Requires `field` to exist in `event` with the given JSON type.
+void ExpectField(const JsonObject& event, const std::string& field,
+                 bool expect_string) {
+  const auto it = event.find(field);
+  ASSERT_NE(it, event.end()) << "missing \"" << field << "\"";
+  if (expect_string) {
+    EXPECT_TRUE(it->second->is_string()) << field;
+  } else {
+    EXPECT_TRUE(it->second->is_number()) << field;
+  }
+}
+
+TEST(TraceSchemaTest, ExportValidatesAgainstChromeTraceSchema) {
+  SpanRecorder spans;
+  spans.SetProcessInfo(7, "proc \"seven\"\n");  // exercises escaping
+  spans.SetTrackName(0, "worker 0");
+  spans.AddSpan("compute", "compute", 0, T(1.0), T(2.0),
+                {{"iteration", "3"}, {"note", "a\"b\\c"}});
+  spans.AddInstant("notify", "control", 0, T(2.0));
+  spans.AddSpanWithFlow("pull.req", "net.client", 0, T(2.0), T(2.5),
+                        /*flow_out=*/0x1234, /*flow_in=*/0);
+  spans.AddSpanWithFlow("serve.pull", "net.server", 1, T(2.1), T(2.4),
+                        /*flow_out=*/0, /*flow_in=*/0x1234);
+
+  auto doc = ExportAndParse(spans);
+  ASSERT_NE(doc, nullptr);
+  const JsonObject& root = doc->obj();
+  ASSERT_TRUE(root.count("traceEvents"));
+  ASSERT_TRUE(root.count("clock_epoch_ns"));
+  ASSERT_TRUE(root.count("displayTimeUnit"));
+
+  const JsonArray& events = root.at("traceEvents")->arr();
+  ASSERT_GE(events.size(), 6u);  // 4 events + flow pair + metadata
+  std::size_t flow_begins = 0;
+  std::size_t flow_ends = 0;
+  for (const auto& entry : events) {
+    const JsonObject& event = entry->obj();
+    ExpectField(event, "name", /*expect_string=*/true);
+    ExpectField(event, "ph", /*expect_string=*/true);
+    ExpectField(event, "pid", /*expect_string=*/false);
+    const std::string& ph = event.at("ph")->str();
+    if (ph == "M") continue;  // metadata: no timing, tid optional
+    ExpectField(event, "tid", /*expect_string=*/false);
+    ExpectField(event, "ts", /*expect_string=*/false);
+    ExpectField(event, "cat", /*expect_string=*/true);
+    EXPECT_EQ(event.at("pid")->num(), 7.0);
+    if (ph == "X") {
+      ExpectField(event, "dur", /*expect_string=*/false);
+      EXPECT_GE(event.at("dur")->num(), 0.0);
+    } else if (ph == "s" || ph == "f") {
+      // Flow ids must be strings (u64 exceeds JSON double precision).
+      ExpectField(event, "id", /*expect_string=*/true);
+      EXPECT_EQ(event.at("id")->str().substr(0, 2), "0x");
+      if (ph == "s") ++flow_begins;
+      if (ph == "f") {
+        ++flow_ends;
+        ASSERT_TRUE(event.count("bp"));
+        EXPECT_EQ(event.at("bp")->str(), "e");
+      }
+    } else {
+      EXPECT_EQ(ph, "i") << "unexpected phase " << ph;
+    }
+  }
+  EXPECT_EQ(flow_begins, 1u);
+  EXPECT_EQ(flow_ends, 1u);
+}
+
+TEST(TraceSchemaTest, EmptyRecorderStillExportsValidDocument) {
+  SpanRecorder spans;
+  auto doc = ExportAndParse(spans);
+  ASSERT_NE(doc, nullptr);
+  EXPECT_TRUE(doc->obj().count("traceEvents"));
+}
+
+TEST(TraceSchemaTest, HostileArgValuesStayValidJson) {
+  SpanRecorder spans;
+  spans.AddSpan("s", "c", 0, T(0.0), T(1.0),
+                {{"quote", "\""}, {"backslash", "\\"}, {"newline", "\n"},
+                 {"ctrl", std::string(1, '\x01')}, {"number", "42"},
+                 {"looks_numeric", "1e999x"}});
+  auto doc = ExportAndParse(spans);
+  ASSERT_NE(doc, nullptr);
+  // The span's args object must have survived with the values intact.
+  const JsonArray& events = doc->obj().at("traceEvents")->arr();
+  bool found = false;
+  for (const auto& entry : events) {
+    const JsonObject& event = entry->obj();
+    const auto name = event.find("name");
+    if (name == event.end() || name->second->str() != "s") continue;
+    found = true;
+    const JsonObject& args = event.at("args")->obj();
+    EXPECT_EQ(args.at("quote")->str(), "\"");
+    EXPECT_EQ(args.at("backslash")->str(), "\\");
+    EXPECT_EQ(args.at("newline")->str(), "\n");
+    EXPECT_EQ(args.at("number")->num(), 42.0);
+    EXPECT_TRUE(args.at("looks_numeric")->is_string());
+  }
+  EXPECT_TRUE(found);
+}
+
+// Concurrent writers while an exporter runs: the recorder's mutex must keep
+// the export a consistent snapshot (run under TSan via scripts/sanitize.sh).
+TEST(TraceSchemaTest, ConcurrentWritersAndExportStayValid) {
+  SpanRecorder spans;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        spans.AddSpanWithFlow("w", "net.client",
+                              static_cast<std::uint32_t>(t),
+                              T(i * 1e-3), T(i * 1e-3 + 5e-4),
+                              /*flow_out=*/static_cast<std::uint64_t>(
+                                  t * kPerThread + i + 1),
+                              /*flow_in=*/0);
+      }
+    });
+  }
+  // Export concurrently with the writers; every intermediate snapshot must
+  // already be valid JSON.
+  for (int round = 0; round < 5; ++round) {
+    auto doc = ExportAndParse(spans);
+    ASSERT_NE(doc, nullptr);
+  }
+  for (auto& writer : writers) writer.join();
+  auto doc = ExportAndParse(spans);
+  ASSERT_NE(doc, nullptr);
+  EXPECT_EQ(spans.event_count(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  // Final export: one flow-begin per span, all ids distinct and well formed.
+  std::size_t flow_begins = 0;
+  for (const auto& entry : doc->obj().at("traceEvents")->arr()) {
+    const JsonObject& event = entry->obj();
+    const auto ph = event.find("ph");
+    if (ph != event.end() && ph->second->str() == "s") ++flow_begins;
+  }
+  EXPECT_EQ(flow_begins, static_cast<std::size_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace specsync::obs
