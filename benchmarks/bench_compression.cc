@@ -1,0 +1,180 @@
+// Compression x ABORT_TIME sweep: how gradient wire codecs shift SpecSync's
+// speculation economics.
+//
+// SpecSync's abort decision trades wasted compute against fresher parameters;
+// the re-pull after an abort costs bytes-on-wire. A codec that shrinks pushes
+// (top-k, int8, fp16) or makes unchanged pulls nearly free (delta) changes
+// that trade, so the sweep runs every codec at two ABORT_TIME operating
+// points and reports convergence cost next to the byte ledger. The headline
+// acceptance number: top-k at 1% on MF cuts push bytes per push by >= 10x
+// versus the uncompressed baseline.
+//
+// Results land in BENCH_compression.json (machine-readable, gated in CI via
+// scripts/bench_compare.py and a minimum bytes-saved check); --smoke shrinks
+// the grid to a seconds-long sanity pass.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/bench_util.h"
+#include "common/check.h"
+
+using namespace specsync;
+
+namespace {
+
+// One codec column of the sweep; series[a] is the cell at abort point a.
+struct CodecCell {
+  CompressionSpec spec;
+  std::vector<std::size_t> series;
+};
+
+double MeanPushBytesPerPush(const std::vector<ExperimentResult>& runs) {
+  double bytes = 0.0;
+  double pushes = 0.0;
+  for (const ExperimentResult& run : runs) {
+    bytes += static_cast<double>(
+        run.sim.transfers.bytes(TransferCategory::kPushGrads));
+    pushes += static_cast<double>(run.sim.total_pushes);
+  }
+  return pushes > 0.0 ? bytes / pushes : 0.0;
+}
+
+double MeanBytes(const std::vector<ExperimentResult>& runs,
+                 TransferCategory category, bool saved = false) {
+  double total = 0.0;
+  for (const ExperimentResult& run : runs) {
+    total += static_cast<double>(saved
+                                     ? run.sim.transfers.saved_bytes(category)
+                                     : run.sim.transfers.bytes(category));
+  }
+  return runs.empty() ? 0.0 : total / static_cast<double>(runs.size());
+}
+
+CompressionSpec MustParse(const char* text) {
+  auto spec = CompressionSpec::Parse(text);
+  SPECSYNC_CHECK(spec.has_value()) << "bad codec literal: " << text;
+  return *spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::PrintHeader(
+      "Compression x ABORT_TIME — codec cost/benefit under speculation",
+      "cheaper re-pulls and smaller pushes shift the optimal ABORT_TIME; "
+      "top-k 1% cuts MF push bytes >= 10x");
+
+  const Workload workload = MakeMfWorkload(1, args.smoke ? 0.5 : 1.0);
+  const std::size_t num_workers = args.smoke ? 8 : 40;
+  const std::size_t replicates = args.smoke ? 1 : 2;
+  const SimTime horizon =
+      SimTime::FromSeconds(args.smoke ? 400.0 : 1200.0);
+  // The CherryParams operating point (0.35 iterations) plus a window twice as
+  // wide: with cheap re-pulls the wider window's extra aborts cost less, so
+  // the two points bracket how a codec moves the tuning curve.
+  const std::vector<double> abort_iters = {0.35, 0.70};
+
+  std::vector<CodecCell> cells;
+  for (const char* literal : {"none", "topk:0.01", "int8", "fp16", "delta"}) {
+    cells.push_back({MustParse(literal), {}});
+  }
+
+  bench::CellBatch batch;
+  for (CodecCell& cell : cells) {
+    for (double iters : abort_iters) {
+      SpeculationParams params;
+      params.abort_time = workload.iteration_time * iters;
+      params.abort_rate = 0.22;
+      ExperimentConfig config;
+      config.cluster = ClusterSpec::Homogeneous(num_workers);
+      config.cluster.num_servers = args.num_servers;
+      config.scheme = SchemeSpec::Cherrypick(params);
+      config.max_time = horizon;
+      config.stop_on_convergence = false;  // full horizon: comparable ledgers
+      config.compression = cell.spec;
+      cell.series.push_back(
+          batch.AddSeries(workload, config,
+                          replicates,
+                          cell.spec.Label() + "|abort" + std::to_string(iters)));
+    }
+  }
+  batch.Run(args.threads);
+
+  bench::BenchReporter reporter("bench_compression", "BENCH_compression.json");
+  reporter.AddBatch(batch);
+
+  std::cout << "\nMF, " << num_workers << " workers, " << args.num_servers
+            << " servers, Cherrypick, horizon " << horizon.seconds() << "s"
+            << (args.smoke ? " (smoke)" : "") << "\n";
+  for (std::size_t a = 0; a < abort_iters.size(); ++a) {
+    const double baseline =
+        MeanPushBytesPerPush(batch.Series(cells[0].series[a]));
+    std::cout << "\n--- ABORT_TIME = " << abort_iters[a]
+              << " x iteration time ---\n";
+    Table table({"codec", "time_to_target(s)", "converged_frac",
+                 "push_B_per_push", "push_reduction_vs_none",
+                 "pull(MB)", "saved(MB)"});
+    for (const CodecCell& cell : cells) {
+      const std::vector<ExperimentResult>& runs =
+          batch.Series(cell.series[a]);
+      const double per_push = MeanPushBytesPerPush(runs);
+      const double reduction =
+          per_push > 0.0 ? baseline / per_push : 0.0;
+      table.AddRowValues(
+          cell.spec.Label(),
+          bench::MeanTimeToTarget(runs, workload.loss_target,
+                                  horizon - SimTime::Zero()),
+          bench::ConvergedFraction(runs, workload.loss_target), per_push,
+          reduction,
+          MeanBytes(runs, TransferCategory::kPullParams) / 1e6,
+          (MeanBytes(runs, TransferCategory::kPushGrads, /*saved=*/true) +
+           MeanBytes(runs, TransferCategory::kPullParams, /*saved=*/true)) /
+              1e6);
+      // Headline metrics (first abort point): the CI gate reads these.
+      if (a == 0 && cell.spec.enabled()) {
+        const std::string name =
+            std::string(CodecKindName(cell.spec.kind)) +
+            "_push_reduction";
+        reporter.AddMetric(name, reduction);
+      }
+    }
+    table.PrintPretty(std::cout);
+  }
+
+  // Delta's benefit is on the pull side: fraction of pull bytes the
+  // version-gated protocol avoided shipping (saved / (charged + saved)).
+  {
+    const std::vector<ExperimentResult>& delta_runs =
+        batch.Series(cells[4].series[0]);
+    const double charged =
+        MeanBytes(delta_runs, TransferCategory::kPullParams);
+    const double saved =
+        MeanBytes(delta_runs, TransferCategory::kPullParams, /*saved=*/true);
+    reporter.AddMetric("delta_pull_savings_fraction",
+                       charged + saved > 0.0 ? saved / (charged + saved)
+                                             : 0.0);
+  }
+
+  reporter.CellTable().PrintCsv(std::cout);
+  reporter.WriteJson();
+
+  // --metrics_out/--trace_out: one instrumented top-k run (net.codec.*
+  // counters populated).
+  {
+    SpeculationParams params;
+    params.abort_time = workload.iteration_time * abort_iters[0];
+    params.abort_rate = 0.22;
+    ExperimentConfig obs_config;
+    obs_config.cluster = ClusterSpec::Homogeneous(num_workers);
+    obs_config.cluster.num_servers = args.num_servers;
+    obs_config.scheme = SchemeSpec::Cherrypick(params);
+    obs_config.max_time = horizon;
+    obs_config.stop_on_convergence = false;
+    obs_config.seed = bench::kBenchRootSeed;
+    obs_config.compression = cells[1].spec;  // topk:0.01
+    bench::EmitObsArtifacts(args, workload, obs_config);
+  }
+  return 0;
+}

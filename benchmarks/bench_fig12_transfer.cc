@@ -39,13 +39,15 @@ void PerServerBreakdown(const char* scheme, const TransferAccountant& t) {
 }
 
 void Panel(const Workload& workload, std::size_t workers,
-           std::size_t num_servers, SimTime horizon) {
+           std::size_t num_servers, SimTime horizon,
+           const bench::CompressionSelection& compression) {
   ExperimentConfig config;
   config.cluster = ClusterSpec::Homogeneous(workers);
   config.cluster.num_servers = num_servers;
   config.max_time = horizon;
   config.stop_on_convergence = true;  // run-to-convergence totals
   config.seed = 7;
+  compression.Apply(config);
 
   config.scheme = SchemeSpec::Original();
   const ExperimentResult original = RunExperiment(workload, config);
@@ -75,6 +77,16 @@ void Panel(const Workload& workload, std::size_t workers,
             << "s, SpecSync=" << sb / 1e6 << " MB over "
             << spec.sim.end_time.seconds() << "s ("
             << (1.0 - sb / ob) * 100.0 << "% less; paper CIFAR-10: ~40%)\n";
+  if (compression.set) {
+    std::cout << "codec " << compression.Label() << " bytes saved: Original="
+              << static_cast<double>(
+                     original.sim.transfers.total_saved_bytes()) /
+                     1e6
+              << " MB, SpecSync="
+              << static_cast<double>(spec.sim.transfers.total_saved_bytes()) /
+                     1e6
+              << " MB (on top of the charged totals above)\n";
+  }
   PerServerBreakdown("Original", original.sim.transfers);
   PerServerBreakdown("SpecSync", spec.sim.transfers);
 }
@@ -88,12 +100,16 @@ int main(int argc, char** argv) {
       "SpecSync's rate matches Original's; earlier convergence makes its "
       "total smaller (CIFAR-10: 3.17 TB vs 2.00 TB)");
   std::cout << "num_servers=" << args.num_servers << "\n";
+  if (args.compression.set) {
+    std::cout << "(gradient wire codec: " << args.compression.Label()
+              << " for every run)\n";
+  }
 
   Panel(MakeMfWorkload(1), 40, args.num_servers,
-        SimTime::FromSeconds(1500.0));
+        SimTime::FromSeconds(1500.0), args.compression);
   Panel(MakeCifar10Workload(1), 20, args.num_servers,
-        SimTime::FromSeconds(2800.0));
+        SimTime::FromSeconds(2800.0), args.compression);
   Panel(MakeImageNetWorkload(1, /*scale=*/0.6), 12, args.num_servers,
-        SimTime::FromSeconds(7000.0));
+        SimTime::FromSeconds(7000.0), args.compression);
   return 0;
 }

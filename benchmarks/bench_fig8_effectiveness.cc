@@ -29,7 +29,8 @@ const std::vector<std::string> kSchemeLabels = {"Original", "Cherrypick",
                                                 "Adaptive"};
 
 void AddPanel(bench::CellBatch& batch, PanelSpec& spec,
-              const bench::ConsistencySelection& consistency) {
+              const bench::ConsistencySelection& consistency,
+              const bench::CompressionSelection& compression) {
   const std::vector<SchemeSpec> schemes = {
       SchemeSpec::Original(),
       SchemeSpec::Cherrypick(bench::CherryParams(spec.workload)),
@@ -42,6 +43,7 @@ void AddPanel(bench::CellBatch& batch, PanelSpec& spec,
     config.scheme = scheme;
     config.max_time = spec.horizon;
     config.stop_on_convergence = false;  // full curves
+    compression.Apply(config);
     spec.series.push_back(
         batch.AddSeries(spec.workload, config, spec.replicates));
   }
@@ -94,6 +96,10 @@ int main(int argc, char** argv) {
     std::cout << "(base consistency override: " << args.consistency.Label()
               << " for every scheme)\n";
   }
+  if (args.compression.set) {
+    std::cout << "(gradient wire codec: " << args.compression.Label()
+              << " for every cell)\n";
+  }
 
   std::vector<PanelSpec> panels;
   panels.push_back(
@@ -104,7 +110,9 @@ int main(int argc, char** argv) {
                     SimTime::FromSeconds(6300.0), 1, {}});
 
   bench::CellBatch batch;
-  for (PanelSpec& panel : panels) AddPanel(batch, panel, args.consistency);
+  for (PanelSpec& panel : panels) {
+    AddPanel(batch, panel, args.consistency, args.compression);
+  }
   batch.Run(threads);
   for (const PanelSpec& panel : panels) PrintPanel(batch, panel);
 
@@ -121,6 +129,7 @@ int main(int argc, char** argv) {
     obs_config.max_time = panels[0].horizon;
     obs_config.stop_on_convergence = false;
     obs_config.seed = bench::kBenchRootSeed;
+    args.compression.Apply(obs_config);
     bench::EmitObsArtifacts(args, panels[0].workload, obs_config);
   }
   return 0;

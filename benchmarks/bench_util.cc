@@ -91,8 +91,8 @@ std::size_t ParsePositiveFlag(const std::string& arg, std::size_t prefix_len,
 
 constexpr const char* kBenchUsage =
     "[--threads=N] [--num_servers=N] [--smoke] [--metrics_out=PATH] "
-    "[--trace_out=PATH] [--consistency=asp|bsp|ssp[:s]|pssp[:s]|dssp[:s0]]  "
-    "(N >= 1)";
+    "[--trace_out=PATH] [--consistency=asp|bsp|ssp[:s]|pssp[:s]|dssp[:s0]] "
+    "[--compression=none|topk[:F]|int8|fp16|delta]  (N >= 1)";
 
 // Parses "--consistency=" values: a scheme name with an optional ":<bound>"
 // suffix (ssp/pssp: the staleness bound; dssp: the initial bound).
@@ -137,6 +137,20 @@ ConsistencySelection ParseConsistencyFlag(const std::string& value,
   // below the static comparator and conflate decay with episode response).
   sel.dssp.min_staleness = sel.dssp.initial_staleness;
   return sel;
+}
+
+// Parses "--compression=" values via CompressionSpec::Parse; exits with
+// usage on a malformed codec.
+CompressionSelection ParseCompressionFlag(const std::string& value,
+                                          const char* program) {
+  CompressionSelection sel;
+  if (auto spec = CompressionSpec::Parse(value)) {
+    sel.set = true;
+    sel.spec = *spec;
+    return sel;
+  }
+  std::cerr << "usage: " << program << " " << kBenchUsage << "\n";
+  std::exit(2);
 }
 
 // Parses the value of a `--flag=PATH` argument; exits with usage when empty.
@@ -193,6 +207,8 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.trace_out = ParsePathFlag(arg, 12, argv[0], kBenchUsage);
     } else if (arg.rfind("--consistency=", 0) == 0) {
       args.consistency = ParseConsistencyFlag(arg.substr(14), argv[0]);
+    } else if (arg.rfind("--compression=", 0) == 0) {
+      args.compression = ParseCompressionFlag(arg.substr(14), argv[0]);
     } else {
       std::cerr << "warning: ignoring unknown argument '" << arg << "'\n";
     }
@@ -329,8 +345,8 @@ std::string HexDigest(std::uint64_t digest) {
 
 }  // namespace
 
-BenchReporter::BenchReporter(std::string bench_name)
-    : bench_name_(std::move(bench_name)) {}
+BenchReporter::BenchReporter(std::string bench_name, std::string json_path)
+    : bench_name_(std::move(bench_name)), json_path_(std::move(json_path)) {}
 
 void BenchReporter::Add(const CellRecord& record) {
   cells_.push_back(record);
@@ -461,7 +477,7 @@ void BenchReporter::WriteJson() const {
 
   // Merge: the file is a JSON array, one single-line record per bench. Keep
   // every other bench's line, replace (or append) our own.
-  const std::string path = JsonPath();
+  const std::string path = json_path_.empty() ? JsonPath() : json_path_;
   const std::string marker = "\"bench\":\"" + JsonEscape(bench_name_) + "\"";
   std::vector<std::string> records;
   {

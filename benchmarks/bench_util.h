@@ -24,6 +24,7 @@
 #include "harness/experiment.h"
 #include "harness/parallel_runner.h"
 #include "harness/workload.h"
+#include "ps/compression.h"
 
 namespace specsync::bench {
 
@@ -85,6 +86,22 @@ struct ConsistencySelection {
   std::string Label() const;
 };
 
+// Gradient wire-compression override, parsed from --compression (below).
+// When set, Apply() installs the codec on an experiment's sim config; the
+// bench's scheme grid is otherwise untouched, so any figure can be re-run
+// with compressed transfers for an apples-to-apples convergence-cost
+// comparison against its uncompressed baseline.
+struct CompressionSelection {
+  bool set = false;
+  CompressionSpec spec;
+
+  void Apply(ExperimentConfig& config) const {
+    if (set) config.compression = spec;
+  }
+  // "" when unset, else the codec label (e.g. "topk:0.01", "int8").
+  std::string Label() const { return set ? spec.Label() : ""; }
+};
+
 // Common bench flags.
 //  --threads=N        worker threads for the cell grid (default: env
 //                     SPECSYNC_BENCH_THREADS, else hardware concurrency)
@@ -96,6 +113,9 @@ struct ConsistencySelection {
 //  --trace_out=P      write a Chrome/Perfetto trace from the same run
 //  --consistency=C    base consistency model override for the bench's scheme
 //                     grid: asp | bsp | ssp[:s] | pssp[:s] | dssp[:s0]
+//  --compression=C    gradient wire codec for every cell:
+//                     none | topk[:F] | int8 | fp16 | delta (F a fraction
+//                     like 0.01 or a percentage like 1%; bare topk = 1%)
 struct BenchArgs {
   std::size_t threads = 1;
   std::size_t num_servers = 4;
@@ -103,6 +123,7 @@ struct BenchArgs {
   std::string metrics_out;
   std::string trace_out;
   ConsistencySelection consistency;
+  CompressionSelection compression;
 };
 
 // Parses the flags above; exits with usage on a malformed flag and warns on
@@ -164,7 +185,9 @@ class CellBatch {
 // line; re-running a bench replaces its own record and leaves the others.
 class BenchReporter {
  public:
-  explicit BenchReporter(std::string bench_name);
+  // `json_path` overrides the shared JsonPath() target for benches that own
+  // a dedicated artifact (e.g. bench_compression -> BENCH_compression.json).
+  explicit BenchReporter(std::string bench_name, std::string json_path = "");
 
   struct CellRecord {
     std::string workload;
@@ -203,6 +226,7 @@ class BenchReporter {
 
  private:
   std::string bench_name_;
+  std::string json_path_;  // "" -> JsonPath()
   std::vector<CellRecord> cells_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::size_t threads_ = 1;

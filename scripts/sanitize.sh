@@ -13,7 +13,9 @@
 # and tuner equivalence property suites ride along for ASan's sake: the
 # pooled event queue recycles nodes through a free list and moves payloads
 # out mid-callback, exactly the lifetime pattern ASan proves sound
-# (DESIGN.md §12 pool lifetime rules).
+# (DESIGN.md §12 pool lifetime rules). compression_property_test rides along
+# the same way: the codec's error-feedback residuals grow lazily per worker
+# and the round-trip checks hammer span views over reallocating buffers.
 #
 # Usage: scripts/sanitize.sh [thread|address|all]   (default: all)
 set -euo pipefail
@@ -22,7 +24,8 @@ cd "$(dirname "$0")/.."
 
 SUITES=(runtime_test runtime_chaos_test consistency_hammer_test ps_test
         fault_test thread_pool_test parallel_runner_test obs_test net_test
-        calendar_queue_property_test tuner_equivalence_test)
+        calendar_queue_property_test tuner_equivalence_test
+        compression_property_test)
 MODE="${1:-all}"
 
 run_mode() {

@@ -60,6 +60,7 @@ ExperimentResult RunExperiment(const Workload& workload,
   sim_config.sgd_clip = workload.sgd_clip;
   sim_config.obs = config.obs;
   sim_config.event_queue = config.event_queue;
+  sim_config.compression = config.compression;
   if (config.cluster.enable_stalls) {
     sim_config.stalls.enabled = true;
     sim_config.stalls.mean_gap =

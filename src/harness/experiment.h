@@ -73,6 +73,8 @@ struct ExperimentConfig {
   // DES engine, forwarded to ClusterSimConfig::event_queue. Never changes a
   // result (identical pop order by construction), only wall time.
   EventQueueKind event_queue = EventQueueKind::kCalendar;
+  // Gradient wire compression, forwarded to ClusterSimConfig::compression.
+  CompressionSpec compression;
 };
 
 struct ExperimentResult {

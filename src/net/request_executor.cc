@@ -78,6 +78,9 @@ WireMessage RequestExecutor::Execute(const WireMessage& request,
   } else if (const auto* push = std::get_if<PushShardReq>(&request)) {
     name = "serve.push";
     shard = push->shard;
+  } else if (const auto* delta = std::get_if<PullShardDeltaReq>(&request)) {
+    name = "serve.pull";
+    shard = delta->shard;
   } else if (!std::holds_alternative<CommitPushReq>(request)) {
     name = "serve.reject";
   }
@@ -113,10 +116,39 @@ WireMessage RequestExecutor::ExecuteInner(const WireMessage& request) {
     resp.params = std::move(result.params);
     return resp;
   }
+  if (const auto* delta = std::get_if<PullShardDeltaReq>(&request)) {
+    if (!ServesShard(delta->shard)) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      return AckResp{kAckBadShard, delta->shard};
+    }
+    obs::ScopedTimer timer(pull_hist_);
+    // One full snapshot either way: the version check and the slice copy
+    // happen under the same shard lock, so a "not modified" answer can never
+    // race a concurrent push into staleness.
+    ShardPullResult result = store_->PullShard(delta->shard);
+    pulls_.fetch_add(1, std::memory_order_relaxed);
+    if (result.shard_version == delta->known_version) {
+      delta_not_modified_.fetch_add(1, std::memory_order_relaxed);
+      return PullShardNotModified{delta->shard, result.shard_version,
+                                  result.version};
+    }
+    PullShardResp resp;
+    resp.shard = delta->shard;
+    resp.offset = result.offset;
+    resp.shard_version = result.shard_version;
+    resp.global_version = result.version;
+    resp.params = std::move(result.params);
+    return resp;
+  }
   if (const auto* push = std::get_if<PushShardReq>(&request)) {
     if (!ServesShard(push->shard)) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       return AckResp{kAckBadShard, push->shard};
+    }
+    if (push->coded != 0) {
+      coded_pushes_.fetch_add(1, std::memory_order_relaxed);
+      // Values were dequantized into doubles by the wire decoder; from here
+      // a coded push is an ordinary sparse/dense push.
     }
     if (push->sparse) {
       obs::ScopedTimer timer(push_hist_);
@@ -156,6 +188,8 @@ ServerStats RequestExecutor::stats() const {
   out.pushes = pushes_.load(std::memory_order_relaxed);
   out.commits = commits_.load(std::memory_order_relaxed);
   out.rejected = rejected_.load(std::memory_order_relaxed);
+  out.delta_not_modified = delta_not_modified_.load(std::memory_order_relaxed);
+  out.coded_pushes = coded_pushes_.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -41,6 +41,11 @@ struct ServerStats {
   std::uint64_t rejected = 0;
   // Connections dropped on malformed frames or socket errors.
   std::uint64_t bad_frames = 0;
+  // Delta pulls answered with PullShardNotModified (the shard version
+  // matched the client's cached copy, so no parameter bytes moved).
+  std::uint64_t delta_not_modified = 0;
+  // Pushes that arrived in the kind-2 coded encoding (int8/fp16).
+  std::uint64_t coded_pushes = 0;
 };
 
 class RequestExecutor {
@@ -88,6 +93,8 @@ class RequestExecutor {
   std::atomic<std::uint64_t> pushes_{0};
   std::atomic<std::uint64_t> commits_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> delta_not_modified_{0};
+  std::atomic<std::uint64_t> coded_pushes_{0};
 
   obs::LatencyHistogram* pull_hist_ = nullptr;
   obs::LatencyHistogram* push_hist_ = nullptr;

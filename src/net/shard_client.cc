@@ -94,12 +94,17 @@ struct ShardClient::Link {
   std::atomic<std::uint64_t> injected_drops{0};
   std::atomic<std::uint64_t> injected_delays{0};
   std::atomic<std::uint64_t> injected_duplicates{0};
+  // Wire bytes that were not first-attempt goodput: retried attempts' frames
+  // plus the second copy of injected duplicates. Dropped attempts never reach
+  // the socket, so they add nothing here.
+  std::atomic<std::uint64_t> retransmit_bytes{0};
 
   // Registry mirrors of the per-link state, labeled with this link's
   // endpoint; null without an attached MetricsRegistry.
   obs::Counter* reconnects_counter = nullptr;
   obs::Counter* stale_counter = nullptr;
   obs::Counter* deaths_counter = nullptr;
+  obs::Counter* retransmit_counter = nullptr;
   obs::Gauge* in_flight_gauge = nullptr;
   obs::Gauge* pending_gauge = nullptr;
 
@@ -203,8 +208,19 @@ ShardClient::ShardClient(ShardClientConfig config, FaultPlan* faults,
           &metrics->counter("net.link.reconnects" + label);
       link->stale_counter = &metrics->counter("net.link.stale_frames" + label);
       link->deaths_counter = &metrics->counter("net.link.link_deaths" + label);
+      link->retransmit_counter =
+          &metrics->counter("net.link.retransmit_bytes" + label);
       link->in_flight_gauge = &metrics->gauge("net.link.in_flight" + label);
       link->pending_gauge = &metrics->gauge("net.link.pending_depth" + label);
+    }
+    if (config_.compression.delta_pulls()) {
+      delta_hits_counter_ = &metrics->counter("net.codec.delta_hits");
+      delta_misses_counter_ = &metrics->counter("net.codec.delta_misses");
+      pull_saved_counter_ = &metrics->counter("net.codec.pull_bytes_saved");
+    }
+    if (config_.compression.kind == CodecKind::kInt8 ||
+        config_.compression.kind == CodecKind::kFp16) {
+      push_saved_counter_ = &metrics->counter("net.codec.push_bytes_saved");
     }
   }
   // Anchor the span clock before the first request so every span maps onto
@@ -403,10 +419,24 @@ void ShardClient::IssueAttempt(Ticket& ticket) {
     if (sent && decision.duplicate) {
       link.injected_duplicates.fetch_add(1, std::memory_order_relaxed);
       sent = link.connection.SendAll(bytes);
+      // The second copy is pure overhead — it can only become a stale frame.
+      link.retransmit_bytes.fetch_add(bytes.size(),
+                                      std::memory_order_relaxed);
+      if (link.retransmit_counter != nullptr) {
+        link.retransmit_counter->Increment(bytes.size());
+      }
     }
     // Shut down under the send mutex so this cannot race EnsureLink's
     // connection swap.
     if (!sent) link.connection.ShutdownBoth();
+  }
+  if (sent && ticket.attempts > 1) {
+    // attempts was already bumped for this attempt, so >1 means this frame
+    // repeats an earlier send: its bytes are retransmission, not goodput.
+    link.retransmit_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
+    if (link.retransmit_counter != nullptr) {
+      link.retransmit_counter->Increment(bytes.size());
+    }
   }
   if (!sent) {
     std::scoped_lock lock(link.mutex);
@@ -534,13 +564,36 @@ ShardPullResult ShardClient::PullShard(std::size_t s) {
 }
 
 PullResult ShardClient::Pull(ThreadPool* /*pool*/) {
+  // Delta mode: shards we hold a cached copy of get a conditional
+  // PullShardDeltaReq; the server answers PullShardNotModified (tiny control
+  // frame) when the shard version is unchanged, and we compose that shard
+  // from the cache. Delta is lossless — an unchanged shard version implies
+  // unchanged content, both read under the same shard lock server-side. The
+  // cache lock is held across the whole batch so concurrent Pull() callers
+  // on one client see a consistent cache (workers own their clients, so this
+  // serialization never bites in practice).
+  const bool delta = config_.compression.delta_pulls();
+  std::unique_lock<std::mutex> cache_lock;
+  if (delta) {
+    cache_lock = std::unique_lock<std::mutex>(cache_mutex_);
+    if (cached_versions_.empty()) {
+      cached_versions_.assign(num_shards(), kNoCachedVersion);
+      cached_params_.resize(num_shards());
+    }
+  }
+
   // Issue every shard's pull before awaiting any: all requests ride the
   // shared links back-to-back, so the batch completes in ~one round trip
   // regardless of shard count (the v2 pipelining payoff).
   std::vector<WireMessage> requests;
   requests.reserve(num_shards());
   for (std::size_t s = 0; s < num_shards(); ++s) {
-    requests.emplace_back(PullShardReq{static_cast<std::uint32_t>(s)});
+    if (delta && cached_versions_[s] != kNoCachedVersion) {
+      requests.emplace_back(PullShardDeltaReq{static_cast<std::uint32_t>(s),
+                                              cached_versions_[s]});
+    } else {
+      requests.emplace_back(PullShardReq{static_cast<std::uint32_t>(s)});
+    }
   }
   std::vector<Ticket> tickets;
   tickets.reserve(num_shards());
@@ -554,14 +607,40 @@ PullResult ShardClient::Pull(ThreadPool* /*pool*/) {
   out.params.resize(dim_);
   std::uint64_t version = 0;
   for (std::size_t s = 0; s < tickets.size(); ++s) {
+    const ShardPlacement& shard = config_.topology.shards[s];
     WireMessage response = Await(tickets[s]);
+    if (const auto* unchanged = std::get_if<PullShardNotModified>(&response)) {
+      SPECSYNC_CHECK(delta);
+      SPECSYNC_CHECK_EQ(unchanged->shard_version, cached_versions_[s]);
+      const std::vector<double>& cached = cached_params_[s];
+      SPECSYNC_CHECK_EQ(cached.size(), shard.length);
+      std::copy(cached.begin(), cached.end(),
+                out.params.begin() + static_cast<std::ptrdiff_t>(shard.offset));
+      version = std::max(version, unchanged->global_version);
+      delta_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (delta_hits_counter_ != nullptr) delta_hits_counter_->Increment();
+      if (pull_saved_counter_ != nullptr) {
+        // The avoided payload: the shard's parameter doubles that a full
+        // PullShardResp would have carried.
+        pull_saved_counter_->Increment(shard.length * sizeof(double));
+      }
+      continue;
+    }
     auto* resp = std::get_if<PullShardResp>(&response);
     SPECSYNC_CHECK(resp != nullptr);
-    SPECSYNC_CHECK_EQ(resp->offset, config_.topology.shards[s].offset);
-    SPECSYNC_CHECK_EQ(resp->params.size(), config_.topology.shards[s].length);
+    SPECSYNC_CHECK_EQ(resp->offset, shard.offset);
+    SPECSYNC_CHECK_EQ(resp->params.size(), shard.length);
     std::copy(resp->params.begin(), resp->params.end(),
               out.params.begin() + static_cast<std::ptrdiff_t>(resp->offset));
     version = std::max(version, resp->global_version);
+    if (delta) {
+      cached_params_[s].assign(resp->params.begin(), resp->params.end());
+      cached_versions_[s] = resp->shard_version;
+      delta_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (delta_misses_counter_ != nullptr) {
+        delta_misses_counter_->Increment();
+      }
+    }
   }
   out.version = version;
   return out;
@@ -569,6 +648,14 @@ PullResult ShardClient::Pull(ThreadPool* /*pool*/) {
 
 std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
                                 ThreadPool* /*pool*/) {
+  // int8/fp16 ship the kind-2 coded encoding; the gradient must already be
+  // codec-transformed so the doubles re-quantize to exactly the bits the
+  // server will decode (ps/compression.h's idempotency contract).
+  const CodecKind kind = config_.compression.kind;
+  const std::uint8_t coded =
+      (kind == CodecKind::kInt8 || kind == CodecKind::kFp16)
+          ? static_cast<std::uint8_t>(kind)
+          : 0;
   // Build the per-shard messages (the client-side half of RouteGradient).
   std::vector<std::size_t> shards;
   std::vector<WireMessage> requests;
@@ -579,6 +666,7 @@ std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
       PushShardReq req;
       req.shard = static_cast<std::uint32_t>(s);
       req.epoch = epoch;
+      req.coded = coded;
       req.dense_offset = shard.offset;
       req.dense.assign(grad.dense().begin() +
                            static_cast<std::ptrdiff_t>(shard.offset),
@@ -601,6 +689,7 @@ std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
       by_shard[s].shard = static_cast<std::uint32_t>(s);
       by_shard[s].epoch = epoch;
       by_shard[s].sparse = true;
+      by_shard[s].coded = coded;
       shards.push_back(s);
       requests.emplace_back(std::move(by_shard[s]));
     }
@@ -611,9 +700,22 @@ std::uint64_t ShardClient::Push(const Gradient& grad, EpochId epoch,
       req.shard = 0;
       req.epoch = epoch;
       req.sparse = true;
+      req.coded = coded;
       shards.push_back(0);
       requests.emplace_back(std::move(req));
     }
+  }
+  if (coded != 0 && push_saved_counter_ != nullptr) {
+    // Payload delta vs the classic encoding, same model CodedRouteBytes uses
+    // for the sim (indices+doubles vs indices+quantized values).
+    std::uint64_t saved = 0;
+    for (const WireMessage& message : requests) {
+      const auto& req = std::get<PushShardReq>(message);
+      const std::uint64_t raw = req.sparse ? req.indices.size() * 16
+                                           : req.dense.size() * 8;
+      saved += raw - std::min(raw, CodedRouteBytes(kind, req.sparse, raw));
+    }
+    push_saved_counter_->Increment(saved);
   }
 
   // Pipeline all slices, then await them all.
@@ -674,7 +776,11 @@ ShardClient::Stats ShardClient::stats() const {
         link->injected_delays.load(std::memory_order_relaxed);
     out.injected_duplicates +=
         link->injected_duplicates.load(std::memory_order_relaxed);
+    out.retransmit_bytes +=
+        link->retransmit_bytes.load(std::memory_order_relaxed);
   }
+  out.delta_hits = delta_hits_.load(std::memory_order_relaxed);
+  out.delta_misses = delta_misses_.load(std::memory_order_relaxed);
   return out;
 }
 

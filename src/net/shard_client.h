@@ -48,14 +48,17 @@
 // independent machines.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "fault/fault_plan.h"
 #include "net/endpoint.h"
 #include "net/wire.h"
+#include "ps/compression.h"
 #include "ps/param_store.h"
 
 namespace specsync {
@@ -86,6 +89,12 @@ struct ShardClientConfig {
   // is attached — give each worker its own track so its net spans interleave
   // with its compute spans on one timeline.
   std::uint32_t trace_track = 0;
+  // Wire compression (ps/compression.h). int8/fp16 make Push() ship the
+  // compact kind-2 coded frames (the gradient must already be
+  // codec-transformed, so the doubles re-quantize exactly); delta makes
+  // Pull() send conditional PullShardDeltaReq for shards it holds a cached
+  // copy of. kNone keeps every frame byte-identical to the pre-codec wire.
+  CompressionSpec compression;
 };
 
 class ShardClient {
@@ -145,6 +154,13 @@ class ShardClient {
     std::uint64_t injected_drops = 0;
     std::uint64_t injected_delays = 0;
     std::uint64_t injected_duplicates = 0;
+    // Wasted wire bytes: frames sent again for retried attempts plus the
+    // second copy of injected duplicates. Kept apart from request traffic so
+    // goodput accounting is not inflated by a lossy link's retry storm.
+    std::uint64_t retransmit_bytes = 0;
+    // Delta pulls answered from the local cache / with a fresh snapshot.
+    std::uint64_t delta_hits = 0;
+    std::uint64_t delta_misses = 0;
   };
   Stats stats() const;
 
@@ -185,6 +201,21 @@ class ShardClient {
   std::vector<obs::LatencyHistogram*> shard_rtt_;
   obs::Counter* retry_counter_ = nullptr;
   obs::Counter* timeout_counter_ = nullptr;
+  obs::Counter* delta_hits_counter_ = nullptr;
+  obs::Counter* delta_misses_counter_ = nullptr;
+  obs::Counter* pull_saved_counter_ = nullptr;
+  obs::Counter* push_saved_counter_ = nullptr;
+
+  // Delta-pull cache: last pulled copy + shard version per shard
+  // (kNoCachedVersion = never pulled; 0 is a real version). Guarded by
+  // cache_mutex_ — Pull() is the only reader/writer, the mutex just keeps
+  // concurrent Pull() callers on one client well-defined.
+  static constexpr std::uint64_t kNoCachedVersion = ~0ull;
+  std::mutex cache_mutex_;
+  std::vector<std::vector<double>> cached_params_;
+  std::vector<std::uint64_t> cached_versions_;
+  std::atomic<std::uint64_t> delta_hits_{0};
+  std::atomic<std::uint64_t> delta_misses_{0};
 };
 
 }  // namespace specsync::net

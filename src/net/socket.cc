@@ -172,6 +172,9 @@ TcpConnection::IoStatus TcpConnection::RecvSome(std::vector<std::uint8_t>& out,
                                                 std::size_t& n) {
   n = 0;
   if (fd_ < 0) return IoStatus::kError;
+  // recv(fd, ptr, 0) returns 0, which the check below would misreport as
+  // kClosed — a zero-byte read request must stay a no-op.
+  if (max == 0) return IoStatus::kOk;
   const std::size_t old_size = out.size();
   out.resize(old_size + max);
   ssize_t got;
@@ -193,6 +196,10 @@ TcpConnection::IoStatus TcpConnection::SendSome(
     std::span<const std::uint8_t> bytes, std::size_t& n) {
   n = 0;
   if (fd_ < 0) return IoStatus::kError;
+  // An empty span may carry a null data() pointer; send(fd, nullptr, 0) is
+  // unspecified, and a caller draining a fully-sent buffer must see a clean
+  // no-op rather than spin on the syscall.
+  if (bytes.empty()) return IoStatus::kOk;
   ssize_t sent;
   do {
     sent = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);

@@ -75,11 +75,15 @@ class TcpConnection {
   };
 
   // Reads at most `max` bytes into `out` (appended). Non-blocking sockets.
+  // max == 0 is a clean no-op (kOk, n = 0) — never misreported as kClosed
+  // even though a zero-length recv() returns 0.
   IoStatus RecvSome(std::vector<std::uint8_t>& out, std::size_t max,
                     std::size_t& n);
 
   // Writes a prefix of `bytes`; `n` reports how much went out. Non-blocking
-  // sockets.
+  // sockets. Retries EINTR internally; an empty span is a clean no-op, so a
+  // caller draining a partially-sent frame (e.g. an odd-sized coded payload)
+  // can loop on the remaining suffix without special cases.
   IoStatus SendSome(std::span<const std::uint8_t> bytes, std::size_t& n);
 
   // Half-closes both directions, waking a peer blocked in RecvFrame.

@@ -3,6 +3,8 @@
 #include <bit>
 #include <cstring>
 
+#include "ps/compression.h"
+
 namespace specsync::net {
 
 namespace {
@@ -106,8 +108,47 @@ MsgType TypeOf(const WireMessage& message) {
     MsgType operator()(const PushShardReq&) { return MsgType::kPushShardReq; }
     MsgType operator()(const CommitPushReq&) { return MsgType::kCommitPushReq; }
     MsgType operator()(const AckResp&) { return MsgType::kAck; }
+    MsgType operator()(const PullShardDeltaReq&) {
+      return MsgType::kPullShardDeltaReq;
+    }
+    MsgType operator()(const PullShardNotModified&) {
+      return MsgType::kPullShardNotModified;
+    }
   };
   return std::visit(Visitor{}, message);
+}
+
+// Kind-2 (coded) value payload. The doubles in the struct are already
+// quantization-idempotent (produced by GradientCodec::Transform or by a
+// previous decode), so re-deriving the quantized form here reproduces the
+// exact bytes the original encoder emitted.
+void EncodeCodedPush(const PushShardReq& m, std::vector<std::uint8_t>& out) {
+  PutU8(out, 2);  // kind
+  PutU8(out, m.coded);
+  PutU8(out, m.sparse ? 1 : 0);
+  const std::span<const double> values =
+      m.sparse ? std::span<const double>(m.values)
+               : std::span<const double>(m.dense);
+  const bool int8 = m.coded == static_cast<std::uint8_t>(CodecKind::kInt8);
+  double scale = 0.0;
+  if (int8) {
+    scale = Int8ScaleFor(values);
+    PutF64(out, scale);
+  }
+  if (m.sparse) {
+    PutU64(out, m.indices.size());
+    for (std::uint64_t index : m.indices) PutU64(out, index);
+  } else {
+    PutU64(out, m.dense_offset);
+    PutU64(out, m.dense.size());
+  }
+  for (double v : values) {
+    if (int8) {
+      PutU8(out, static_cast<std::uint8_t>(QuantizeInt8(v, scale)));
+    } else {
+      PutU16(out, EncodeFp16(v));
+    }
+  }
 }
 
 void EncodePayload(const WireMessage& message, std::vector<std::uint8_t>& out) {
@@ -125,6 +166,10 @@ void EncodePayload(const WireMessage& message, std::vector<std::uint8_t>& out) {
     void operator()(const PushShardReq& m) {
       PutU32(out, m.shard);
       PutU64(out, m.epoch);
+      if (m.coded != 0) {
+        EncodeCodedPush(m, out);
+        return;
+      }
       PutU8(out, m.sparse ? 1 : 0);
       if (m.sparse) {
         PutU64(out, m.indices.size());
@@ -142,6 +187,15 @@ void EncodePayload(const WireMessage& message, std::vector<std::uint8_t>& out) {
     void operator()(const AckResp& m) {
       PutU32(out, m.status);
       PutU64(out, m.value);
+    }
+    void operator()(const PullShardDeltaReq& m) {
+      PutU32(out, m.shard);
+      PutU64(out, m.known_version);
+    }
+    void operator()(const PullShardNotModified& m) {
+      PutU32(out, m.shard);
+      PutU64(out, m.shard_version);
+      PutU64(out, m.global_version);
     }
   };
   std::visit(Visitor{out}, message);
@@ -198,7 +252,7 @@ WireStatus DecodeHeader(std::span<const std::uint8_t> bytes,
   if (out.version != kWireVersion) return WireStatus::kBadVersion;
   const std::uint16_t type = r.TakeU16();
   if (type < static_cast<std::uint16_t>(MsgType::kPullShardReq) ||
-      type > static_cast<std::uint16_t>(MsgType::kAck)) {
+      type > static_cast<std::uint16_t>(MsgType::kPullShardNotModified)) {
     return WireStatus::kBadType;
   }
   out.type = static_cast<MsgType>(type);
@@ -274,8 +328,55 @@ WireStatus DecodePayload(const FrameHeader& header,
       m.shard = r.TakeU32();
       m.epoch = r.TakeU64();
       const std::uint8_t kind = r.TakeU8();
-      if (!r.ok() || kind > 1) {
+      if (!r.ok() || kind > 2) {
         return r.ok() ? WireStatus::kMalformed : WireStatus::kTruncated;
+      }
+      if (kind == 2) {
+        const std::uint8_t codec = r.TakeU8();
+        const std::uint8_t sparse = r.TakeU8();
+        if (!r.ok() ||
+            (codec != static_cast<std::uint8_t>(CodecKind::kInt8) &&
+             codec != static_cast<std::uint8_t>(CodecKind::kFp16)) ||
+            sparse > 1) {
+          return r.ok() ? WireStatus::kMalformed : WireStatus::kTruncated;
+        }
+        m.coded = codec;
+        m.sparse = sparse == 1;
+        const bool int8 = codec == static_cast<std::uint8_t>(CodecKind::kInt8);
+        const double scale = int8 ? r.TakeF64() : 0.0;
+        const std::size_t value_bytes = int8 ? 1 : 2;
+        std::uint64_t count = 0;
+        if (m.sparse) {
+          count = r.TakeU64();
+          if (!r.ok() || !r.CanTake(count, 8 + value_bytes)) {
+            return WireStatus::kTruncated;
+          }
+          m.indices.reserve(count);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            m.indices.push_back(r.TakeU64());
+          }
+        } else {
+          m.dense_offset = r.TakeU64();
+          count = r.TakeU64();
+          if (!r.ok() || !r.CanTake(count, value_bytes)) {
+            return WireStatus::kTruncated;
+          }
+        }
+        std::vector<double>& values = m.sparse ? m.values : m.dense;
+        values.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+          if (int8) {
+            values.push_back(DequantizeInt8(
+                static_cast<std::int8_t>(r.TakeU8()), scale));
+          } else {
+            values.push_back(DecodeFp16(r.TakeU16()));
+          }
+        }
+        if (!r.ok()) return WireStatus::kTruncated;
+        const WireStatus tail = DecodeTraceTail(r, trace);
+        if (tail != WireStatus::kOk) return tail;
+        out = std::move(m);
+        return WireStatus::kOk;
       }
       m.sparse = kind == 1;
       if (m.sparse) {
@@ -314,6 +415,27 @@ WireStatus DecodePayload(const FrameHeader& header,
       AckResp m;
       m.status = r.TakeU32();
       m.value = r.TakeU64();
+      if (!r.ok()) return WireStatus::kTruncated;
+      const WireStatus tail = DecodeTraceTail(r, trace);
+      if (tail != WireStatus::kOk) return tail;
+      out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kPullShardDeltaReq: {
+      PullShardDeltaReq m;
+      m.shard = r.TakeU32();
+      m.known_version = r.TakeU64();
+      if (!r.ok()) return WireStatus::kTruncated;
+      const WireStatus tail = DecodeTraceTail(r, trace);
+      if (tail != WireStatus::kOk) return tail;
+      out = m;
+      return WireStatus::kOk;
+    }
+    case MsgType::kPullShardNotModified: {
+      PullShardNotModified m;
+      m.shard = r.TakeU32();
+      m.shard_version = r.TakeU64();
+      m.global_version = r.TakeU64();
       if (!r.ok()) return WireStatus::kTruncated;
       const WireStatus tail = DecodeTraceTail(r, trace);
       if (tail != WireStatus::kOk) return tail;

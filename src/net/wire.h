@@ -33,13 +33,29 @@
 //   PullShardReq   u32 shard
 //   PullShardResp  u32 shard, u64 offset, u64 shard_version,
 //                  u64 global_version, u64 count, f64[count]
-//   PushShardReq   u32 shard, u64 epoch, u8 kind (0 dense, 1 sparse);
+//   PushShardReq   u32 shard, u64 epoch, u8 kind (0 dense, 1 sparse,
+//                  2 coded);
 //                  dense:  u64 offset, u64 count, f64[count]  (the shard's
 //                          slice only — never the full vector)
 //                  sparse: u64 nnz, nnz x (u64 index, f64 value)  (global
 //                          indices, pre-routed to the owning shard)
+//                  coded:  u8 codec (CodecKind: 2 int8, 3 fp16), u8 sparse,
+//                          f64 scale (int8 only; 0 when all-zero);
+//                          dense:  u64 offset, u64 count, count x (i8|u16)
+//                          sparse: u64 nnz, nnz x u64 index, nnz x (i8|u16)
+//                          Values decode back into doubles; the encoder
+//                          re-derives q from the (already quantization-
+//                          idempotent) doubles, so encode(decode(frame))
+//                          is byte-identical. kind 0/1 frames are
+//                          byte-identical to the pre-codec wire — codec=none
+//                          never emits kind 2 (TRCX extension discipline).
 //   CommitPushReq  (empty)
 //   AckResp        u32 status, u64 value
+//   PullShardDeltaReq    u32 shard, u64 known_version  (client holds a cached
+//                        copy at that shard version; server answers
+//                        PullShardResp when the shard moved on, else
+//                        PullShardNotModified)
+//   PullShardNotModified u32 shard, u64 shard_version, u64 global_version
 //
 // Decoding is strict: short headers, bad magic/version/type, payloads longer
 // than kMaxPayload, truncated payloads, and trailing bytes are all distinct
@@ -79,6 +95,8 @@ enum class MsgType : std::uint16_t {
   kPushShardReq = 3,
   kCommitPushReq = 4,
   kAck = 5,
+  kPullShardDeltaReq = 6,
+  kPullShardNotModified = 7,
 };
 
 // Trace-context extension framing ("XCRT" bytes little-endian spell TRCX).
@@ -114,6 +132,13 @@ struct PushShardReq {
   std::uint32_t shard = 0;
   std::uint64_t epoch = 0;
   bool sparse = false;
+  // Quantization codec for the value payload: 0 ships raw f64 (the classic
+  // kind 0/1 encodings); CodecKind::kInt8 / kFp16 (2 / 3) ship the compact
+  // kind-2 encoding. Values in this struct are ALWAYS doubles — the codec
+  // only changes their wire representation, and quantization idempotency
+  // (ps/compression.h) guarantees the encoder can recover the exact wire
+  // bits from the doubles.
+  std::uint8_t coded = 0;
   // Dense: the shard's contiguous slice (offset = shard offset in the full
   // vector). Sparse: global (index, value) entries owned by the shard; an
   // empty entry list is a valid message (the empty-gradient push still
@@ -134,8 +159,26 @@ struct AckResp {
   std::uint64_t value = 0;
 };
 
-using WireMessage = std::variant<PullShardReq, PullShardResp, PushShardReq,
-                                 CommitPushReq, AckResp>;
+// Conditional pull (delta mode): "send shard `shard` unless it is still at
+// `known_version`". The reply is a full PullShardResp on change, else
+// PullShardNotModified. Delta pulls are lossless — an unchanged shard
+// version proves the content is unchanged, so the cached copy is exact.
+struct PullShardDeltaReq {
+  std::uint32_t shard = 0;
+  std::uint64_t known_version = 0;
+};
+
+struct PullShardNotModified {
+  std::uint32_t shard = 0;
+  std::uint64_t shard_version = 0;
+  std::uint64_t global_version = 0;
+};
+
+// New message types append at the end: variant indexes are load-bearing for
+// std::get_if call sites and must stay stable.
+using WireMessage =
+    std::variant<PullShardReq, PullShardResp, PushShardReq, CommitPushReq,
+                 AckResp, PullShardDeltaReq, PullShardNotModified>;
 
 enum class WireStatus {
   kOk = 0,

@@ -82,14 +82,19 @@ double LatencyHistogram::ApproxQuantileSeconds(double q) const {
       cumulative += in_bucket;
       continue;
     }
-    // Log-interpolate within the bucket; the open-ended last bucket and the
-    // sub-1us first bucket report their finite edge.
+    // Log-interpolate within the bucket; the degenerate cases are pinned by
+    // the header contract (and obs_test): the sub-1us first bucket has no
+    // lower log edge, and the open-ended last bucket's only finite edge is
+    // the observed max — which its log-spaced lower edge can exceed when the
+    // max landed early in the bucket, hence the final cap.
     const double hi = b == kBuckets - 1 ? max_seconds() : UpperBoundSeconds(b);
-    if (b == 0) return std::min(hi, kFirstUpperBoundSeconds);
+    if (b == 0) return std::min(max_seconds(), kFirstUpperBoundSeconds);
     const double lo = UpperBoundSeconds(b - 1);
     const double frac =
         (rank - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
-    return lo * std::pow(std::max(hi, lo) / lo, std::min(1.0, std::max(0.0, frac)));
+    const double est =
+        lo * std::pow(std::max(hi, lo) / lo, std::min(1.0, std::max(0.0, frac)));
+    return b == kBuckets - 1 ? std::min(est, max_seconds()) : est;
   }
   return max_seconds();
 }

@@ -71,7 +71,16 @@ class LatencyHistogram {
   static double UpperBoundSeconds(std::size_t bucket);
 
   // Quantile estimated from the bucket counts (log-interpolated within the
-  // bucket); exact enough for p50/p95/p99 summaries. 0 when empty.
+  // bucket); exact enough for p50/p95/p99 summaries.
+  //
+  // Pinned degenerate behavior (exporters rely on every case being finite —
+  // a JSON or Prometheus dump must never see NaN from here):
+  //   - empty histogram                  -> 0.0 for every q;
+  //   - all observations in bucket 0     -> min(max_seconds(),
+  //     kFirstUpperBoundSeconds), i.e. never an interpolation against the
+  //     bucket's zero-width log range;
+  //   - quantile landing in the unbounded last bucket -> capped at
+  //     max_seconds().
   double ApproxQuantileSeconds(double q) const;
 
  private:

@@ -185,6 +185,17 @@ ShardPullResult ParameterServer::PullShard(std::size_t s) const {
   return out;
 }
 
+std::uint64_t ParameterServer::PullShardSlice(std::size_t s,
+                                              std::span<double> dest) const {
+  SPECSYNC_CHECK_LT(s, shards_.size());
+  const Shard& shard = *shards_[s];
+  SPECSYNC_CHECK_EQ(dest.size(), shard.length);
+  TimedShardLock lock(shard.mutex, shard.lock_wait, shard.lock_hold);
+  std::copy_n(params_.begin() + static_cast<std::ptrdiff_t>(shard.offset),
+              shard.length, dest.begin());
+  return shard.version;
+}
+
 std::size_t ParameterServer::ShardOf(std::size_t index) const {
   SPECSYNC_CHECK_LT(index, dim_);
   // Shards are near-equal; binary search over offsets.

@@ -104,6 +104,12 @@ class ParameterServer {
   // read under the shard's mutex).
   ShardPullResult PullShard(std::size_t s) const;
 
+  // Allocation-free single-shard refresh: copies shard `s`'s slice into
+  // `dest` (which must be exactly the shard's length) and returns the shard
+  // version read under the same lock. Delta-mode pulls use this to refresh
+  // only the shards whose version advanced.
+  std::uint64_t PullShardSlice(std::size_t s, std::span<double> dest) const;
+
   // Applies one worker's gradient with the learning rate of `epoch`; returns
   // the new global version. Routes to dirty shards only: sparse gradients
   // touch just the shards owning their indices, dense gradients touch all.

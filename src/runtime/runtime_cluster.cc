@@ -102,6 +102,11 @@ struct RuntimeCluster::Impl {
   PerShardSspController* runtime_pssp = nullptr;
   DynamicSspController* runtime_dssp = nullptr;
 
+  // Gradient wire codec (null = codec off, every path untouched). Transform
+  // is safe for concurrent distinct workers — each worker thread only ever
+  // touches its own error-feedback residual.
+  std::unique_ptr<GradientCodec> codec;
+
   // Observability (null = off). Resolved once at construction; workers
   // record concurrently (SpanRecorder appends under its own mutex).
   obs::ObsContext* obs = nullptr;
@@ -141,6 +146,13 @@ struct RuntimeCluster::Impl {
     Rng init_rng(config.seed);
     server->Initialize(*model, init_rng);
 
+    if (config.compression.transforms_pushes()) {
+      codec = std::make_unique<GradientCodec>(
+          config.compression, config.num_workers,
+          ParameterServer::ShardSplit(model->param_dim(),
+                                      config.num_servers));
+    }
+
     std::size_t pull_threads = config.pull_threads;
     if (pull_threads == 0) {
       pull_threads =
@@ -170,6 +182,7 @@ struct RuntimeCluster::Impl {
       net::ShardClientConfig client_config;
       client_config.request_timeout = config.net_timeout;
       client_config.max_attempts = config.net_attempts;
+      client_config.compression = config.compression;
       const net::Endpoint endpoint{"127.0.0.1", shard_server->port()};
       for (std::size_t s = 0; s < server->num_shards(); ++s) {
         const ShardInfo info = server->shard(s);
@@ -516,7 +529,11 @@ struct RuntimeCluster::Impl {
         }
 
         const SimTime push_begin = obs != nullptr ? clock.Now() : SimTime();
-        const Gradient merged = MergeChunks(std::move(chunks));
+        Gradient merged = MergeChunks(std::move(chunks));
+        // Codec transform happens before BOTH the push and the gate's write
+        // set below, so consistency tracking sees the gradient that actually
+        // shipped (top-k may shrink the touched-shard set).
+        if (codec) codec->Transform(w, merged);
         PushGradient(w, merged, GlobalEpoch());
         completed[w].fetch_add(1, std::memory_order_relaxed);
         if (gate) {

@@ -19,6 +19,7 @@
 #include "models/model.h"
 #include "net/endpoint.h"
 #include "optim/lr_schedule.h"
+#include "ps/compression.h"
 #include "ps/consistency.h"
 #include "ps/param_store.h"
 
@@ -88,6 +89,13 @@ struct RuntimeConfig {
   // before a shard is declared unreachable (which fails the run loudly).
   std::chrono::milliseconds net_timeout{250};
   std::size_t net_attempts = 16;
+  // Gradient wire compression (ps/compression.h). topk/int8/fp16 transform
+  // each worker's merged gradient (with per-worker error-feedback residuals
+  // for topk) before it is pushed — on both transports, so in-process and
+  // tcp_loopback stay bit-identical per the codec's determinism contract.
+  // delta additionally makes tcp_loopback pulls conditional. kNone leaves
+  // every path byte-for-byte untouched.
+  CompressionSpec compression;
   // End-of-run evaluation: final_eval=false skips FullLoss entirely
   // (RuntimeResult::final_loss stays 0 — transport benches that only care
   // about wire behavior can spend nothing here); otherwise

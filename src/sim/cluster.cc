@@ -105,6 +105,15 @@ struct ClusterSim::Impl {
   TrainingTrace trace;
   TransferAccountant transfers;
 
+  // Gradient wire codec (null = codec off). Everything codec-related is
+  // guarded on it (or on `known_shard_versions` for delta) so codec=none
+  // takes exactly the legacy code paths and keeps the golden digests.
+  std::unique_ptr<GradientCodec> codec;
+  // Delta pulls only: per-worker last-known shard versions; the worker's
+  // persistent `snapshot` doubles as its parameter cache. Empty = delta off.
+  static constexpr std::uint64_t kUnknownVersion = ~0ull;
+  std::vector<std::vector<std::uint64_t>> known_shard_versions;
+
   // Observability (null = off). Counters are resolved once at construction;
   // every record is append-only, so event order and RNG draws are identical
   // with and without `obs`.
@@ -114,6 +123,11 @@ struct ClusterSim::Impl {
   obs::Counter* abort_counter = nullptr;
   obs::Counter* notify_counter = nullptr;
   obs::Counter* eval_counter = nullptr;
+  obs::Counter* codec_push_saved_counter = nullptr;
+  obs::Counter* codec_pull_saved_counter = nullptr;
+  obs::Counter* codec_delta_hits_counter = nullptr;
+  obs::Counter* codec_delta_misses_counter = nullptr;
+  obs::LatencyHistogram* codec_push_ratio_hist = nullptr;
   double wasted_compute_seconds = 0.0;
 
   // Consistency-gate accounting (virtual time workers spent blocked).
@@ -185,6 +199,18 @@ struct ClusterSim::Impl {
     Rng init_rng = rng.Fork();
     server->Initialize(*model, init_rng);
 
+    if (config.compression.transforms_pushes()) {
+      codec = std::make_unique<GradientCodec>(
+          config.compression, config.num_workers,
+          ParameterServer::ShardSplit(model->param_dim(),
+                                      config.num_servers));
+    }
+    if (config.compression.delta_pulls()) {
+      known_shard_versions.assign(
+          config.num_workers,
+          std::vector<std::uint64_t>(server->num_shards(), kUnknownVersion));
+    }
+
     controller = MakeController(config.scheme, config.num_workers,
                                 server->num_shards());
     switch (config.scheme.base) {
@@ -227,6 +253,18 @@ struct ClusterSim::Impl {
       abort_counter = &obs->metrics.counter("sim.aborts");
       notify_counter = &obs->metrics.counter("sim.notifies_sent");
       eval_counter = &obs->metrics.counter("sim.evals");
+      if (config.compression.enabled()) {
+        codec_push_saved_counter =
+            &obs->metrics.counter("net.codec.push_bytes_saved");
+        codec_pull_saved_counter =
+            &obs->metrics.counter("net.codec.pull_bytes_saved");
+        codec_delta_hits_counter =
+            &obs->metrics.counter("net.codec.delta_hits");
+        codec_delta_misses_counter =
+            &obs->metrics.counter("net.codec.delta_misses");
+        codec_push_ratio_hist =
+            &obs->metrics.histogram("net.codec.push_ratio");
+      }
       for (WorkerId w = 0; w < config.num_workers; ++w) {
         obs->spans.SetTrackName(w, "worker " + std::to_string(w));
       }
@@ -266,6 +304,10 @@ struct ClusterSim::Impl {
   struct PullAttempt {
     std::size_t pending = 0;
     SimTime begin;  // when the fan-out was issued (span recording)
+    // Delta mode only (empty otherwise): refreshed[s] = this pull carries
+    // shard s's full slice; unset shards are composed from the worker's
+    // cached snapshot at completion.
+    std::vector<std::uint8_t> refreshed;
   };
   struct PushAttempt {
     std::shared_ptr<Gradient> grad;
@@ -321,6 +363,9 @@ struct ClusterSim::Impl {
     auto attempt = std::make_shared<PullAttempt>();
     attempt->pending = server->num_shards();
     attempt->begin = sim.now();
+    if (!known_shard_versions.empty()) {
+      attempt->refreshed.assign(server->num_shards(), 0);
+    }
     for (std::size_t s = 0; s < server->num_shards(); ++s) {
       RequestShard(w, s, attempt);
     }
@@ -329,12 +374,26 @@ struct ClusterSim::Impl {
   void RequestShard(WorkerId w, std::size_t s,
                     std::shared_ptr<PullAttempt> attempt) {
     if (stopped || workers[w].crashed) return;
-    const NetworkModel::TransferPlan plan = network.PlanTransfer(
-        server->shard_bytes(s), LinkClass::kData, workers[w].rng, &faults);
+    // Delta mode: a shard whose version still matches the worker's cache
+    // costs one control-sized not-modified answer instead of the full slice.
+    // Lossless — an unchanged shard version implies unchanged content.
+    std::uint64_t bytes = server->shard_bytes(s);
+    bool unchanged = false;
+    if (!known_shard_versions.empty()) {
+      const std::uint64_t known = known_shard_versions[w][s];
+      if (known != kUnknownVersion && server->shard(s).version == known) {
+        unchanged = true;
+        bytes = kControlMessageBytes;
+      }
+    }
+    const NetworkModel::TransferPlan plan =
+        network.PlanTransfer(bytes, LinkClass::kData, workers[w].rng, &faults);
     if (plan.drop) {
       // Lost shard request/response: the worker times out and re-requests
       // just that shard. (Duplicated pulls are idempotent reads and need no
-      // special case.)
+      // special case.) The dropped attempt's bytes were still transmitted —
+      // they land in the retransmit ledger, never in pull goodput.
+      transfers.Charge(TransferCategory::kRetransmit, bytes, sim.now(), s);
       sim.ScheduleAfter(plan.delay + faults.config().pull_retry_timeout,
                         [this, w, s, attempt = std::move(attempt)] {
                           RequestShard(w, s, attempt);
@@ -345,41 +404,76 @@ struct ClusterSim::Impl {
     // everything else the stall delayed.
     const SimTime requested = sim.now();
     const SimTime arrival = stalls.Defer(sim.now() + plan.delay);
-    sim.ScheduleAt(arrival,
-                   [this, w, s, requested, attempt = std::move(attempt)] {
-                     OnShardPullArrive(w, s, requested, attempt);
-                   });
+    sim.ScheduleAt(arrival, [this, w, s, requested, bytes, unchanged,
+                             attempt = std::move(attempt)] {
+      OnShardPullArrive(w, s, requested, bytes, unchanged, attempt);
+    });
   }
 
   void OnShardPullArrive(WorkerId w, std::size_t s, SimTime requested,
+                         std::uint64_t bytes, bool unchanged,
                          const std::shared_ptr<PullAttempt>& attempt) {
     if (stopped || workers[w].crashed) return;
-    transfers.Charge(TransferCategory::kPullParams, server->shard_bytes(s),
-                     sim.now(), s);
+    transfers.Charge(TransferCategory::kPullParams, bytes, sim.now(), s);
+    if (unchanged) {
+      const std::uint64_t full = server->shard_bytes(s);
+      if (full > bytes) {
+        transfers.AddSavings(TransferCategory::kPullParams, full - bytes);
+        if (codec_pull_saved_counter != nullptr) {
+          codec_pull_saved_counter->Increment(full - bytes);
+        }
+      }
+      if (codec_delta_hits_counter != nullptr) {
+        codec_delta_hits_counter->Increment();
+      }
+    } else if (!attempt->refreshed.empty()) {
+      attempt->refreshed[s] = 1;
+      if (codec_delta_misses_counter != nullptr) {
+        codec_delta_misses_counter->Increment();
+      }
+    }
     if (obs != nullptr) {
       obs->spans.AddSpan("pull_shard", "pull", w, requested, sim.now(),
                          {{"shard", std::to_string(s)}});
     }
     if (--attempt->pending > 0) return;
-    OnPullComplete(w, attempt->begin);  // the last arrival is the max arrival
+    OnPullComplete(w, *attempt);  // the last arrival is the max arrival
   }
 
-  void OnPullComplete(WorkerId w, SimTime pull_begin) {
+  void OnPullComplete(WorkerId w, const PullAttempt& attempt) {
     WorkerState& worker = workers[w];
-    // The snapshot is composed when the slowest shard response lands; in the
-    // single-threaded sim this is never torn (see param_store.h for the
-    // threaded runtime's semantics).
-    // Reuse the worker's previous snapshot buffer (donated to the shared
-    // scratch) so steady-state pulls allocate nothing.
-    pull_scratch.params = std::move(worker.snapshot);
-    server->PullInto(&pull_scratch);
-    worker.snapshot = std::move(pull_scratch.params);
-    worker.snapshot_version = pull_scratch.version;
-    trace.RecordPull(w, sim.now(), pull_scratch.version);
+    std::uint64_t version = 0;
+    if (!attempt.refreshed.empty()) {
+      // Delta mode: copy only the refreshed shards over the worker's cached
+      // snapshot; unchanged shards keep the cached content their matching
+      // version guarantees is current (as of the plan-time check).
+      worker.snapshot.resize(model->param_dim());
+      for (std::size_t s = 0; s < server->num_shards(); ++s) {
+        if (attempt.refreshed[s] == 0) continue;
+        const ShardInfo info = server->shard(s);
+        known_shard_versions[w][s] = server->PullShardSlice(
+            s, std::span<double>(worker.snapshot.data() + info.offset,
+                                 info.length));
+      }
+      version = server->version();
+      worker.snapshot_version = version;
+    } else {
+      // The snapshot is composed when the slowest shard response lands; in
+      // the single-threaded sim this is never torn (see param_store.h for
+      // the threaded runtime's semantics).
+      // Reuse the worker's previous snapshot buffer (donated to the shared
+      // scratch) so steady-state pulls allocate nothing.
+      pull_scratch.params = std::move(worker.snapshot);
+      server->PullInto(&pull_scratch);
+      worker.snapshot = std::move(pull_scratch.params);
+      worker.snapshot_version = pull_scratch.version;
+      version = pull_scratch.version;
+    }
+    trace.RecordPull(w, sim.now(), version);
     if (obs != nullptr) {
       pull_counter->Increment();
-      obs->spans.AddSpan("pull", "pull", w, pull_begin, sim.now(),
-                         {{"version", std::to_string(pull_scratch.version)}});
+      obs->spans.AddSpan("pull", "pull", w, attempt.begin, sim.now(),
+                         {{"version", std::to_string(version)}});
     }
     if (scheduler) scheduler->HandlePull(w, sim.now());
     StartCompute(w);
@@ -416,10 +510,39 @@ struct ClusterSim::Impl {
     auto grad = std::make_shared<Gradient>();
     const std::vector<std::size_t> batch = worker.sampler->NextBatch();
     model->LossAndGradient(worker.snapshot, batch, *grad);
+    // Codec transform before routing: top-k folds this worker's residual in
+    // and shrinks the support (and possibly the touched-shard set), int8/fp16
+    // quantize values in place per shard slice. What routes — and what the
+    // consistency layer sees as the write set — is the shipped gradient.
+    if (codec) codec->Transform(w, *grad);
     // The push fans out as one message per dirty shard (sparse gradients
     // route only to the shards owning their indices); each slice applies at
     // its own arrival, and the worker proceeds once every message resolved.
-    const auto routes = server->RouteGradient(*grad);
+    auto routes = server->RouteGradient(*grad);
+    if (codec != nullptr) {
+      // Charge the coded wire size; the raw-minus-coded delta goes to the
+      // savings ledger (top-k's savings are implicit in the smaller nnz).
+      std::uint64_t raw_total = 0;
+      std::uint64_t coded_total = 0;
+      for (ParameterServer::ShardRoute& route : routes) {
+        const std::uint64_t coded = CodedRouteBytes(
+            config.compression.kind, grad->is_sparse(), route.bytes);
+        raw_total += route.bytes;
+        coded_total += coded;
+        if (coded < route.bytes) {
+          transfers.AddSavings(TransferCategory::kPushGrads,
+                               route.bytes - coded);
+          if (codec_push_saved_counter != nullptr) {
+            codec_push_saved_counter->Increment(route.bytes - coded);
+          }
+          route.bytes = coded;
+        }
+      }
+      if (codec_push_ratio_hist != nullptr && raw_total > 0) {
+        codec_push_ratio_hist->Record(static_cast<double>(coded_total) /
+                                      static_cast<double>(raw_total));
+      }
+    }
     auto attempt = std::make_shared<PushAttempt>();
     attempt->grad = grad;
     attempt->pending = routes.size();

@@ -19,6 +19,7 @@
 #include "fault/fault_plan.h"
 #include "models/model.h"
 #include "optim/lr_schedule.h"
+#include "ps/compression.h"
 #include "ps/consistency.h"
 #include "ps/param_store.h"
 #include "sim/network.h"
@@ -121,6 +122,14 @@ struct ClusterSimConfig {
   std::uint64_t seed = 42;
   // Elementwise gradient clip applied server-side (0 = off).
   double sgd_clip = 0.0;
+  // Gradient wire compression (ps/compression.h). topk/int8/fp16 transform
+  // each worker's gradient before routing (error-feedback residuals for
+  // topk) and the transfer model charges the coded byte size, with the raw
+  // minus coded delta recorded in the TransferAccountant's savings ledger.
+  // delta makes unchanged shards cost one control message per pull. kNone
+  // takes exactly the legacy paths: no transform, no extra RNG draws, and
+  // bit-identical golden trace digests.
+  CompressionSpec compression;
   // DES engine selection. Pop order is bit-identical across engines (same
   // (time, sequence) contract — see calendar_queue.h), so this only changes
   // wall time; the heap is kept for A/B benchmarking and equivalence tests.

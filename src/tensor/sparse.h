@@ -32,6 +32,9 @@ class SparseUpdate {
   bool empty() const { return indices_.empty(); }
   std::span<const std::uint64_t> indices() const { return indices_; }
   std::span<const double> values() const { return values_; }
+  // In-place value rewrites (the gradient codec quantizes without changing
+  // the support); indices stay immutable through this accessor.
+  std::span<double> mutable_values() { return values_; }
 
   void Clear() {
     indices_.clear();

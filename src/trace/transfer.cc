@@ -18,6 +18,8 @@ const char* TransferCategoryName(TransferCategory category) {
       return "resync";
     case TransferCategory::kControl:
       return "control";
+    case TransferCategory::kRetransmit:
+      return "retransmit";
   }
   return "?";
 }
@@ -35,6 +37,24 @@ void TransferAccountant::Charge(TransferCategory category, std::uint64_t bytes,
     by_shard_[*shard][index] += bytes;
   }
   events_.push_back(Event{time, bytes});
+}
+
+void TransferAccountant::AddSavings(TransferCategory category,
+                                    std::uint64_t bytes) {
+  const auto index = static_cast<std::size_t>(category);
+  SPECSYNC_CHECK_LT(index, kNumTransferCategories);
+  saved_[index] += bytes;
+}
+
+std::uint64_t TransferAccountant::saved_bytes(
+    TransferCategory category) const {
+  return saved_[static_cast<std::size_t>(category)];
+}
+
+std::uint64_t TransferAccountant::total_saved_bytes() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : saved_) total += b;
+  return total;
 }
 
 std::uint64_t TransferAccountant::total_bytes() const {

@@ -22,8 +22,12 @@ enum class TransferCategory : std::size_t {
   kNotify = 2,      // worker -> scheduler push notifications
   kReSync = 3,      // scheduler -> worker restart instructions
   kControl = 4,     // everything else (epoch kicks, shutdown, ...)
+  // Wasted bytes of dropped/timed-out attempts that were re-sent. Kept out
+  // of the data-plane categories so goodput (kPullParams/kPushGrads) is not
+  // inflated by the retry storm a lossy link causes.
+  kRetransmit = 5,
 };
-inline constexpr std::size_t kNumTransferCategories = 5;
+inline constexpr std::size_t kNumTransferCategories = 6;
 
 const char* TransferCategoryName(TransferCategory category);
 
@@ -37,8 +41,15 @@ class TransferAccountant {
   void Charge(TransferCategory category, std::uint64_t bytes, SimTime time,
               std::optional<std::size_t> shard = std::nullopt);
 
+  // Records bytes a codec *removed* from a message that was still sent (the
+  // message itself is charged at its compressed size). Savings are a side
+  // ledger: they never count toward total_bytes().
+  void AddSavings(TransferCategory category, std::uint64_t bytes);
+
   std::uint64_t total_bytes() const;
   std::uint64_t bytes(TransferCategory category) const;
+  std::uint64_t saved_bytes(TransferCategory category) const;
+  std::uint64_t total_saved_bytes() const;
 
   // Fraction of total transfer attributable to `category` (0 if no traffic).
   double fraction(TransferCategory category) const;
@@ -71,6 +82,7 @@ class TransferAccountant {
   };
   using CategoryBytes = std::array<std::uint64_t, kNumTransferCategories>;
   CategoryBytes by_category_{};
+  CategoryBytes saved_{};  // codec bytes-saved breakdown (side ledger)
   std::vector<CategoryBytes> by_shard_;  // grown to the highest shard charged
   std::vector<Event> events_;            // time-ordered
 };

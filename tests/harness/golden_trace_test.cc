@@ -150,5 +150,74 @@ TEST(GoldenTraceTest, WorkersOneTwentyEightTraceDigestIsPinned) {
   EXPECT_EQ(TraceDigest(heap.sim.trace), kGoldenDigest128Workers);
 }
 
+// --- compressed-run pins ----------------------------------------------------
+
+// Every codec gets its own pinned history of the standard golden experiment
+// (num_servers=2). Regenerate like the other pins. The kNone row doubles as
+// the codec=none bit-identity acceptance check: an explicitly-parsed "none"
+// spec must reproduce kGoldenDigestTwoServers exactly — the codec seam is
+// invisible until a codec is switched on.
+struct CompressedPin {
+  const char* literal;
+  std::uint64_t digest;
+  // Whether the codec must move this run's history off the uncompressed pin.
+  // delta is pinned EQUAL on purpose: the convex workload pushes dense
+  // gradients, so every shard's version advances between any worker's two
+  // pulls and the version gate never skips a slice — delta is lossless and
+  // inert here, bit for bit (DeltaPullSkipsOnlyWhenNoShardAdvanced below
+  // proves it does fire on a sparse-push workload).
+  bool diverges;
+};
+constexpr CompressedPin kCompressedPins[] = {
+    {"none", kGoldenDigestTwoServers, false},
+    {"topk:0.01", 2808442342461025129ULL, true},
+    {"int8", 1944548210867626004ULL, true},
+    {"fp16", 5068654852926626871ULL, true},
+    {"delta", kGoldenDigestTwoServers, false},
+};
+
+TEST(GoldenTraceTest, CompressedTraceDigestsArePinnedPerCodec) {
+  for (const CompressedPin& pin : kCompressedPins) {
+    const Workload workload = MakeConvexWorkload(/*seed=*/1, /*scale=*/0.2);
+    ExperimentConfig config;
+    config.cluster = ClusterSpec::Homogeneous(8);
+    config.cluster.num_servers = 2;
+    config.scheme = SchemeSpec::Adaptive();
+    config.max_time = SimTime::FromSeconds(240.0);
+    config.stop_on_convergence = false;
+    config.seed = 41;
+    config.compression = *CompressionSpec::Parse(pin.literal);
+    const ExperimentResult result = RunExperiment(workload, config);
+    EXPECT_EQ(TraceDigest(result.sim.trace), pin.digest) << pin.literal;
+    EXPECT_EQ(TraceDigest(result.sim.trace) != kGoldenDigestTwoServers,
+              pin.diverges)
+        << pin.literal;
+  }
+}
+
+TEST(GoldenTraceTest, DeltaPullSkipsOnlyWhenNoShardAdvanced) {
+  // Under Cherrypick speculation on MF, an abort's re-pull lands hot on the
+  // heels of the previous pull, so some shards have not advanced — the delta
+  // run must bank pull-side savings there, and only there (push accounting is
+  // untouched by a pull-side codec).
+  const Workload workload = MakeMfWorkload(/*seed=*/1, /*scale=*/0.5);
+  SpeculationParams params;
+  params.abort_time = workload.iteration_time * 0.35;
+  params.abort_rate = 0.22;
+  ExperimentConfig config;
+  config.cluster = ClusterSpec::Homogeneous(8);
+  config.cluster.num_servers = 4;
+  config.scheme = SchemeSpec::Cherrypick(params);
+  config.max_time = SimTime::FromSeconds(400.0);
+  config.stop_on_convergence = false;
+  config.seed = 41;
+  config.compression = *CompressionSpec::Parse("delta");
+  const ExperimentResult result = RunExperiment(workload, config);
+  EXPECT_GT(result.sim.transfers.saved_bytes(TransferCategory::kPullParams),
+            0u);
+  EXPECT_EQ(result.sim.transfers.saved_bytes(TransferCategory::kPushGrads),
+            0u);
+}
+
 }  // namespace
 }  // namespace specsync

@@ -107,6 +107,39 @@ TEST_P(ReassemblyTest, FrameDribbledOneByteAtATimeIsReassembled) {
   EXPECT_EQ(std::get<AckResp>(out).status, kAckOk);
 }
 
+TEST_P(ReassemblyTest, CodedFrameDribbledByteWiseIsReassembled) {
+  // The kind-2 coded encoding has an odd-sized layout (1-byte codec tag,
+  // 8-byte scale, 1-byte values): dribbling it exercises reassembly seams no
+  // f64-aligned frame hits. The int8 values are chosen pre-quantized so the
+  // decoded push applies exactly.
+  auto store = MakeStore(10, 2);
+  auto server = StartServer(store.get());
+  TcpConnection conn = TcpConnection::ConnectLoopback(server->port());
+  ASSERT_TRUE(conn.valid());
+
+  PushShardReq req;
+  req.shard = 0;
+  req.epoch = 2;
+  req.sparse = true;
+  req.coded = static_cast<std::uint8_t>(CodecKind::kInt8);
+  req.indices = {1, 2, 4};
+  req.values = {0.25, -1.0, 0.5};  // scale 1/64, all exactly coded
+  const auto frame = EncodeFrame(req, 41);
+  // 20 header + 4 shard + 8 epoch + 3 tags + 8 scale + 8 nnz + 24 idx + 3 q.
+  ASSERT_EQ(frame.size(), 78u);
+  for (const std::uint8_t byte : frame) {
+    ASSERT_TRUE(conn.SendAll(std::span(&byte, 1)));
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+
+  std::uint64_t id = 0;
+  WireMessage out;
+  ASSERT_TRUE(RecvOne(conn, id, out));
+  EXPECT_EQ(id, 41u);
+  ASSERT_TRUE(std::holds_alternative<AckResp>(out));
+  EXPECT_EQ(std::get<AckResp>(out).status, kAckOk);
+}
+
 TEST_P(ReassemblyTest, FrameSplitAtEveryByteBoundaryIsReassembled) {
   auto store = MakeStore(10, 2);
   auto server = StartServer(store.get());

@@ -8,6 +8,7 @@
 #include <limits>
 
 #include "net/wire.h"
+#include "ps/compression.h"
 
 namespace specsync::net {
 namespace {
@@ -214,7 +215,21 @@ TEST(WireTest, BadDenseSparseKindRejected) {
   PushShardReq req;
   const auto good = EncodeFrame(req, 1);
   auto frame = good;
-  frame[kHeaderBytes + 4 + 8] = 2;  // kind byte: only 0 or 1 are defined
+  frame[kHeaderBytes + 4 + 8] = 3;  // kind byte: only 0/1/2 are defined
+  std::uint64_t id = 0;
+  WireMessage out;
+  EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kMalformed);
+}
+
+TEST(WireTest, BadCodecByteInCodedPushRejected) {
+  // kind 2 must carry codec 2 (int8) or 3 (fp16); anything else is malformed
+  // (codec byte here lands where the old dense offset began — the strict
+  // parser must not guess).
+  PushShardReq req;
+  const auto good = EncodeFrame(req, 1);
+  auto frame = good;
+  frame[kHeaderBytes + 4 + 8] = 2;  // kind: coded
+  // The next payload byte is now read as the codec id; offset bytes are 0.
   std::uint64_t id = 0;
   WireMessage out;
   EXPECT_EQ(DecodeFrame(frame, id, out), WireStatus::kMalformed);
@@ -326,6 +341,196 @@ TEST(WireTraceExtTest, NonExtensionTrailingBytesStillRejected) {
   WireMessage out;
   TraceContext decoded;
   EXPECT_EQ(DecodeFrame(frame, id, out, &decoded), WireStatus::kMalformed);
+}
+
+// --- coded pushes and delta pulls --------------------------------------------
+
+// Hand-assembled little-endian writer, independent of wire.cc's internals:
+// the golden-byte pins below must not share code with the encoder they pin.
+struct GoldenFrame {
+  std::vector<std::uint8_t> bytes;
+
+  void U8(std::uint8_t v) { bytes.push_back(v); }
+  void U16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) bytes.push_back(v >> (8 * i) & 0xff);
+  }
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(v >> (8 * i) & 0xff);
+  }
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes.push_back(v >> (8 * i) & 0xff);
+  }
+  void F64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Header(MsgType type, std::uint64_t request_id) {
+    U32(kWireMagic);
+    U16(kWireVersion);
+    U16(static_cast<std::uint16_t>(type));
+    U64(request_id);
+    U32(0);  // payload length patched by Finish()
+  }
+  std::vector<std::uint8_t> Finish() {
+    const auto payload =
+        static_cast<std::uint32_t>(bytes.size() - kHeaderBytes);
+    for (int i = 0; i < 4; ++i) {
+      bytes[16 + i] = payload >> (8 * i) & 0xff;
+    }
+    return bytes;
+  }
+};
+
+// The codec=none bit-identity pin: a kind-0 (dense) and a kind-1 (sparse)
+// push frame must match golden bytes assembled by hand — the `coded` field
+// and the kind-2 encoding may not perturb the legacy layouts, or every
+// pre-codec golden trace digest drifts.
+TEST(WireCodecTest, UncodedDensePushFrameBytesPinned) {
+  PushShardReq req;
+  req.shard = 1;
+  req.epoch = 9;
+  req.sparse = false;
+  req.dense_offset = 64;
+  req.dense = {0.125, -7.5};
+
+  GoldenFrame golden;
+  golden.Header(MsgType::kPushShardReq, 42);
+  golden.U32(1);   // shard
+  golden.U64(9);   // epoch
+  golden.U8(0);    // kind: dense
+  golden.U64(64);  // offset
+  golden.U64(2);   // count
+  golden.F64(0.125);
+  golden.F64(-7.5);
+  EXPECT_EQ(EncodeFrame(req, 42), golden.Finish());
+}
+
+TEST(WireCodecTest, UncodedSparsePushFrameBytesPinned) {
+  PushShardReq req;
+  req.shard = 0;
+  req.epoch = 3;
+  req.sparse = true;
+  req.indices = {4, 9};
+  req.values = {0.5, -2.0};
+
+  GoldenFrame golden;
+  golden.Header(MsgType::kPushShardReq, 7);
+  golden.U32(0);  // shard
+  golden.U64(3);  // epoch
+  golden.U8(1);   // kind: sparse
+  golden.U64(2);  // nnz
+  golden.U64(4);
+  golden.F64(0.5);
+  golden.U64(9);
+  golden.F64(-2.0);
+  EXPECT_EQ(EncodeFrame(req, 7), golden.Finish());
+}
+
+// Quantization-idempotent doubles (what GradientCodec::Transform emits) must
+// survive a coded round trip bit-exactly, and re-encoding the decoded
+// message must reproduce the identical frame (the retry path re-encodes).
+TEST(WireCodecTest, CodedInt8DensePushRoundTripsBitExact) {
+  PushShardReq req;
+  req.shard = 2;
+  req.epoch = 11;
+  req.sparse = false;
+  req.coded = static_cast<std::uint8_t>(CodecKind::kInt8);
+  req.dense_offset = 32;
+  req.dense = {3.25, -0.5, 0.0, 100.0, -127.0};
+  const double scale = Int8ScaleFor(req.dense);
+  for (double& v : req.dense) {
+    v = DequantizeInt8(QuantizeInt8(v, scale), scale);
+  }
+
+  const auto frame = EncodeFrame(req, 5);
+  std::uint64_t id = 0;
+  WireMessage out;
+  ASSERT_EQ(DecodeFrame(frame, id, out), WireStatus::kOk);
+  const auto& decoded = std::get<PushShardReq>(out);
+  EXPECT_EQ(decoded.coded, req.coded);
+  EXPECT_EQ(decoded.dense_offset, 32u);
+  EXPECT_EQ(decoded.dense, req.dense);
+  EXPECT_EQ(EncodeFrame(decoded, 5), frame);
+  // The coded frame is materially smaller than the f64 encoding.
+  PushShardReq raw = req;
+  raw.coded = 0;
+  EXPECT_LT(frame.size(), EncodeFrame(raw, 5).size());
+}
+
+TEST(WireCodecTest, CodedFp16SparsePushRoundTripsBitExact) {
+  PushShardReq req;
+  req.shard = 0;
+  req.epoch = 4;
+  req.sparse = true;
+  req.coded = static_cast<std::uint8_t>(CodecKind::kFp16);
+  req.indices = {1, 6, 13};
+  req.values = {1.5, -0.0, 65504.0};
+  for (double& v : req.values) v = DecodeFp16(EncodeFp16(v));
+
+  const auto frame = EncodeFrame(req, 6);
+  std::uint64_t id = 0;
+  WireMessage out;
+  ASSERT_EQ(DecodeFrame(frame, id, out), WireStatus::kOk);
+  const auto& decoded = std::get<PushShardReq>(out);
+  EXPECT_EQ(decoded.coded, req.coded);
+  EXPECT_EQ(decoded.indices, req.indices);
+  ASSERT_EQ(decoded.values.size(), req.values.size());
+  for (std::size_t i = 0; i < req.values.size(); ++i) {
+    std::uint64_t got = 0;
+    std::uint64_t want = 0;
+    std::memcpy(&got, &decoded.values[i], sizeof(got));
+    std::memcpy(&want, &req.values[i], sizeof(want));
+    EXPECT_EQ(got, want) << "entry " << i;  // -0.0 must keep its sign bit
+  }
+  EXPECT_EQ(EncodeFrame(decoded, 6), frame);
+}
+
+TEST(WireCodecTest, CodedAllZeroInt8PushCarriesZeroScale) {
+  PushShardReq req;
+  req.coded = static_cast<std::uint8_t>(CodecKind::kInt8);
+  req.dense = {0.0, 0.0};
+  const auto frame = EncodeFrame(req, 8);
+  std::uint64_t id = 0;
+  WireMessage out;
+  ASSERT_EQ(DecodeFrame(frame, id, out), WireStatus::kOk);
+  EXPECT_EQ(std::get<PushShardReq>(out).dense,
+            std::vector<double>({0.0, 0.0}));
+}
+
+TEST(WireCodecTest, TruncatedCodedPushRejected) {
+  PushShardReq req;
+  req.coded = static_cast<std::uint8_t>(CodecKind::kFp16);
+  req.dense = {1.0, 2.0, 3.0};
+  const auto frame = EncodeFrame(req, 1);
+  FrameHeader header;
+  ASSERT_EQ(DecodeHeader(frame, header), WireStatus::kOk);
+  const std::span<const std::uint8_t> payload =
+      std::span(frame).subspan(kHeaderBytes);
+  WireMessage out;
+  // One byte short: the last fp16 value is torn.
+  EXPECT_EQ(DecodePayload(header, payload.first(payload.size() - 1), out),
+            WireStatus::kTruncated);
+}
+
+TEST(WireCodecTest, DeltaPullMessagesRoundTrip) {
+  const PullShardDeltaReq req = RoundTrip(PullShardDeltaReq{5, 77});
+  EXPECT_EQ(req.shard, 5u);
+  EXPECT_EQ(req.known_version, 77u);
+
+  const PullShardNotModified resp =
+      RoundTrip(PullShardNotModified{5, 77, 130});
+  EXPECT_EQ(resp.shard, 5u);
+  EXPECT_EQ(resp.shard_version, 77u);
+  EXPECT_EQ(resp.global_version, 130u);
+}
+
+TEST(WireCodecTest, DeltaPullFrameBytesPinned) {
+  GoldenFrame golden;
+  golden.Header(MsgType::kPullShardDeltaReq, 21);
+  golden.U32(5);   // shard
+  golden.U64(77);  // known_version
+  EXPECT_EQ(EncodeFrame(PullShardDeltaReq{5, 77}, 21), golden.Finish());
 }
 
 }  // namespace

@@ -93,6 +93,54 @@ TEST(MetricsTest, HistogramQuantilesBracketObservations) {
   EXPECT_EQ(empty.ApproxQuantileSeconds(0.5), 0.0);
 }
 
+TEST(MetricsTest, HistogramQuantileDegenerateCasesPinned) {
+  // The three degenerate cases documented on ApproxQuantileSeconds — every
+  // one must return a FINITE number (exporters turn non-finite into null, but
+  // the quantile itself must never need that escape hatch).
+  LatencyHistogram empty;
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(empty.ApproxQuantileSeconds(q), 0.0) << "q=" << q;
+  }
+
+  // All observations in bucket 0 (the sub-1us bucket has no lower log edge,
+  // so interpolation is pinned to min(max, first upper bound)).
+  LatencyHistogram sub_us;
+  sub_us.Record(1e-9);
+  sub_us.Record(2e-9);
+  for (const double q : {0.01, 0.5, 0.99}) {
+    const double v = sub_us.ApproxQuantileSeconds(q);
+    EXPECT_TRUE(std::isfinite(v)) << "q=" << q;
+    EXPECT_EQ(v, std::min(sub_us.max_seconds(),
+                          LatencyHistogram::kFirstUpperBoundSeconds))
+        << "q=" << q;
+  }
+
+  // Quantile landing in the open-ended last bucket: capped at the observed
+  // max, never the bucket's infinite upper bound.
+  LatencyHistogram huge;
+  huge.Record(1e10);  // beyond UpperBoundSeconds(kBuckets - 2): last bucket
+  const double p99 = huge.ApproxQuantileSeconds(0.99);
+  EXPECT_TRUE(std::isfinite(p99));
+  EXPECT_LE(p99, huge.max_seconds());
+  EXPECT_EQ(huge.ApproxQuantileSeconds(1.0), huge.max_seconds());
+}
+
+TEST(ObsExportTest, HistogramJsonNeverEmitsNaN) {
+  // Exporters must survive every degenerate histogram: empty, bucket-0-only,
+  // and last-bucket-only must all serialize to valid finite JSON (non-finite
+  // values would have to become null, and "nan"/"inf" must never appear).
+  ObsContext ctx;
+  (void)ctx.metrics.histogram("h.empty");
+  ctx.metrics.histogram("h.subus").Record(1e-9);
+  ctx.metrics.histogram("h.huge").Record(1e10);
+  std::ostringstream os;
+  WriteMetricsJson(ctx, os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.find("nan"), std::string::npos);
+  EXPECT_EQ(out.find("inf"), std::string::npos);
+  EXPECT_NE(out.find("\"h.huge\""), std::string::npos);
+}
+
 TEST(MetricsTest, ScopedTimerRecordsOneSample) {
   LatencyHistogram h;
   { ScopedTimer timer(&h); }
